@@ -1,0 +1,120 @@
+// QoS planning workbench: the library's extension APIs in one scenario.
+//
+// A planner explores a Waxman network before committing to a route budget:
+//  1. the exact single-path (cost, delay) Pareto frontier — what trade-offs
+//     exist at all (paths/pareto.h);
+//  2. kRSP at a chosen budget, edge-disjoint vs vertex-disjoint — link vs
+//     router survivability (core/vertex_disjoint.h);
+//  3. kBCP — "can I have both budgets?", with violation factors when not
+//     (core/kbcp.h, the paper's §1.2 companion problem).
+//
+//   $ ./qos_planner [--n=24] [--k=2] [--seed=21]
+#include <iostream>
+
+#include "core/kbcp.h"
+#include "core/vertex_disjoint.h"
+#include "graph/generators.h"
+#include "paths/pareto.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace krsp;
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 24));
+  const int k = static_cast<int>(cli.get_int("k", 2));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 21)));
+  cli.reject_unknown();
+
+  gen::WaxmanParams params;
+  params.beta = 0.8;
+  params.delay_scale = 30;
+  params.cost_max = 15;
+  core::Instance inst;
+  inst.graph = gen::waxman(rng, n, params);
+  inst.s = 0;
+  inst.t = static_cast<graph::VertexId>(n - 1);
+  inst.k = k;
+
+  std::cout << "QoS planner on " << inst.graph.summary() << ", sites "
+            << inst.s << " -> " << inst.t << "\n\n";
+
+  // 1. Single-path Pareto frontier.
+  const auto frontier = paths::pareto_frontier(inst.graph, inst.s, inst.t);
+  if (frontier.empty()) {
+    std::cout << "sites are not connected\n";
+    return 1;
+  }
+  std::cout << "1. single-path (cost, delay) Pareto frontier ("
+            << frontier.size() << " points):\n";
+  util::Table tf({"cost", "delay", "hops"});
+  for (const auto& p : frontier)
+    tf.row().cell(p.cost).cell(p.delay).cell(p.edges.size());
+  tf.print();
+
+  // 2. kRSP at a mid-frontier budget: edge- vs vertex-disjoint.
+  const auto min_delay = core::min_possible_delay(inst);
+  if (!min_delay) {
+    std::cout << "\nfewer than " << k << " disjoint paths exist; stopping\n";
+    return 0;
+  }
+  inst.delay_bound = *min_delay * 3 / 2;
+  std::cout << "\n2. " << k << " disjoint paths, total delay budget "
+            << inst.delay_bound << ":\n";
+  util::Table tk({"disjointness", "status", "total cost", "total delay"});
+  const auto edge_sol = core::KrspSolver().solve(inst);
+  tk.row()
+      .cell("edge (link failures)")
+      .cell(edge_sol.has_paths() ? "ok" : "infeasible")
+      .cell(edge_sol.has_paths() ? std::to_string(edge_sol.cost) : "-")
+      .cell(edge_sol.has_paths() ? std::to_string(edge_sol.delay) : "-");
+  const auto vertex_sol = core::solve_vertex_disjoint(inst);
+  tk.row()
+      .cell("vertex (router failures)")
+      .cell(vertex_sol.has_paths() ? "ok" : "infeasible")
+      .cell(vertex_sol.has_paths() ? std::to_string(vertex_sol.cost) : "-")
+      .cell(vertex_sol.has_paths() ? std::to_string(vertex_sol.delay) : "-");
+  tk.print();
+
+  // 3. kBCP: sweep cost budgets at the fixed delay budget.
+  if (!edge_sol.has_paths()) return 0;
+  std::cout << "\n3. kBCP feasibility sweep (delay budget "
+            << inst.delay_bound << "):\n";
+  util::Table tb({"cost budget", "verdict", "cost (factor)",
+                  "delay (factor)"});
+  for (const auto frac : {50, 80, 100, 150}) {
+    core::KbcpInstance kbcp;
+    kbcp.graph = inst.graph;
+    kbcp.s = inst.s;
+    kbcp.t = inst.t;
+    kbcp.k = inst.k;
+    kbcp.delay_bound = inst.delay_bound;
+    kbcp.cost_bound = edge_sol.cost * frac / 100;
+    const auto r = core::solve_kbcp(kbcp);
+    std::string verdict;
+    switch (r.status) {
+      case core::KbcpStatus::kFeasible:
+        verdict = "both budgets met";
+        break;
+      case core::KbcpStatus::kViolates:
+        verdict = "violates (best effort)";
+        break;
+      default:
+        verdict = "failed";
+    }
+    std::ostringstream cost_cell, delay_cell;
+    cost_cell << r.cost << " (" << std::fixed << std::setprecision(2)
+              << r.cost_factor << ")";
+    delay_cell << r.delay << " (" << std::fixed << std::setprecision(2)
+               << r.delay_factor << ")";
+    tb.row()
+        .cell(kbcp.cost_bound)
+        .cell(verdict)
+        .cell(cost_cell.str())
+        .cell(delay_cell.str());
+  }
+  tb.print();
+  std::cout << "\nTight cost budgets force violations whose factors the "
+               "planner can trade against provisioning more budget.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Packet-level validation of kRSP provisioning.
+//
+// The paper's premise: provisioning k disjoint paths under a total delay
+// budget, then routing traffic classes by urgency, delivers QoS that
+// single-criterion provisioning cannot. This example *simulates* it:
+//  1. provision k disjoint paths with the kRSP solver (delay-aware) and,
+//     for contrast, with the min-cost flow (delay-blind);
+//  2. map traffic classes (voice / video / bulk) onto the paths by urgency;
+//  3. run the packet simulator and compare per-class p95 latency against
+//     each class's SLA.
+//
+//   $ ./qos_simulation [--n=24] [--seed=29] [--horizon=200000]
+#include <iostream>
+
+#include "baselines/flow_only.h"
+#include "core/priority_routing.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "sim/network_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace krsp;
+
+struct ClassSpec {
+  const char* name;
+  double mean_gap;
+  bool poisson;
+};
+
+void simulate_and_report(const char* title, const core::Instance& inst,
+                         const core::PathSet& paths, sim::Time horizon) {
+  // Per-class SLA: per-path share of the budget, doubled down the ladder.
+  // SLAs: a per-path share of the static budget plus a forwarding
+  // allowance (serialization costs ~1 tick per hop beyond the propagation
+  // delays the static model prices).
+  const auto forwarding_allowance =
+      static_cast<graph::Delay>(inst.graph.num_vertices() / 2);
+  const graph::Delay base_sla =
+      inst.delay_bound / std::max(1, static_cast<int>(paths.paths().size()));
+  std::vector<core::TrafficClass> classes = {
+      {"voice", base_sla + forwarding_allowance},
+      {"video", base_sla * 2 + forwarding_allowance},
+      {"bulk", inst.delay_bound + forwarding_allowance},
+  };
+  classes.resize(std::min(classes.size(), paths.paths().size()));
+  const auto assignment = core::assign_by_urgency(inst.graph, paths, classes);
+
+  const ClassSpec traffic[] = {
+      {"voice", 8.0, false},   // steady CBR
+      {"video", 6.0, true},    // bursty
+      {"bulk", 4.0, true},     // heavy + bursty
+  };
+
+  sim::LinkParams params;
+  params.transmission_time = 1;
+  params.queue_capacity = 128;
+  sim::NetworkSimulator simulator(inst.graph, params, 12345);
+  for (std::size_t i = 0; i < assignment.assignments.size(); ++i) {
+    const auto& a = assignment.assignments[i];
+    sim::FlowSpec flow;
+    flow.name = a.class_name;
+    flow.route = paths.paths()[a.path_index];
+    flow.mean_gap = traffic[i].mean_gap;
+    flow.poisson = traffic[i].poisson;
+    flow.packet_budget = horizon / static_cast<sim::Time>(traffic[i].mean_gap);
+    simulator.add_flow(std::move(flow));
+  }
+  const auto result = simulator.run(horizon);
+
+  std::cout << "\n== " << title << " (total static delay "
+            << paths.total_delay(inst.graph) << ", budget "
+            << inst.delay_bound << ") ==\n";
+  util::Table table({"class", "SLA", "delivered", "dropped", "mean latency",
+                     "p95 latency", "SLA met (p95)"});
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    const auto& f = result.flows[i];
+    const double p95 = f.latency.count() ? f.latency.percentile(95) : 0.0;
+    table.row()
+        .cell(f.name)
+        .cell(classes[i].max_delay)
+        .cell(f.delivered)
+        .cell(f.dropped)
+        .cell_fp(f.latency.count() ? f.latency.mean() : 0.0, 1)
+        .cell_fp(p95, 1)
+        .cell(p95 <= static_cast<double>(classes[i].max_delay) ? "yes"
+                                                               : "NO");
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 24));
+  const auto horizon = static_cast<sim::Time>(cli.get_int("horizon", 200000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 29)));
+  cli.reject_unknown();
+
+  core::RandomInstanceOptions opt;
+  opt.k = 3;
+  opt.delay_slack = 0.15;
+  const auto inst = core::make_random_instance(rng, opt, [&](util::Rng& r) {
+    gen::WaxmanParams p;
+    p.beta = 0.8;
+    p.delay_scale = 25;
+    return gen::waxman(r, n, p);
+  });
+  if (!inst) {
+    std::cout << "could not draw a 3-connected instance\n";
+    return 1;
+  }
+  std::cout << "instance: " << inst->summary() << "\n";
+
+  const auto krsp_solution = core::KrspSolver().solve(*inst);
+  if (!krsp_solution.has_paths()) {
+    std::cout << "kRSP provisioning failed\n";
+    return 1;
+  }
+  simulate_and_report("kRSP provisioning (delay-aware)", *inst,
+                      krsp_solution.paths, horizon);
+
+  const auto blind = baselines::min_cost_flow_baseline(*inst);
+  if (blind.has_paths())
+    simulate_and_report("min-cost provisioning (delay-blind)", *inst,
+                        blind.paths, horizon);
+
+  std::cout << "\nExpected shape: the delay-aware provisioning meets the "
+               "strict SLAs its budget implies; the delay-blind one "
+               "routinely misses them on the strict classes.\n";
+  return 0;
+}

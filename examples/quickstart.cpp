@@ -1,0 +1,91 @@
+// Quickstart: build a graph, solve a kRSP instance, inspect the solution.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface in ~60 lines: Digraph
+// construction, Instance setup, KrspSolver modes, and Solution/telemetry
+// inspection.
+#include <iostream>
+
+#include "core/solver.h"
+
+int main() {
+  using namespace krsp;
+
+  // A small network: two terminals, three candidate routes with different
+  // cost/delay trade-offs.
+  //
+  //        1 ---------.           cost/delay per arc
+  //      .   .         .
+  //    0      3 ------- 5          s = 0, t = 5
+  //      .   .         .
+  //        2 ---------'
+  graph::Digraph g(6);
+  g.add_edge(0, 1, /*cost=*/1, /*delay=*/6);
+  g.add_edge(1, 5, 1, 6);   // cheap but slow route
+  g.add_edge(0, 2, 2, 3);
+  g.add_edge(2, 5, 2, 3);   // balanced route
+  g.add_edge(0, 3, 6, 1);
+  g.add_edge(3, 5, 6, 1);   // fast but expensive route
+  g.add_edge(1, 3, 1, 1);   // cross links give the solver room to rewire
+  g.add_edge(2, 3, 1, 1);
+
+  core::Instance instance;
+  instance.graph = std::move(g);
+  instance.s = 0;
+  instance.t = 5;
+  instance.k = 2;              // two edge-disjoint paths
+  instance.delay_bound = 14;   // total delay budget over both paths
+
+  std::cout << "instance: " << instance.summary() << "\n";
+
+  // The default solver is the polynomial (1+eps, 2+eps) mode of Theorem 4.
+  core::SolverOptions options;
+  options.mode = core::SolverOptions::Mode::kScaled;
+  options.eps1 = options.eps2 = 0.25;
+  const core::KrspSolver solver(options);
+
+  const core::Solution solution = solver.solve(instance);
+  switch (solution.status) {
+    case core::SolveStatus::kOptimal:
+      std::cout << "solved to proven optimality\n";
+      break;
+    case core::SolveStatus::kApprox:
+      std::cout << "solved within the (1+eps, 2+eps) guarantee\n";
+      break;
+    case core::SolveStatus::kInfeasible:
+      std::cout << "no k disjoint paths meet the delay bound\n";
+      return 1;
+    case core::SolveStatus::kNoKDisjointPaths:
+      std::cout << "the graph has fewer than k disjoint s-t paths\n";
+      return 1;
+    default:
+      std::cout << "solver failed\n";
+      return 1;
+  }
+
+  std::cout << "total cost  = " << solution.cost << "\n"
+            << "total delay = " << solution.delay << " (budget "
+            << instance.delay_bound << ")\n";
+  for (std::size_t i = 0; i < solution.paths.paths().size(); ++i) {
+    const auto& path = solution.paths.paths()[i];
+    std::cout << "path " << i + 1 << ":";
+    graph::VertexId at = instance.s;
+    std::cout << " " << at;
+    for (const graph::EdgeId e : path) {
+      at = instance.graph.edge(e).to;
+      std::cout << " -> " << at;
+    }
+    std::cout << "  (cost " << graph::path_cost(instance.graph, path)
+              << ", delay " << graph::path_delay(instance.graph, path)
+              << ")\n";
+  }
+
+  std::cout << "\ntelemetry: phase-1 min-cost-flow calls = "
+            << solution.telemetry.phase1_mcmf_calls
+            << ", cancellation iterations = "
+            << solution.telemetry.cancel.iterations
+            << ", certified cost lower bound = "
+            << solution.telemetry.cost_lower_bound.to_double() << "\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Video streaming scenario (paper §1: "a single link might not provide
+// adequate bandwidth, and multiple disjoint QoS paths are often necessary").
+//
+// A streaming source needs aggregate bandwidth that no single path
+// provides, so the stream is striped over k disjoint paths on a Waxman
+// random geometric network (delay = propagation distance). The example
+// sweeps k and shows the cost/delay frontier the operator chooses from.
+//
+//   $ ./video_streaming [--n=40] [--seed=13]
+#include <iostream>
+
+#include "core/solver.h"
+#include "flow/dinic.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace krsp;
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 40));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 13)));
+  cli.reject_unknown();
+
+  gen::WaxmanParams params;
+  params.alpha = 0.5;
+  params.beta = 0.7;
+  params.delay_scale = 50;
+  params.cost_max = 10;
+  core::Instance base;
+  base.graph = gen::waxman(rng, n, params);
+  base.s = 0;
+  base.t = static_cast<graph::VertexId>(n - 1);
+
+  const int max_k = flow::max_edge_disjoint_paths(base.graph, base.s, base.t);
+  std::cout << "video striping on " << base.graph.summary()
+            << " — the source-sink pair supports up to " << max_k
+            << " disjoint paths\n\n";
+  if (max_k < 1) return 1;
+
+  // Per-path stream chunk needs ~2.5 Mbps; sweep how many stripes we buy.
+  util::Table table({"k (stripes)", "aggregate bandwidth", "delay budget",
+                     "status", "total cost", "total delay",
+                     "worst path delay"});
+  for (int k = 1; k <= std::min(max_k, 4); ++k) {
+    core::Instance inst = base;
+    inst.k = k;
+    const auto min_delay = core::min_possible_delay(inst);
+    if (!min_delay) continue;
+    inst.delay_bound = *min_delay * 4 / 3;
+
+    const auto s = core::KrspSolver().solve(inst);
+    graph::Delay worst = 0;
+    if (s.has_paths())
+      for (const auto& p : s.paths.paths())
+        worst = std::max(worst, graph::path_delay(inst.graph, p));
+    table.row()
+        .cell(k)
+        .cell(std::to_string(k * 25 / 10) + "." + std::to_string(k * 25 % 10) +
+              " Mbps")
+        .cell(inst.delay_bound)
+        .cell(s.status == core::SolveStatus::kOptimal ? "optimal"
+              : s.has_paths()                         ? "approx"
+                                                      : "infeasible")
+        .cell(s.has_paths() ? std::to_string(s.cost) : "-")
+        .cell(s.has_paths() ? std::to_string(s.delay) : "-")
+        .cell(s.has_paths() ? std::to_string(worst) : "-");
+  }
+  table.print();
+  std::cout << "\nHigher k buys bandwidth and resilience at higher total "
+               "cost; the delay budget keeps every configuration within "
+               "4/3 of the tightest achievable total delay.\n";
+  return 0;
+}

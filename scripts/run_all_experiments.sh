@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Rebuilds the project and regenerates every experiment table from
+# DESIGN.md §4 (F1-F2, E1-E9) plus the microbenchmarks, teeing the raw
+# output next to this script's repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "================================================================"
+    echo "== $(basename "$b")"
+    echo "================================================================"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,140 @@
+#include "baselines/bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "flow/decompose.h"
+#include "flow/disjoint.h"
+#include "lp/simplex.h"
+
+namespace krsp::baselines {
+
+namespace {
+
+constexpr double kIntegral = 1e-6;
+
+enum class Fix : std::uint8_t { kFree, kZero, kOne };
+
+struct Node {
+  std::vector<Fix> fix;  // per edge
+};
+
+// Solve the arc-flow relaxation under the node's fixings.
+lp::LpSolution solve_relaxation(const core::Instance& inst,
+                                const std::vector<Fix>& fix) {
+  lp::LpModel model;
+  for (graph::EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const auto& edge = inst.graph.edge(e);
+    const double ub = fix[e] == Fix::kZero ? 0.0 : 1.0;
+    model.add_variable(static_cast<double>(edge.cost), 0.0, ub);
+  }
+  for (graph::VertexId v = 0; v < inst.graph.num_vertices(); ++v) {
+    std::vector<lp::LinearTerm> terms;
+    for (const graph::EdgeId e : inst.graph.out_edges(v))
+      terms.push_back({e, 1.0});
+    for (const graph::EdgeId e : inst.graph.in_edges(v))
+      terms.push_back({e, -1.0});
+    const double rhs =
+        v == inst.s ? inst.k : (v == inst.t ? -inst.k : 0.0);
+    model.add_constraint(std::move(terms), lp::Relation::kEq, rhs);
+  }
+  std::vector<lp::LinearTerm> delay_terms;
+  for (graph::EdgeId e = 0; e < inst.graph.num_edges(); ++e)
+    if (inst.graph.edge(e).delay != 0)
+      delay_terms.push_back(
+          {e, static_cast<double>(inst.graph.edge(e).delay)});
+  model.add_constraint(std::move(delay_terms), lp::Relation::kLessEq,
+                       static_cast<double>(inst.delay_bound));
+  for (graph::EdgeId e = 0; e < inst.graph.num_edges(); ++e)
+    if (fix[e] == Fix::kOne)
+      model.add_constraint({{e, 1.0}}, lp::Relation::kGreaterEq, 1.0);
+  return lp::SimplexSolver().solve(model);
+}
+
+}  // namespace
+
+std::optional<BnbResult> branch_and_bound_krsp(const core::Instance& inst,
+                                               const BnbOptions& options) {
+  inst.validate();
+  const int m = inst.graph.num_edges();
+
+  // Incumbent: the min-delay k-flow if it meets the bound (else infeasible
+  // right away — the LP would agree, this is just cheaper).
+  std::optional<BnbResult> best;
+  {
+    const auto seed = flow::min_weight_disjoint_paths(
+        inst.graph, inst.s, inst.t, inst.k, 1, inst.graph.total_cost() + 1);
+    if (!seed || seed->total_delay > inst.delay_bound) return std::nullopt;
+    BnbResult r;
+    r.paths = core::PathSet(seed->paths);
+    r.cost = seed->total_cost;
+    r.delay = seed->total_delay;
+    best = std::move(r);
+  }
+
+  std::vector<Node> stack;
+  stack.push_back(Node{std::vector<Fix>(m, Fix::kFree)});
+  std::int64_t nodes = 0;
+
+  while (!stack.empty()) {
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++nodes;
+    KRSP_CHECK_MSG(nodes <= options.max_nodes,
+                   "branch and bound node budget exceeded");
+
+    const auto relaxation = solve_relaxation(inst, node.fix);
+    if (relaxation.status != lp::LpStatus::kOptimal) continue;  // infeasible
+    // Integer costs: the LP bound rounds up.
+    const auto bound = static_cast<graph::Cost>(
+        std::ceil(relaxation.objective - 1e-7));
+    if (best && bound >= best->cost) continue;
+
+    // Most fractional variable.
+    graph::EdgeId branch_edge = graph::kInvalidEdge;
+    double best_frac = kIntegral;
+    for (graph::EdgeId e = 0; e < m; ++e) {
+      const double frac = std::min(relaxation.x[e], 1.0 - relaxation.x[e]);
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_edge = e;
+      }
+    }
+
+    if (branch_edge == graph::kInvalidEdge) {
+      // Integral: harvest the flow.
+      std::vector<graph::EdgeId> edges;
+      for (graph::EdgeId e = 0; e < m; ++e)
+        if (relaxation.x[e] > 0.5) edges.push_back(e);
+      auto decomposition =
+          flow::decompose_unit_flow(inst.graph, edges, inst.s, inst.t,
+                                    inst.k);
+      core::PathSet paths(std::move(decomposition.paths));
+      const graph::Cost cost = paths.total_cost(inst.graph);
+      const graph::Delay delay = paths.total_delay(inst.graph);
+      KRSP_CHECK(delay <= inst.delay_bound);
+      if (!best || cost < best->cost) {
+        BnbResult r;
+        r.paths = std::move(paths);
+        r.cost = cost;
+        r.delay = delay;
+        best = std::move(r);
+      }
+      continue;
+    }
+
+    // Branch. Explore the x = 1 child first (tends to find incumbents).
+    Node zero = node;
+    zero.fix[branch_edge] = Fix::kZero;
+    Node one = std::move(node);
+    one.fix[branch_edge] = Fix::kOne;
+    stack.push_back(std::move(zero));
+    stack.push_back(std::move(one));
+  }
+
+  if (best) best->nodes_explored = nodes;
+  return best;
+}
+
+}  // namespace krsp::baselines

@@ -1,0 +1,35 @@
+// Exact kRSP by LP-based branch and bound.
+//
+// Relaxation: the arc-flow LP (min Σc·x, flow conservation of value k,
+// 0 <= x <= 1, Σd·x <= D) solved with the library's simplex; branching on a
+// fractional arc (x_e = 0 / x_e = 1). The flow polytope plus one side
+// constraint has almost-integral vertices, so trees stay small and this
+// reaches instances (n ~ 14-18) the path-enumeration brute force cannot.
+// Second exact oracle — property tests cross-check the two.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+
+namespace krsp::baselines {
+
+struct BnbOptions {
+  /// Hard node budget; KRSP_CHECKed (exactness must not silently degrade).
+  std::int64_t max_nodes = 200000;
+};
+
+struct BnbResult {
+  core::PathSet paths;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+  std::int64_t nodes_explored = 0;
+};
+
+/// Exact minimum-cost k disjoint paths with total delay <= D, or nullopt
+/// if infeasible.
+std::optional<BnbResult> branch_and_bound_krsp(const core::Instance& inst,
+                                               const BnbOptions& options = {});
+
+}  // namespace krsp::baselines

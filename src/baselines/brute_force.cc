@@ -1,0 +1,170 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace krsp::baselines {
+
+namespace {
+
+struct EnumeratedPath {
+  std::vector<graph::EdgeId> edges;
+  std::vector<std::uint64_t> mask;  // edge bitmask
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+};
+
+bool masks_overlap(const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if ((a[i] & b[i]) != 0) return true;
+  return false;
+}
+
+// All simple s→t paths by DFS.
+std::vector<EnumeratedPath> enumerate_paths(const core::Instance& inst,
+                                            std::int64_t max_paths) {
+  const auto& g = inst.graph;
+  const std::size_t words = (g.num_edges() + 63) / 64;
+  std::vector<EnumeratedPath> out;
+  std::vector<graph::EdgeId> stack;
+  std::vector<bool> on_path(g.num_vertices(), false);
+
+  const std::function<void(graph::VertexId)> dfs = [&](graph::VertexId v) {
+    if (v == inst.t) {
+      EnumeratedPath p;
+      p.edges = stack;
+      p.mask.assign(words, 0);
+      for (const graph::EdgeId e : stack) {
+        p.mask[e / 64] |= std::uint64_t{1} << (e % 64);
+        p.cost += g.edge(e).cost;
+        p.delay += g.edge(e).delay;
+      }
+      out.push_back(std::move(p));
+      KRSP_CHECK_MSG(static_cast<std::int64_t>(out.size()) <= max_paths,
+                     "brute force: path enumeration budget exceeded");
+      return;
+    }
+    on_path[v] = true;
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      const graph::VertexId w = g.edge(e).to;
+      if (on_path[w]) continue;
+      stack.push_back(e);
+      dfs(w);
+      stack.pop_back();
+    }
+    on_path[v] = false;
+  };
+  dfs(inst.s);
+  return out;
+}
+
+struct SearchState {
+  const core::Instance& inst;
+  const std::vector<EnumeratedPath>& paths;
+  graph::Cost min_path_cost = 0;
+  graph::Delay min_path_delay = 0;
+
+  graph::Cost best_cost = 0;
+  bool have_best = false;
+  std::vector<int> best_pick;
+
+  std::vector<int> pick;
+  std::vector<std::uint64_t> used;
+
+  // Minimize cost subject to delay <= D (mode_min_delay = false), or
+  // minimize delay outright (mode_min_delay = true, "cost" is delay).
+  bool mode_min_delay = false;
+
+  void search(std::size_t from, graph::Cost cost, graph::Delay delay) {
+    const int chosen = static_cast<int>(pick.size());
+    if (chosen == inst.k) {
+      const graph::Cost objective = mode_min_delay ? delay : cost;
+      if (!mode_min_delay && delay > inst.delay_bound) return;
+      if (!have_best || objective < best_cost) {
+        have_best = true;
+        best_cost = objective;
+        best_pick = pick;
+      }
+      return;
+    }
+    const int remaining = inst.k - chosen;
+    for (std::size_t i = from; i < paths.size(); ++i) {
+      const auto& p = paths[i];
+      const graph::Cost c2 = cost + p.cost;
+      const graph::Delay d2 = delay + p.delay;
+      // Bounds: optimistic completion with the globally cheapest path.
+      if (!mode_min_delay) {
+        if (d2 + static_cast<graph::Delay>(remaining - 1) * min_path_delay >
+            inst.delay_bound)
+          continue;
+        if (have_best &&
+            c2 + static_cast<graph::Cost>(remaining - 1) * min_path_cost >=
+                best_cost)
+          continue;
+      } else if (have_best &&
+                 d2 + static_cast<graph::Delay>(remaining - 1) *
+                          min_path_delay >=
+                     best_cost) {
+        continue;
+      }
+      if (masks_overlap(used, p.mask)) continue;
+      for (std::size_t w = 0; w < used.size(); ++w) used[w] |= p.mask[w];
+      pick.push_back(static_cast<int>(i));
+      search(i + 1, c2, d2);
+      pick.pop_back();
+      for (std::size_t w = 0; w < used.size(); ++w) used[w] &= ~p.mask[w];
+    }
+  }
+};
+
+std::optional<std::vector<int>> run_search(const core::Instance& inst,
+                                           const std::vector<EnumeratedPath>&
+                                               paths,
+                                           bool mode_min_delay) {
+  if (static_cast<int>(paths.size()) < inst.k) return std::nullopt;
+  SearchState st{inst, paths, 0, 0, 0, false, {}, {}, {}, false};
+  st.mode_min_delay = mode_min_delay;
+  st.min_path_cost = paths.front().cost;
+  st.min_path_delay = paths.front().delay;
+  for (const auto& p : paths) {
+    st.min_path_cost = std::min(st.min_path_cost, p.cost);
+    st.min_path_delay = std::min(st.min_path_delay, p.delay);
+  }
+  st.used.assign(paths.front().mask.size(), 0);
+  st.search(0, 0, 0);
+  if (!st.have_best) return std::nullopt;
+  return st.best_pick;
+}
+
+}  // namespace
+
+std::optional<BruteForceResult> brute_force_krsp(
+    const core::Instance& inst, const BruteForceOptions& options) {
+  inst.validate();
+  const auto paths = enumerate_paths(inst, options.max_paths);
+  if (paths.empty()) return std::nullopt;
+  const auto pick = run_search(inst, paths, /*mode_min_delay=*/false);
+  if (!pick) return std::nullopt;
+  BruteForceResult r;
+  std::vector<std::vector<graph::EdgeId>> chosen;
+  for (const int i : *pick) chosen.push_back(paths[i].edges);
+  r.paths = core::PathSet(std::move(chosen));
+  r.cost = r.paths.total_cost(inst.graph);
+  r.delay = r.paths.total_delay(inst.graph);
+  return r;
+}
+
+std::optional<graph::Delay> brute_force_min_delay(
+    const core::Instance& inst, const BruteForceOptions& options) {
+  inst.validate();
+  const auto paths = enumerate_paths(inst, options.max_paths);
+  if (paths.empty()) return std::nullopt;
+  const auto pick = run_search(inst, paths, /*mode_min_delay=*/true);
+  if (!pick) return std::nullopt;
+  graph::Delay total = 0;
+  for (const int i : *pick) total += paths[i].delay;
+  return total;
+}
+
+}  // namespace krsp::baselines

@@ -1,0 +1,38 @@
+// Exact kRSP by exhaustive search — the test/benchmark oracle.
+//
+// Enumerates all simple s→t paths, then searches over k-subsets of pairwise
+// edge-disjoint paths with branch-and-bound pruning on cost and delay.
+// Exponential; intended for instances with at most a few thousand simple
+// paths (n <~ 12 random graphs). KRSP_CHECKs an enumeration budget rather
+// than silently degrading.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+
+namespace krsp::baselines {
+
+struct BruteForceResult {
+  core::PathSet paths;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+};
+
+struct BruteForceOptions {
+  /// Abort (KRSP_CHECK) if the instance has more simple s→t paths than this.
+  std::int64_t max_paths = 2'000'000;
+};
+
+/// Minimum-cost k disjoint paths with total delay <= D, or nullopt if the
+/// instance is infeasible. Exact.
+std::optional<BruteForceResult> brute_force_krsp(
+    const core::Instance& inst, const BruteForceOptions& options = {});
+
+/// Exact minimum total delay over k disjoint path systems (ignoring cost),
+/// by the same enumeration. nullopt if fewer than k disjoint paths exist.
+std::optional<graph::Delay> brute_force_min_delay(
+    const core::Instance& inst, const BruteForceOptions& options = {});
+
+}  // namespace krsp::baselines

@@ -1,0 +1,42 @@
+#include "baselines/flow_only.h"
+
+#include "flow/disjoint.h"
+#include "util/timer.h"
+
+namespace krsp::baselines {
+
+namespace {
+
+core::Solution flow_baseline(const core::Instance& inst, std::int64_t w_cost,
+                             std::int64_t w_delay) {
+  inst.validate();
+  const util::WallTimer timer;
+  core::Solution s;
+  auto f = flow::min_weight_disjoint_paths(inst.graph, inst.s, inst.t, inst.k,
+                                           w_cost, w_delay);
+  if (!f) {
+    s.status = core::SolveStatus::kNoKDisjointPaths;
+  } else {
+    s.paths = core::PathSet(std::move(f->paths));
+    s.cost = s.paths.total_cost(inst.graph);
+    s.delay = s.paths.total_delay(inst.graph);
+    s.status = s.delay <= inst.delay_bound
+                   ? core::SolveStatus::kApprox
+                   : core::SolveStatus::kApproxDelayOver;
+  }
+  s.telemetry.wall_seconds = timer.seconds();
+  return s;
+}
+
+}  // namespace
+
+core::Solution min_cost_flow_baseline(const core::Instance& inst) {
+  // Lexicographic: cost first, delay as tie-break.
+  return flow_baseline(inst, inst.graph.total_delay() + 1, 1);
+}
+
+core::Solution min_delay_flow_baseline(const core::Instance& inst) {
+  return flow_baseline(inst, 1, inst.graph.total_cost() + 1);
+}
+
+}  // namespace krsp::baselines

@@ -1,0 +1,17 @@
+// Single-criterion flow baselines: the two extremes the paper's algorithm
+// interpolates between.
+//
+//   min_cost_flow_baseline  — Suurballe/min-cost k disjoint paths, delay
+//                             ignored (optimal cost, unbounded delay).
+//   min_delay_flow_baseline — min-delay k disjoint paths, cost ignored
+//                             (settles feasibility exactly, cost unbounded).
+#pragma once
+
+#include "core/solver.h"
+
+namespace krsp::baselines {
+
+core::Solution min_cost_flow_baseline(const core::Instance& inst);
+core::Solution min_delay_flow_baseline(const core::Instance& inst);
+
+}  // namespace krsp::baselines

@@ -1,0 +1,14 @@
+// LARAC-k: the Lagrangian-relaxation heuristic generalized to k disjoint
+// paths — returns the *feasible* flow F_hi at the breakpoint multiplier λ*.
+// Always meets the delay bound when the instance is feasible, with no cost
+// guarantee (the gap to C_OPT is what bench_compare measures against the
+// bicameral algorithm).
+#pragma once
+
+#include "core/solver.h"
+
+namespace krsp::baselines {
+
+core::Solution larac_k(const core::Instance& inst);
+
+}  // namespace krsp::baselines

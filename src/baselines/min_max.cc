@@ -1,0 +1,108 @@
+#include "baselines/min_max.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "flow/disjoint.h"
+
+namespace krsp::baselines {
+
+namespace {
+
+MinMaxResult make_result(const graph::Digraph& g,
+                         std::vector<std::vector<graph::EdgeId>> paths,
+                         const paths::EdgeWeight& w) {
+  MinMaxResult r;
+  for (const auto& p : paths) {
+    std::int64_t len = 0;
+    for (const graph::EdgeId e : p) len += w(g.edge(e));
+    r.longest = std::max(r.longest, len);
+    r.total += len;
+  }
+  r.paths = core::PathSet(std::move(paths));
+  return r;
+}
+
+}  // namespace
+
+std::optional<MinMaxResult> min_max_via_min_sum(const graph::Digraph& g,
+                                                graph::VertexId s,
+                                                graph::VertexId t, int k,
+                                                const paths::EdgeWeight& w) {
+  auto f = flow::min_weight_disjoint_paths(g, s, t, k, w.cost_mult,
+                                           w.delay_mult);
+  if (!f) return std::nullopt;
+  return make_result(g, std::move(f->paths), w);
+}
+
+std::optional<MinMaxResult> min_max_exact(const graph::Digraph& g,
+                                          graph::VertexId s,
+                                          graph::VertexId t, int k,
+                                          const paths::EdgeWeight& w,
+                                          std::int64_t max_paths) {
+  // Enumerate simple paths, then search k-subsets minimizing the max
+  // weight, pruning on the current best.
+  struct P {
+    std::vector<graph::EdgeId> edges;
+    std::int64_t weight;
+  };
+  std::vector<P> all;
+  std::vector<bool> on(g.num_vertices(), false);
+  std::vector<graph::EdgeId> stack;
+  const std::function<void(graph::VertexId, std::int64_t)> dfs =
+      [&](graph::VertexId v, std::int64_t weight) {
+        if (v == t) {
+          all.push_back({stack, weight});
+          KRSP_CHECK_MSG(static_cast<std::int64_t>(all.size()) <= max_paths,
+                         "min_max_exact: enumeration budget exceeded");
+          return;
+        }
+        on[v] = true;
+        for (const graph::EdgeId e : g.out_edges(v))
+          if (!on[g.edge(e).to]) {
+            stack.push_back(e);
+            dfs(g.edge(e).to, weight + w(g.edge(e)));
+            stack.pop_back();
+          }
+        on[v] = false;
+      };
+  dfs(s, 0);
+  if (static_cast<int>(all.size()) < k) return std::nullopt;
+  // Sort by weight: once a path exceeds the incumbent max, all later ones do.
+  std::sort(all.begin(), all.end(),
+            [](const P& a, const P& b) { return a.weight < b.weight; });
+
+  std::optional<std::vector<int>> best_pick;
+  std::int64_t best_max = 0;
+  std::vector<int> pick;
+  std::vector<bool> used_edge(g.num_edges(), false);
+  const std::function<void(std::size_t)> search = [&](std::size_t from) {
+    if (static_cast<int>(pick.size()) == k) {
+      const std::int64_t current_max = all[pick.back()].weight;  // sorted
+      if (!best_pick || current_max < best_max) {
+        best_pick = pick;
+        best_max = current_max;
+      }
+      return;
+    }
+    for (std::size_t i = from; i < all.size(); ++i) {
+      if (best_pick && all[i].weight >= best_max) return;  // sorted prune
+      bool clash = false;
+      for (const graph::EdgeId e : all[i].edges)
+        if (used_edge[e]) clash = true;
+      if (clash) continue;
+      for (const graph::EdgeId e : all[i].edges) used_edge[e] = true;
+      pick.push_back(static_cast<int>(i));
+      search(i + 1);
+      pick.pop_back();
+      for (const graph::EdgeId e : all[i].edges) used_edge[e] = false;
+    }
+  };
+  search(0);
+  if (!best_pick) return std::nullopt;
+  std::vector<std::vector<graph::EdgeId>> chosen;
+  for (const int i : *best_pick) chosen.push_back(all[i].edges);
+  return make_result(g, std::move(chosen), w);
+}
+
+}  // namespace krsp::baselines

@@ -1,0 +1,39 @@
+// The Min-Max disjoint-paths problem (§1.2 of the paper, [16, 20, 21]):
+// k edge-disjoint s→t paths minimizing the length of the *longest* path
+// under a single weight. NP-complete; [16] shows the min-sum solution is a
+// factor-2 approximation (and that 2 is best possible in digraphs) — this
+// module implements exactly that classical reduction, plus an exact
+// enumeration oracle for tests.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+#include "paths/dijkstra.h"
+
+namespace krsp::baselines {
+
+struct MinMaxResult {
+  core::PathSet paths;
+  std::int64_t longest = 0;  // max single-path weight
+  std::int64_t total = 0;    // sum of path weights
+};
+
+/// 2-approximation via the min-sum disjoint paths ([20]'s polynomial
+/// problem): longest path <= 2 * OPT_minmax. nullopt if fewer than k
+/// disjoint paths exist.
+std::optional<MinMaxResult> min_max_via_min_sum(const graph::Digraph& g,
+                                                graph::VertexId s,
+                                                graph::VertexId t, int k,
+                                                const paths::EdgeWeight& w);
+
+/// Exact min-max by exhaustive search over disjoint path tuples (tiny
+/// instances; test oracle). Enumeration budget KRSP_CHECKed.
+std::optional<MinMaxResult> min_max_exact(const graph::Digraph& g,
+                                          graph::VertexId s,
+                                          graph::VertexId t, int k,
+                                          const paths::EdgeWeight& w,
+                                          std::int64_t max_paths = 200000);
+
+}  // namespace krsp::baselines

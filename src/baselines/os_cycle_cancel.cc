@@ -1,0 +1,113 @@
+#include "baselines/os_cycle_cancel.h"
+
+#include <optional>
+
+#include "core/residual.h"
+#include "flow/decompose.h"
+#include "flow/disjoint.h"
+#include "paths/bellman_ford.h"
+#include "util/timer.h"
+
+namespace krsp::baselines {
+
+namespace {
+
+// Search graph: residual topology with reversed-edge costs zeroed (costs
+// non-negative), delays kept signed. Edge ids align with the residual's.
+graph::Digraph make_search_graph(const core::ResidualGraph& residual) {
+  const auto& rg = residual.digraph();
+  graph::Digraph sg(rg.num_vertices());
+  for (graph::EdgeId e = 0; e < rg.num_edges(); ++e) {
+    const auto& edge = rg.edge(e);
+    sg.add_edge(edge.from, edge.to, residual.is_reversed(e) ? 0 : edge.cost,
+                edge.delay);
+  }
+  return sg;
+}
+
+// Approximately minimum cost/(-delay) negative-delay cycle via bisection on
+// ρ: a negative cycle under weight cost + ρ·delay certifies ratio < ρ.
+std::optional<std::vector<graph::EdgeId>> min_ratio_negative_delay_cycle(
+    const graph::Digraph& sg, int bisection_steps) {
+  graph::Cost cost_sum = 1;
+  for (const auto& e : sg.edges()) cost_sum += e.cost;
+
+  const auto test = [&](std::int64_t q, std::int64_t p)
+      -> std::optional<std::vector<graph::EdgeId>> {
+    // Weight q·cost + p·delay < 0 on some cycle?
+    const auto r = paths::bellman_ford_all_sources(
+        sg, paths::EdgeWeight::combined(q, p));
+    return r.negative_cycle;
+  };
+
+  // ρ_hi = cost_sum certainly admits any negative-delay cycle.
+  auto best = test(1, cost_sum);
+  if (!best) return std::nullopt;
+  double lo = 0.0, hi = static_cast<double>(cost_sum);
+  for (int i = 0; i < bisection_steps && hi - lo > 1e-9 * (hi + 1); ++i) {
+    const double mid = (lo + hi) / 2.0;
+    // Rational-ize mid with a fixed denominator to keep weights integral.
+    const std::int64_t den = 1 << 20;
+    const auto num = static_cast<std::int64_t>(mid * den);
+    if (num <= 0) break;
+    if (auto cycle = test(den, num)) {
+      best = std::move(cycle);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+core::Solution os_cycle_cancel(const core::Instance& inst,
+                               const OsOptions& options) {
+  inst.validate();
+  const util::WallTimer timer;
+  core::Solution s;
+
+  auto start = flow::min_weight_disjoint_paths(
+      inst.graph, inst.s, inst.t, inst.k, inst.graph.total_delay() + 1, 1);
+  if (!start) {
+    s.status = core::SolveStatus::kNoKDisjointPaths;
+    s.telemetry.wall_seconds = timer.seconds();
+    return s;
+  }
+  core::PathSet current(std::move(start->paths));
+  graph::Delay delay = current.total_delay(inst.graph);
+
+  std::int64_t iterations = 0;
+  while (delay > inst.delay_bound) {
+    if (iterations++ >= options.max_iterations) {
+      s.status = core::SolveStatus::kFailed;
+      s.telemetry.wall_seconds = timer.seconds();
+      return s;
+    }
+    const core::ResidualGraph residual(inst.graph, current.all_edges());
+    const auto sg = make_search_graph(residual);
+    const auto cycle =
+        min_ratio_negative_delay_cycle(sg, options.ratio_bisection_steps);
+    if (!cycle) {
+      s.status = core::SolveStatus::kInfeasible;
+      s.telemetry.wall_seconds = timer.seconds();
+      return s;
+    }
+    const auto new_edges = residual.apply_cycle(*cycle);
+    auto decomposition = flow::decompose_unit_flow(inst.graph, new_edges,
+                                                   inst.s, inst.t, inst.k);
+    current = core::PathSet(std::move(decomposition.paths));
+    delay = current.total_delay(inst.graph);
+  }
+
+  s.status = core::SolveStatus::kApprox;
+  s.paths = std::move(current);
+  s.cost = s.paths.total_cost(inst.graph);
+  s.delay = s.paths.total_delay(inst.graph);
+  s.telemetry.cancel.iterations = iterations;
+  s.telemetry.wall_seconds = timer.seconds();
+  return s;
+}
+
+}  // namespace krsp::baselines

@@ -1,0 +1,26 @@
+// Orda–Sprintson-style cycle cancellation ([18] in the paper): the prior
+// state of the art the bicameral algorithm is compared against.
+//
+// Differences from the paper's algorithm, faithful to [18]'s framework:
+//  * the residual graph zeroes the cost of reversed edges (so search costs
+//    are non-negative) instead of negating them;
+//  * each iteration cancels the (approximately) minimum cost-per-delay-
+//    reduction cycle, found by Lawler binary search over ρ with
+//    Bellman–Ford negative-cycle tests on weight cost' + ρ·delay;
+//  * no cost cap — the mechanism behind its weaker (1 + 1/r, 1 + r)-flavor
+//    guarantee, and the contrast bench_fig1/bench_compare quantify.
+#pragma once
+
+#include "core/solver.h"
+
+namespace krsp::baselines {
+
+struct OsOptions {
+  std::int64_t max_iterations = 10000;
+  int ratio_bisection_steps = 80;
+};
+
+core::Solution os_cycle_cancel(const core::Instance& inst,
+                               const OsOptions& options = {});
+
+}  // namespace krsp::baselines

@@ -1,0 +1,14 @@
+// Ablation: Algorithm 1 *without* the bicameral cost cap — greedy
+// best-ratio cycle cancellation. Section 3.1 / Figure 1 of the paper show
+// this degrades the cost guarantee from (1, 2) to (1+α, 1+1/α): on the
+// Figure-1 gadget it returns cost C_OPT·(D+1)−1. bench_fig1 reproduces
+// exactly that.
+#pragma once
+
+#include "core/solver.h"
+
+namespace krsp::baselines {
+
+core::Solution unsafe_cycle_cancel(const core::Instance& inst);
+
+}  // namespace krsp::baselines

@@ -1,0 +1,67 @@
+#include "core/aux_graph.h"
+
+namespace krsp::core {
+
+AuxiliaryGraph::AuxiliaryGraph(const graph::Digraph& base,
+                               graph::VertexId anchor, graph::Cost budget,
+                               bool positive)
+    : base_(base), anchor_(anchor), budget_(budget), positive_(positive) {
+  KRSP_CHECK(base.is_vertex(anchor));
+  KRSP_CHECK(budget >= 0);
+  const int n = base.num_vertices();
+  const auto layers = budget + 1;
+  h_.resize(static_cast<int>(n * layers));
+
+  // Step 2 of Algorithm 2 (both signs uniformly): u^l -> w^(l + c) whenever
+  // both layers are in range. H-edges inherit the base edge's cost and
+  // delay so cycle measures can be read off H directly.
+  for (graph::EdgeId e = 0; e < base.num_edges(); ++e) {
+    const auto& edge = base.edge(e);
+    for (graph::Cost l = 0; l <= budget; ++l) {
+      const graph::Cost l2 = l + edge.cost;
+      if (l2 < 0 || l2 > budget) continue;
+      h_.add_edge(vertex_of(edge.from, l), vertex_of(edge.to, l2), edge.cost,
+                  edge.delay);
+      base_edge_.push_back(e);
+    }
+  }
+  // Step 3: anchor closing arcs back to the start layer, zero delay. Their
+  // cost restores the layer balance so an H-cycle's cost equals zero plus
+  // the certified base-cycle cost is the layer distance; we store cost 0 and
+  // let project_cycle() recover true costs from base edges.
+  const graph::Cost start = positive ? 0 : budget;
+  for (graph::Cost l = 0; l <= budget; ++l) {
+    if (l == start) continue;
+    h_.add_edge(vertex_of(anchor, l), vertex_of(anchor, start), 0, 0);
+    base_edge_.push_back(graph::kInvalidEdge);
+  }
+}
+
+graph::VertexId AuxiliaryGraph::vertex_of(graph::VertexId base_vertex,
+                                          graph::Cost layer) const {
+  KRSP_DCHECK(base_.is_vertex(base_vertex));
+  KRSP_DCHECK(layer >= 0 && layer <= budget_);
+  return static_cast<graph::VertexId>(base_vertex * (budget_ + 1) + layer);
+}
+
+graph::VertexId AuxiliaryGraph::base_vertex_of(graph::VertexId hv) const {
+  KRSP_DCHECK(h_.is_vertex(hv));
+  return static_cast<graph::VertexId>(hv / (budget_ + 1));
+}
+
+graph::Cost AuxiliaryGraph::layer_of(graph::VertexId hv) const {
+  KRSP_DCHECK(h_.is_vertex(hv));
+  return hv % (budget_ + 1);
+}
+
+std::vector<graph::EdgeId> AuxiliaryGraph::project_cycle(
+    std::span<const graph::EdgeId> h_cycle) const {
+  std::vector<graph::EdgeId> walk;
+  for (const graph::EdgeId he : h_cycle) {
+    const graph::EdgeId be = base_edge_of(he);
+    if (be != graph::kInvalidEdge) walk.push_back(be);
+  }
+  return walk;
+}
+
+}  // namespace krsp::core

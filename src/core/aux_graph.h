@@ -1,0 +1,66 @@
+// Explicit construction of the auxiliary layered graphs H_v^+(B) and
+// H_v^-(B) of Algorithm 2 (illustrated by Figure 2 of the paper).
+//
+// Layer ℓ of vertex u represents "accumulated residual cost ℓ relative to
+// the anchor's start layer". In H_v^+(B) the anchor starts at layer 0 and
+// closing arcs v^ℓ → v^0 certify a cycle of total cost ℓ ∈ [0, B]; in
+// H_v^-(B) the anchor starts at layer B and closing arcs v^ℓ → v^B certify
+// total cost ℓ − B ∈ [-B, 0]. Every residual edge e = (u, w) with cost c
+// induces arcs u^ℓ → w^(ℓ+c) for all ℓ keeping both endpoints in [0, B];
+// this uniformly covers the paper's c(e) >= 0 and c(e) < 0 cases.
+//
+// This explicit form exists for the LP-(6) reference finder and for unit
+// tests (including the Figure-2 example); the production bicameral search
+// (core/bicameral.h) walks the same graph implicitly without materializing
+// it.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::core {
+
+class AuxiliaryGraph {
+ public:
+  /// Builds H_anchor^+(budget) (positive = true) or H_anchor^-(budget)
+  /// over an arbitrary signed-weight digraph (typically a residual graph).
+  AuxiliaryGraph(const graph::Digraph& base, graph::VertexId anchor,
+                 graph::Cost budget, bool positive);
+
+  [[nodiscard]] const graph::Digraph& digraph() const { return h_; }
+  [[nodiscard]] graph::Cost budget() const { return budget_; }
+  [[nodiscard]] bool positive() const { return positive_; }
+  [[nodiscard]] graph::VertexId anchor() const { return anchor_; }
+  [[nodiscard]] graph::VertexId start_vertex() const {
+    return vertex_of(anchor_, positive_ ? 0 : budget_);
+  }
+
+  /// H-vertex for (base vertex, layer).
+  [[nodiscard]] graph::VertexId vertex_of(graph::VertexId base_vertex,
+                                          graph::Cost layer) const;
+  /// Base vertex / layer of an H-vertex.
+  [[nodiscard]] graph::VertexId base_vertex_of(graph::VertexId hv) const;
+  [[nodiscard]] graph::Cost layer_of(graph::VertexId hv) const;
+
+  /// Base edge behind an H-edge, or kInvalidEdge for anchor closing arcs.
+  [[nodiscard]] graph::EdgeId base_edge_of(graph::EdgeId he) const {
+    return base_edge_[he];
+  }
+
+  /// Projects a cycle of H (sequence of H-edge ids) to the base graph:
+  /// closing arcs are dropped, the rest map to their base edges. The result
+  /// is a closed walk in the base graph (Lemma 15).
+  [[nodiscard]] std::vector<graph::EdgeId> project_cycle(
+      std::span<const graph::EdgeId> h_cycle) const;
+
+ private:
+  const graph::Digraph& base_;
+  graph::VertexId anchor_;
+  graph::Cost budget_;
+  bool positive_;
+  graph::Digraph h_;
+  std::vector<graph::EdgeId> base_edge_;
+};
+
+}  // namespace krsp::core

@@ -1,0 +1,294 @@
+#include "core/bicameral.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "graph/csr.h"
+#include "graph/cycles.h"
+
+namespace krsp::core {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+// Flattened (vertex, layer) product state.
+struct StateSpace {
+  int n = 0;
+  graph::Cost budget = 0;
+
+  [[nodiscard]] int num_states() const {
+    return static_cast<int>(n * (budget + 1));
+  }
+  [[nodiscard]] int state(graph::VertexId v, graph::Cost layer) const {
+    return static_cast<int>(v * (budget + 1) + layer);
+  }
+};
+
+// Per-anchor scratch: the j-edges Bellman–Ford tables over the product
+// states, reused across anchors within one thread.
+struct Scratch {
+  std::vector<std::vector<std::int64_t>> dist;
+  std::vector<std::vector<int>> parent_state;
+  std::vector<std::vector<graph::EdgeId>> parent_edge;
+
+  void resize(int rounds, int num_states) {
+    dist.assign(rounds + 1, std::vector<std::int64_t>(num_states, kInf));
+    parent_state.assign(rounds + 1, std::vector<int>(num_states, -1));
+    parent_edge.assign(
+        rounds + 1, std::vector<graph::EdgeId>(num_states, graph::kInvalidEdge));
+  }
+
+  void reset() {
+    for (auto& row : dist) std::fill(row.begin(), row.end(), kInf);
+  }
+};
+
+struct AnchorStats {
+  std::int64_t walks = 0;
+  std::int64_t cycles = 0;
+};
+
+// Candidate tracker with deterministic preference: type-0 wins outright,
+// then best (most useful) ratio per type. Merging trackers in a fixed
+// order keeps the parallel scan's result identical to the serial one.
+struct Tracker {
+  std::optional<FoundCycle> type0;
+  std::optional<FoundCycle> t1;
+  util::Rational t1_ratio{0};
+  std::optional<FoundCycle> t2;
+  util::Rational t2_ratio{0};
+
+  void consider(FoundCycle found) {
+    switch (found.type) {
+      case CycleType::kType0:
+        if (!type0) type0 = std::move(found);
+        break;
+      case CycleType::kType1: {
+        const util::Rational r(found.delay, found.cost);
+        if (!t1 || r < t1_ratio) {
+          t1_ratio = r;
+          t1 = std::move(found);
+        }
+        break;
+      }
+      case CycleType::kType2: {
+        const util::Rational r(found.delay, found.cost);
+        if (!t2 || r > t2_ratio) {
+          t2_ratio = r;
+          t2 = std::move(found);
+        }
+        break;
+      }
+    }
+  }
+
+  void merge(Tracker&& other) {
+    if (other.type0 && !type0) type0 = std::move(other.type0);
+    if (other.t1) {
+      if (!t1 || other.t1_ratio < t1_ratio) {
+        t1 = std::move(other.t1);
+        t1_ratio = other.t1_ratio;
+      }
+    }
+    if (other.t2) {
+      if (!t2 || other.t2_ratio > t2_ratio) {
+        t2 = std::move(other.t2);
+        t2_ratio = other.t2_ratio;
+      }
+    }
+  }
+};
+
+// Runs the anchored layered Bellman–Ford for one (anchor, sign) pair and
+// feeds decomposed candidate cycles into the tracker. Candidates are
+// harvested after every round; when `stop_on_first` is set (the capped
+// algorithm — any qualifying cycle suffices for Lemma 12) the DP stops as
+// soon as this anchor has produced one, which keeps the common short-cycle
+// case far below the worst-case n rounds. The per-anchor decision never
+// depends on other anchors, so the parallel scan stays deterministic.
+void scan_anchor(const ResidualGraph& residual, const graph::CsrView& csr,
+                 const StateSpace& ss, graph::VertexId anchor,
+                 graph::Cost start_layer, int rounds,
+                 const BicameralQuery& query, bool stop_on_first,
+                 Scratch& scratch, Tracker& tracker, AnchorStats& stats) {
+  const graph::Digraph& rg = residual.digraph();
+  const int n = rg.num_vertices();
+  scratch.reset();
+  const int start = ss.state(anchor, start_layer);
+  scratch.dist[0][start] = 0;
+
+  // Best walk delay seen per anchor layer (so each improvement is
+  // reconstructed at most once).
+  std::vector<std::int64_t> best_seen(ss.budget + 1, kInf);
+
+  const auto harvest = [&](int j, graph::Cost l) {
+    ++stats.walks;
+    std::vector<graph::EdgeId> walk;
+    int state = ss.state(anchor, l);
+    for (int step = j; step > 0; --step) {
+      const graph::EdgeId e = scratch.parent_edge[step][state];
+      KRSP_CHECK(e != graph::kInvalidEdge);
+      walk.push_back(e);
+      state = scratch.parent_state[step][state];
+    }
+    KRSP_CHECK(state == start);
+    std::reverse(walk.begin(), walk.end());
+    for (auto& cycle : graph::decompose_closed_walk(rg, walk)) {
+      ++stats.cycles;
+      const graph::Cost c = residual.cycle_cost(cycle);
+      const graph::Delay d = residual.cycle_delay(cycle);
+      const auto type = BicameralCycleFinder::classify(
+          c, d, query.cap, query.ratio, query.enforce_cap);
+      if (type) tracker.consider(FoundCycle{std::move(cycle), c, d, *type});
+    }
+  };
+
+  for (int j = 1; j <= rounds; ++j) {
+    bool any = false;
+    const auto& prev = scratch.dist[j - 1];
+    auto& cur = scratch.dist[j];
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const auto arcs = csr.out(u);
+      if (arcs.empty()) continue;
+      for (graph::Cost l = 0; l <= ss.budget; ++l) {
+        const std::int64_t base = prev[ss.state(u, l)];
+        if (base == kInf) continue;
+        for (const auto& arc : arcs) {
+          const graph::Cost l2 = l + arc.cost;
+          if (l2 < 0 || l2 > ss.budget) continue;
+          const int to = ss.state(arc.to, l2);
+          const std::int64_t nd = base + arc.delay;
+          if (nd < cur[to]) {
+            cur[to] = nd;
+            scratch.parent_state[j][to] = ss.state(u, l);
+            scratch.parent_edge[j][to] = arc.id;
+            any = true;
+          }
+        }
+      }
+    }
+    if (!any) break;
+    // Harvest improved closed walks back at the anchor. Only walks that can
+    // host a qualifying cycle are interesting: negative delay (type-0/1
+    // material) or negative cost (type-0/2 material).
+    for (graph::Cost l = 0; l <= ss.budget; ++l) {
+      const std::int64_t dj = cur[ss.state(anchor, l)];
+      if (dj >= best_seen[l]) continue;
+      best_seen[l] = dj;
+      const graph::Cost walk_cost = l - start_layer;
+      if (!(dj < 0 || walk_cost < 0)) continue;
+      harvest(j, l);
+    }
+    if (tracker.type0 ||
+        (stop_on_first && (tracker.t1 || tracker.t2)))
+      return;
+  }
+}
+
+}  // namespace
+
+std::optional<CycleType> BicameralCycleFinder::classify(
+    graph::Cost c, graph::Delay d, graph::Cost cap,
+    const util::Rational& ratio, bool enforce_cap) {
+  if ((d < 0 && c <= 0) || (d <= 0 && c < 0)) return CycleType::kType0;
+  if (d < 0 && c > 0 && (!enforce_cap || c <= cap)) {
+    if (util::Rational(d, c) <= ratio) return CycleType::kType1;
+  }
+  if (d >= 0 && c < 0 && (!enforce_cap || -c <= cap)) {
+    // Strict inequality (vs. Definition 10's >=): an equality type-2 cycle
+    // leaves r_i unchanged while *increasing* ΔD, so accepting it can
+    // alternate with its own reverse forever. With strictness every
+    // accepted cycle improves the (r_i, ΔD_i) potential lexicographically,
+    // giving unconditional termination; existence still holds for every
+    // guess Ĉ > C_OPT (see DESIGN.md §3).
+    if (util::Rational(d, c) > ratio) return CycleType::kType2;
+  }
+  return std::nullopt;
+}
+
+std::optional<FoundCycle> BicameralCycleFinder::find(
+    const ResidualGraph& residual, const BicameralQuery& query,
+    BicameralStats* stats) const {
+  const graph::Digraph& rg = residual.digraph();
+  const int n = rg.num_vertices();
+  const int rounds =
+      options_.max_rounds > 0 ? std::min(options_.max_rounds, n) : n;
+  const graph::CsrView csr(rg);
+
+  graph::Cost budget_max = 0;
+  if (query.enforce_cap) {
+    budget_max = std::max<graph::Cost>(query.cap, 0);
+  } else {
+    for (const auto& e : rg.edges()) budget_max += std::abs(e.cost);
+  }
+
+  Tracker global;
+  graph::Cost budget = std::min(
+      std::max<graph::Cost>(options_.initial_budget, 0), budget_max);
+  while (true) {
+    if (stats != nullptr) ++stats->budgets_tried;
+    const StateSpace ss{n, budget};
+    // In the degenerate budget-0 case H+ and H- coincide.
+    const int num_signs = budget == 0 ? 1 : 2;
+    for (int sign = 0; sign < num_signs; ++sign) {
+      const graph::Cost start_layer = sign == 0 ? 0 : budget;
+      // Anchors are independent: scan them in parallel with per-thread
+      // scratch, then merge per-anchor trackers in anchor order so the
+      // outcome is identical to the serial scan.
+      std::vector<Tracker> per_anchor(n);
+      std::vector<AnchorStats> per_stats(n);
+#ifdef _OPENMP
+#pragma omp parallel if (n >= 16)
+      {
+        Scratch scratch;
+        scratch.resize(rounds, ss.num_states());
+#pragma omp for schedule(dynamic)
+        for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+          scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
+                      query.enforce_cap, scratch, per_anchor[anchor],
+                      per_stats[anchor]);
+        }
+      }
+#else
+      {
+        Scratch scratch;
+        scratch.resize(rounds, ss.num_states());
+        for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+          scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
+                      query.enforce_cap, scratch, per_anchor[anchor],
+                      per_stats[anchor]);
+        }
+      }
+#endif
+      for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+        global.merge(std::move(per_anchor[anchor]));
+        if (stats != nullptr) {
+          ++stats->anchors_scanned;
+          stats->walks_examined += per_stats[anchor].walks;
+          stats->cycles_classified += per_stats[anchor].cycles;
+        }
+      }
+      if (global.type0) return global.type0;  // free improvement: take it
+    }
+
+    // Any qualifying cycle at this budget level suffices for the proofs;
+    // prefer type-1 (direct delay progress). In the uncapped ablation the
+    // semantics are "best ratio over ALL cycles", so keep scanning budgets.
+    if (query.enforce_cap) {
+      if (global.t1) return global.t1;
+      if (global.t2) return global.t2;
+    }
+    if (budget >= budget_max) break;
+    budget = std::min(budget_max, std::max<graph::Cost>(1, budget * 2));
+  }
+  if (global.t1) return global.t1;
+  return global.t2;
+}
+
+}  // namespace krsp::core

@@ -1,0 +1,82 @@
+#include "core/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/io.h"
+
+namespace krsp::core {
+
+void write_instance(std::ostream& os, const Instance& inst) {
+  inst.validate();
+  graph::write_graph(os, inst.graph);
+  os << "q " << inst.s << ' ' << inst.t << ' ' << inst.k << ' '
+     << inst.delay_bound << '\n';
+}
+
+Instance read_instance(std::istream& is) {
+  // The graph reader consumes arc lines; the query line is read here, so
+  // parse the stream manually in one pass.
+  Instance inst;
+  std::string line;
+  std::ostringstream graph_part;
+  bool have_query = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == 'q') {
+      std::istringstream ls(line);
+      char kind = 0;
+      ls >> kind >> inst.s >> inst.t >> inst.k >> inst.delay_bound;
+      KRSP_CHECK_MSG(!ls.fail(), "malformed query line: " << line);
+      have_query = true;
+    } else {
+      graph_part << line << '\n';
+    }
+  }
+  KRSP_CHECK_MSG(have_query, "instance stream missing query line");
+  std::istringstream gs(graph_part.str());
+  inst.graph = graph::read_graph(gs);
+  inst.validate();
+  return inst;
+}
+
+void write_instance_file(const std::string& path, const Instance& inst) {
+  std::ofstream os(path);
+  KRSP_CHECK_MSG(os.good(), "cannot open for write: " << path);
+  write_instance(os, inst);
+}
+
+Instance read_instance_file(const std::string& path) {
+  std::ifstream is(path);
+  KRSP_CHECK_MSG(is.good(), "cannot open for read: " << path);
+  return read_instance(is);
+}
+
+void write_paths(std::ostream& os, const PathSet& paths) {
+  for (const auto& p : paths.paths()) {
+    os << 'r';
+    for (const graph::EdgeId e : p) os << ' ' << e;
+    os << '\n';
+  }
+}
+
+PathSet read_paths(std::istream& is, const Instance& validate_against) {
+  std::vector<std::vector<graph::EdgeId>> paths;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] != 'r') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    std::vector<graph::EdgeId> path;
+    graph::EdgeId e;
+    while (ls >> e) path.push_back(e);
+    paths.push_back(std::move(path));
+  }
+  PathSet result(std::move(paths));
+  std::string why;
+  KRSP_CHECK_MSG(result.is_valid(validate_against, &why),
+                 "read_paths: invalid path set: " << why);
+  return result;
+}
+
+}  // namespace krsp::core

@@ -1,0 +1,30 @@
+// Serialization of kRSP instances and solutions (extends graph/io.h's
+// format): lets examples and benchmark pipelines persist and replay
+// workloads.
+//
+// Instance format = the graph format plus one line:
+//   q <s> <t> <k> <delay_bound>
+// Solution format: one line per path, edge ids space-separated:
+//   r <edge> <edge> ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+
+namespace krsp::core {
+
+void write_instance(std::ostream& os, const Instance& inst);
+Instance read_instance(std::istream& is);
+
+void write_instance_file(const std::string& path, const Instance& inst);
+Instance read_instance_file(const std::string& path);
+
+void write_paths(std::ostream& os, const PathSet& paths);
+/// Reads a path set; `validate_against` checks it forms valid disjoint
+/// s→t paths for the instance (KRSP_CHECKed).
+PathSet read_paths(std::istream& is, const Instance& validate_against);
+
+}  // namespace krsp::core

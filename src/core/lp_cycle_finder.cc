@@ -1,0 +1,157 @@
+#include "core/lp_cycle_finder.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/aux_graph.h"
+#include "graph/cycles.h"
+#include "lp/simplex.h"
+
+namespace krsp::core {
+
+namespace {
+
+constexpr double kSupportEps = 1e-7;
+
+// Decomposes a fractional circulation (x per H-edge) into H-cycles by
+// repeatedly peeling the minimum flow around a support cycle.
+std::vector<std::vector<graph::EdgeId>> peel_circulation(
+    const graph::Digraph& h, std::vector<double> x) {
+  std::vector<std::vector<graph::EdgeId>> cycles;
+  const int m = h.num_edges();
+  for (graph::EdgeId seed = 0; seed < m; ++seed) {
+    while (x[seed] > kSupportEps) {
+      // Follow positive-support out-edges until a vertex repeats.
+      std::vector<graph::EdgeId> stack;
+      std::vector<int> pos(h.num_vertices(), -1);
+      graph::VertexId at = h.edge(seed).from;
+      pos[at] = 0;
+      bool closed = false;
+      while (!closed) {
+        graph::EdgeId next = graph::kInvalidEdge;
+        for (const graph::EdgeId e : h.out_edges(at)) {
+          if (x[e] > kSupportEps) {
+            next = e;
+            break;
+          }
+        }
+        KRSP_CHECK_MSG(next != graph::kInvalidEdge,
+                       "circulation support not balanced at vertex " << at);
+        stack.push_back(next);
+        at = h.edge(next).to;
+        if (pos[at] >= 0) {
+          std::vector<graph::EdgeId> cycle(stack.begin() + pos[at],
+                                           stack.end());
+          double theta = x[cycle.front()];
+          for (const graph::EdgeId e : cycle) theta = std::min(theta, x[e]);
+          for (const graph::EdgeId e : cycle) x[e] -= theta;
+          cycles.push_back(std::move(cycle));
+          closed = true;
+        } else {
+          pos[at] = static_cast<int>(stack.size());
+        }
+      }
+    }
+  }
+  return cycles;
+}
+
+}  // namespace
+
+std::optional<FoundCycle> LpCycleFinder::find(const ResidualGraph& residual,
+                                              const BicameralQuery& query,
+                                              graph::Delay delta_d) const {
+  const graph::Digraph& rg = residual.digraph();
+  const int n = rg.num_vertices();
+
+  graph::Cost budget_max = query.enforce_cap
+                               ? std::max<graph::Cost>(query.cap, 0)
+                               : [&] {
+                                   graph::Cost sum = 0;
+                                   for (const auto& e : rg.edges())
+                                     sum += std::abs(e.cost);
+                                   return sum;
+                                 }();
+  budget_max = std::min(budget_max, options_.max_budget);
+
+  std::optional<FoundCycle> best_t1, best_t2;
+  util::Rational best_t1_ratio(0), best_t2_ratio(0);
+
+  const auto consider = [&](const graph::Cycle& cycle) -> bool {
+    const graph::Cost c = residual.cycle_cost(cycle);
+    const graph::Delay d = residual.cycle_delay(cycle);
+    const auto type = BicameralCycleFinder::classify(c, d, query.cap,
+                                                     query.ratio,
+                                                     query.enforce_cap);
+    if (!type) return false;
+    FoundCycle found{cycle, c, d, *type};
+    switch (*type) {
+      case CycleType::kType0:
+        best_t1 = std::move(found);
+        return true;
+      case CycleType::kType1:
+        if (!best_t1 || util::Rational(d, c) < best_t1_ratio) {
+          best_t1_ratio = util::Rational(d, c);
+          best_t1 = std::move(found);
+        }
+        break;
+      case CycleType::kType2:
+        if (!best_t2 || util::Rational(d, c) > best_t2_ratio) {
+          best_t2_ratio = util::Rational(d, c);
+          best_t2 = std::move(found);
+        }
+        break;
+    }
+    return false;
+  };
+
+  const lp::SimplexSolver simplex;
+  for (graph::Cost budget = 0; budget <= budget_max; ++budget) {
+    const int num_signs = budget == 0 ? 1 : 2;
+    for (int sign = 0; sign < num_signs; ++sign) {
+      for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+        const AuxiliaryGraph aux(rg, anchor, budget, sign == 0);
+        const graph::Digraph& h = aux.digraph();
+        if (h.num_edges() == 0) continue;
+
+        // LP (6). x in [0, 1] per H-edge (a simple auxiliary cycle uses
+        // each edge at most once; the bound also rules out unbounded
+        // negative-cost circulation, which the combinatorial path reports
+        // as a type-0 cycle instead).
+        lp::LpModel model;
+        for (graph::EdgeId e = 0; e < h.num_edges(); ++e)
+          model.add_variable(static_cast<double>(h.edge(e).cost), 0.0, 1.0);
+        for (graph::VertexId hv = 0; hv < h.num_vertices(); ++hv) {
+          std::vector<lp::LinearTerm> terms;
+          for (const graph::EdgeId e : h.out_edges(hv))
+            terms.push_back({e, 1.0});
+          for (const graph::EdgeId e : h.in_edges(hv))
+            terms.push_back({e, -1.0});
+          if (!terms.empty())
+            model.add_constraint(std::move(terms), lp::Relation::kEq, 0.0);
+        }
+        std::vector<lp::LinearTerm> delay_terms;
+        for (graph::EdgeId e = 0; e < h.num_edges(); ++e)
+          if (h.edge(e).delay != 0)
+            delay_terms.push_back({e, static_cast<double>(h.edge(e).delay)});
+        model.add_constraint(std::move(delay_terms), lp::Relation::kLessEq,
+                             static_cast<double>(delta_d));
+
+        const auto solution = simplex.solve(model);
+        if (solution.status != lp::LpStatus::kOptimal) continue;
+
+        for (const auto& h_cycle : peel_circulation(h, solution.x)) {
+          const auto walk = aux.project_cycle(h_cycle);
+          if (walk.empty()) continue;
+          for (const auto& cycle : graph::decompose_closed_walk(rg, walk)) {
+            if (consider(cycle)) return best_t1;  // type-0
+          }
+        }
+      }
+    }
+  }
+  if (best_t1) return best_t1;
+  return best_t2;
+}
+
+}  // namespace krsp::core

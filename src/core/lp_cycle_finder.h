@@ -1,0 +1,41 @@
+// Reference implementation of Algorithm 3's LP route: build the auxiliary
+// graphs H_v^±(B) explicitly (Algorithm 2), solve LP (6)
+//     min Σ c(e)·x(e)   s.t.  flow conservation,  Σ d(e)·x(e) <= ΔD
+// with the library's simplex, decompose the optimal fractional circulation
+// into cycles, project them back to the residual graph (Lemma 15), and pick
+// a bicameral cycle per Definition 10.
+//
+// This path is exponentially more expensive than the implicit search in
+// core/bicameral.h and exists for fidelity and cross-validation: property
+// tests assert both finders agree on qualification (both find a bicameral
+// cycle, or neither does) on small instances.
+#pragma once
+
+#include <optional>
+
+#include "core/bicameral.h"
+#include "core/residual.h"
+
+namespace krsp::core {
+
+class LpCycleFinder {
+ public:
+  struct Options {
+    /// Cap on the auxiliary budget to keep the LPs tractable in tests.
+    graph::Cost max_budget = 16;
+  };
+
+  LpCycleFinder() : options_(Options{}) {}
+  explicit LpCycleFinder(Options options) : options_(options) {}
+
+  /// Finds a bicameral cycle per `query`, additionally honoring the live
+  /// delay slack ΔD (= D - current delay, negative) that LP (6) requires.
+  [[nodiscard]] std::optional<FoundCycle> find(const ResidualGraph& residual,
+                                               const BicameralQuery& query,
+                                               graph::Delay delta_d) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace krsp::core

@@ -1,0 +1,54 @@
+#include "core/path_set.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace krsp::core {
+
+graph::Cost PathSet::total_cost(const graph::Digraph& g) const {
+  graph::Cost sum = 0;
+  for (const auto& p : paths_) sum += graph::path_cost(g, p);
+  return sum;
+}
+
+graph::Delay PathSet::total_delay(const graph::Digraph& g) const {
+  graph::Delay sum = 0;
+  for (const auto& p : paths_) sum += graph::path_delay(g, p);
+  return sum;
+}
+
+std::vector<graph::EdgeId> PathSet::all_edges() const {
+  std::vector<graph::EdgeId> edges;
+  for (const auto& p : paths_) edges.insert(edges.end(), p.begin(), p.end());
+  return edges;
+}
+
+bool PathSet::is_valid(const Instance& inst, std::string* why) const {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (size() != inst.k) {
+    std::ostringstream os;
+    os << "expected " << inst.k << " paths, have " << size();
+    return fail(os.str());
+  }
+  std::unordered_set<graph::EdgeId> used;
+  for (int i = 0; i < size(); ++i) {
+    if (!graph::is_simple_path(inst.graph, paths_[i], inst.s, inst.t)) {
+      std::ostringstream os;
+      os << "path " << i << " is not a simple s-t path";
+      return fail(os.str());
+    }
+    for (const graph::EdgeId e : paths_[i]) {
+      if (!used.insert(e).second) {
+        std::ostringstream os;
+        os << "edge " << e << " reused (paths not disjoint)";
+        return fail(os.str());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace krsp::core

@@ -1,0 +1,44 @@
+// A candidate kRSP solution: k edge-disjoint s→t paths, with validation and
+// the aggregate measures the paper's bounds are stated in.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/digraph.h"
+
+namespace krsp::core {
+
+class PathSet {
+ public:
+  PathSet() = default;
+  explicit PathSet(std::vector<std::vector<graph::EdgeId>> paths)
+      : paths_(std::move(paths)) {}
+
+  [[nodiscard]] int size() const { return static_cast<int>(paths_.size()); }
+  [[nodiscard]] const std::vector<std::vector<graph::EdgeId>>& paths() const {
+    return paths_;
+  }
+
+  [[nodiscard]] graph::Cost total_cost(const graph::Digraph& g) const;
+  [[nodiscard]] graph::Delay total_delay(const graph::Digraph& g) const;
+
+  /// All edges across all paths (paths are edge-disjoint so no duplicates).
+  [[nodiscard]] std::vector<graph::EdgeId> all_edges() const;
+
+  /// Full validation against an instance: exactly k paths, each a simple
+  /// s→t path, pairwise edge-disjoint. Delay bound is NOT checked here
+  /// (approximation algorithms may exceed it by design); use
+  /// satisfies_delay().
+  [[nodiscard]] bool is_valid(const Instance& inst, std::string* why =
+                                                        nullptr) const;
+
+  [[nodiscard]] bool satisfies_delay(const Instance& inst) const {
+    return total_delay(inst.graph) <= inst.delay_bound;
+  }
+
+ private:
+  std::vector<std::vector<graph::EdgeId>> paths_;
+};
+
+}  // namespace krsp::core

@@ -1,0 +1,51 @@
+// Phase 1 of the paper's algorithm (Lemma 5): a starting solution whose
+// delay/D + cost/C_OPT <= 2 — equivalently, delay <= αD and
+// cost <= (2-α)·C_OPT for some α ∈ [0, 2].
+//
+// The paper invokes the LP-rounding algorithm of [9]. We realize the same
+// guarantee combinatorially: the LP in question is a min-cost k-flow with a
+// single delay side constraint, whose Lagrangian dual
+//     max_λ≥0 [ min_F ( c(F) + λ·d(F) ) − λ·D ]
+// has integral subproblems (min-cost flow), so by integrality of the flow
+// polytope the dual optimum equals the LP optimum C_LP (tests cross-check
+// this against the simplex solver). At the breakpoint λ* two optimal
+// integral flows bracket the budget: F_hi with d ≤ D and F_lo with d > D;
+// the convex combination meeting d = D costs exactly C_LP, hence the better
+// of the two under the score d/D + c/C_LP is at most 2 — Lemma 5.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+#include "util/rational.h"
+
+namespace krsp::core {
+
+enum class Phase1Status {
+  kOptimal,           // min-cost flow already satisfies D: exact optimum
+  kApprox,            // Lemma 5 guarantee holds; delay may exceed D
+  kNoKDisjointPaths,  // graph has fewer than k disjoint s→t paths
+  kInfeasible,        // k disjoint paths exist but none meet the delay bound
+};
+
+struct Phase1Result {
+  Phase1Status status = Phase1Status::kInfeasible;
+  PathSet paths;                     // empty unless kOptimal/kApprox
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+  /// Certified lower bound on C_OPT: L(λ*) − λ*·D (== LP optimum).
+  util::Rational cost_lower_bound = 0;
+  /// The breakpoint multiplier λ*.
+  util::Rational lambda = 0;
+  /// Delay-feasible alternative (F_hi) kept for callers that must start
+  /// from a feasible point; equals `paths` when that one was selected.
+  std::optional<PathSet> feasible_alternative;
+  int mcmf_calls = 0;
+};
+
+/// Runs phase 1. Never returns paths violating structural validity; on
+/// kApprox the returned solution satisfies delay/D + cost/C_LP <= 2.
+Phase1Result phase1_lagrangian(const Instance& inst);
+
+}  // namespace krsp::core

@@ -1,0 +1,48 @@
+#include "core/priority_routing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace krsp::core {
+
+PriorityRoutingReport assign_by_urgency(const graph::Digraph& g,
+                                        const PathSet& paths,
+                                        std::vector<TrafficClass> classes) {
+  KRSP_CHECK_MSG(paths.size() > 0, "assign_by_urgency with no paths");
+
+  // Paths by increasing delay.
+  std::vector<int> order(paths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<graph::Delay> delays;
+  delays.reserve(paths.size());
+  for (const auto& p : paths.paths()) delays.push_back(graph::path_delay(g, p));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return delays[a] < delays[b]; });
+
+  // Classes by increasing (strictest-first) requirement, stable on input
+  // order so equal requirements keep caller priority.
+  std::vector<int> class_order(classes.size());
+  std::iota(class_order.begin(), class_order.end(), 0);
+  std::stable_sort(class_order.begin(), class_order.end(), [&](int a, int b) {
+    return classes[a].max_delay < classes[b].max_delay;
+  });
+
+  PriorityRoutingReport report;
+  report.assignments.resize(classes.size());
+  for (std::size_t rank = 0; rank < class_order.size(); ++rank) {
+    const int ci = class_order[rank];
+    const int path_rank =
+        static_cast<int>(std::min(rank, order.size() - 1));
+    const int pi = order[path_rank];
+    ClassAssignment a;
+    a.class_name = classes[ci].name;
+    a.path_index = pi;
+    a.path_delay = delays[pi];
+    a.satisfied = a.path_delay <= classes[ci].max_delay;
+    if (a.satisfied) ++report.satisfied_count;
+    report.assignments[ci] = std::move(a);
+  }
+  return report;
+}
+
+}  // namespace krsp::core

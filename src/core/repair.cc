@@ -1,0 +1,133 @@
+#include "core/repair.h"
+
+#include <unordered_set>
+
+#include "paths/rsp.h"
+
+namespace krsp::core {
+
+namespace {
+
+// Copy of g without the excluded edges, with a map back to original ids.
+struct Subgraph {
+  graph::Digraph graph;
+  std::vector<graph::EdgeId> orig_of;  // per new edge id
+};
+
+Subgraph build_subgraph(const graph::Digraph& g,
+                        const std::unordered_set<graph::EdgeId>& excluded) {
+  Subgraph sub;
+  sub.graph.resize(g.num_vertices());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (excluded.count(e)) continue;
+    const auto& edge = g.edge(e);
+    sub.graph.add_edge(edge.from, edge.to, edge.cost, edge.delay);
+    sub.orig_of.push_back(e);
+  }
+  return sub;
+}
+
+std::vector<graph::EdgeId> map_back(const Subgraph& sub,
+                                    std::span<const graph::EdgeId> path) {
+  std::vector<graph::EdgeId> out;
+  out.reserve(path.size());
+  for (const graph::EdgeId e : path) out.push_back(sub.orig_of[e]);
+  return out;
+}
+
+}  // namespace
+
+RepairResult repair_after_failures(const Instance& inst,
+                                   const PathSet& current,
+                                   std::span<const graph::EdgeId> failed,
+                                   const SolverOptions& options) {
+  inst.validate();
+  std::unordered_set<graph::EdgeId> failed_set;
+  for (const graph::EdgeId e : failed) {
+    KRSP_CHECK(inst.graph.is_edge(e));
+    failed_set.insert(e);
+  }
+  std::string why;
+  KRSP_CHECK_MSG(current.is_valid(inst, &why), "repair: " << why);
+
+  RepairResult out;
+
+  // Which provisioned paths use failed edges?
+  std::vector<int> broken_paths;
+  for (std::size_t i = 0; i < current.paths().size(); ++i) {
+    bool hit = false;
+    for (const graph::EdgeId e : current.paths()[i])
+      if (failed_set.count(e)) hit = true;
+    if (hit) broken_paths.push_back(static_cast<int>(i));
+  }
+  const int broken = broken_paths.size() == 1 ? broken_paths.front() : -1;
+  if (broken_paths.empty()) {
+    out.outcome = RepairOutcome::kUntouched;
+    out.paths = current;
+    out.cost = current.total_cost(inst.graph);
+    out.delay = current.total_delay(inst.graph);
+    return out;
+  }
+
+  // Local repair (single broken path): one replacement path, disjoint from
+  // the survivors, within the leftover delay budget, cost-minimal (exact
+  // RSP). With multiple broken paths, go straight to the full re-solve.
+  std::vector<std::vector<graph::EdgeId>> survivors;
+  std::unordered_set<graph::EdgeId> excluded = failed_set;
+  graph::Delay survivor_delay = 0;
+  for (std::size_t i = 0; i < current.paths().size(); ++i) {
+    if (static_cast<int>(i) == broken) continue;
+    survivors.push_back(current.paths()[i]);
+    survivor_delay += graph::path_delay(inst.graph, current.paths()[i]);
+    for (const graph::EdgeId e : current.paths()[i]) excluded.insert(e);
+  }
+  const graph::Delay leftover = inst.delay_bound - survivor_delay;
+  if (broken >= 0 && leftover >= 0) {
+    const auto sub = build_subgraph(inst.graph, excluded);
+    if (const auto replacement =
+            paths::rsp_exact(sub.graph, inst.s, inst.t, leftover)) {
+      auto paths = survivors;
+      paths.push_back(map_back(sub, replacement->path));
+      out.paths = PathSet(std::move(paths));
+      KRSP_CHECK(out.paths.is_valid(inst));
+      out.cost = out.paths.total_cost(inst.graph);
+      out.delay = out.paths.total_delay(inst.graph);
+      KRSP_CHECK(out.delay <= inst.delay_bound);
+      out.outcome = RepairOutcome::kLocalRepair;
+      return out;
+    }
+  }
+
+  // Full re-solve on the degraded graph.
+  const auto degraded = build_subgraph(inst.graph, failed_set);
+  Instance degraded_inst;
+  degraded_inst.graph = degraded.graph;
+  degraded_inst.s = inst.s;
+  degraded_inst.t = inst.t;
+  degraded_inst.k = inst.k;
+  degraded_inst.delay_bound = inst.delay_bound;
+  const auto solution = KrspSolver(options).solve(degraded_inst);
+  if (!solution.has_paths()) {
+    out.outcome = RepairOutcome::kInfeasible;
+    return out;
+  }
+  std::vector<std::vector<graph::EdgeId>> mapped;
+  for (const auto& p : solution.paths.paths())
+    mapped.push_back(map_back(degraded, p));
+  out.paths = PathSet(std::move(mapped));
+  KRSP_CHECK(out.paths.is_valid(inst));
+  out.cost = out.paths.total_cost(inst.graph);
+  out.delay = out.paths.total_delay(inst.graph);
+  out.outcome = RepairOutcome::kFullResolve;
+  return out;
+}
+
+RepairResult repair_after_edge_failure(const Instance& inst,
+                                       const PathSet& current,
+                                       graph::EdgeId failed_edge,
+                                       const SolverOptions& options) {
+  const graph::EdgeId failed[] = {failed_edge};
+  return repair_after_failures(inst, current, failed, options);
+}
+
+}  // namespace krsp::core

@@ -1,0 +1,57 @@
+// Incremental repair after a link failure.
+//
+// The resilience story of §1 ("networks are expected to be ... resilient to
+// some degree of failures"): when a link carrying one of the k provisioned
+// paths fails, a controller prefers a local repair — replace just the
+// broken path — over a full re-solve. This module implements that repair:
+//
+//  * failed edge unused by the solution → nothing to do;
+//  * otherwise remove the broken path and search a single replacement path
+//    (an RSP query, polynomial and exact via the delay DP) that is
+//    edge-disjoint from the k−1 survivors and fits the remaining delay
+//    budget, minimizing cost;
+//  * if no such path exists, fall back to a full kRSP re-solve on the
+//    degraded graph (reported, so callers can account the disruption).
+//
+// The repaired solution is feasible by construction but not necessarily
+// within the 2·C_OPT guarantee of a fresh solve — `RepairOutcome` says
+// which level of service was delivered.
+#pragma once
+
+#include "core/solver.h"
+
+namespace krsp::core {
+
+enum class RepairOutcome {
+  kUntouched,     // failed edge was not in use
+  kLocalRepair,   // one path replaced, k-1 paths untouched
+  kFullResolve,   // local repair impossible; full re-solve succeeded
+  kInfeasible,    // degraded graph cannot support k paths within D
+};
+
+struct RepairResult {
+  RepairOutcome outcome = RepairOutcome::kInfeasible;
+  PathSet paths;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+};
+
+/// Repairs `current` (a valid solution of `inst`) after the given edges
+/// fail. The instance keeps its original graph and edge ids; failed edges
+/// are treated as unusable (pass the *cumulative* failure set when failures
+/// arrive one at a time). Local repair applies when exactly one provisioned
+/// path is broken; multiple broken paths fall back to a full re-solve.
+/// KRSP_CHECKs that `current` is valid for `inst` and uses no failed edge
+/// except the newly failed ones.
+RepairResult repair_after_failures(const Instance& inst,
+                                   const PathSet& current,
+                                   std::span<const graph::EdgeId> failed,
+                                   const SolverOptions& options = {});
+
+/// Single-failure convenience wrapper.
+RepairResult repair_after_edge_failure(const Instance& inst,
+                                       const PathSet& current,
+                                       graph::EdgeId failed_edge,
+                                       const SolverOptions& options = {});
+
+}  // namespace krsp::core

@@ -1,0 +1,80 @@
+#include "core/residual.h"
+
+#include <algorithm>
+
+#include "graph/cycles.h"
+
+namespace krsp::core {
+
+ResidualGraph::ResidualGraph(const graph::Digraph& g,
+                             const std::vector<graph::EdgeId>& flow_edges)
+    : original_(g), flow_(flow_edges.begin(), flow_edges.end()) {
+  KRSP_CHECK_MSG(flow_.size() == flow_edges.size(),
+                 "duplicate edges in flow set");
+  residual_.resize(g.num_vertices());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    if (flow_.count(e) != 0) {
+      residual_.add_edge(edge.to, edge.from, -edge.cost, -edge.delay);
+      tags_.push_back(Tag{e, true});
+    } else {
+      residual_.add_edge(edge.from, edge.to, edge.cost, edge.delay);
+      tags_.push_back(Tag{e, false});
+    }
+  }
+}
+
+graph::Cost ResidualGraph::cycle_cost(
+    std::span<const graph::EdgeId> residual_edges) const {
+  return graph::path_cost(residual_, residual_edges);
+}
+
+graph::Delay ResidualGraph::cycle_delay(
+    std::span<const graph::EdgeId> residual_edges) const {
+  return graph::path_delay(residual_, residual_edges);
+}
+
+std::vector<graph::EdgeId> ResidualGraph::apply_cycle(
+    std::span<const graph::EdgeId> residual_cycle) const {
+  auto next = flow_;
+  for (const graph::EdgeId re : residual_cycle) {
+    KRSP_CHECK(re >= 0 && re < static_cast<graph::EdgeId>(tags_.size()));
+    const Tag& tag = tags_[re];
+    if (tag.reversed) {
+      KRSP_CHECK_MSG(next.erase(tag.orig) == 1,
+                     "reversed residual edge whose original is not in flow");
+    } else {
+      KRSP_CHECK_MSG(next.insert(tag.orig).second,
+                     "forward residual edge whose original is already in flow");
+    }
+  }
+  std::vector<graph::EdgeId> out(next.begin(), next.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<graph::EdgeId>> difference_cycles(
+    const ResidualGraph& residual, const std::vector<graph::EdgeId>& current,
+    const std::vector<graph::EdgeId>& target) {
+  const std::unordered_set<graph::EdgeId> cur(current.begin(), current.end());
+  const std::unordered_set<graph::EdgeId> tgt(target.begin(), target.end());
+  // Residual edge ids coincide with original edge ids by construction
+  // (one residual edge per original edge, same index).
+  std::vector<graph::EdgeId> edges;
+  const int m = residual.digraph().num_edges();
+  for (graph::EdgeId re = 0; re < m; ++re) {
+    const graph::EdgeId orig = residual.original_edge(re);
+    [[maybe_unused]] const bool in_cur = cur.count(orig) != 0;
+    const bool in_tgt = tgt.count(orig) != 0;
+    if (residual.is_reversed(re)) {
+      KRSP_DCHECK(in_cur);
+      if (!in_tgt) edges.push_back(re);  // current-only: traverse backwards
+    } else {
+      KRSP_DCHECK(!in_cur);
+      if (in_tgt) edges.push_back(re);  // target-only: traverse forwards
+    }
+  }
+  return graph::decompose_balanced_edge_set(residual.digraph(), edges);
+}
+
+}  // namespace krsp::core

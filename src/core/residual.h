@@ -1,0 +1,72 @@
+// Residual graph of Definition 6 and the ⊕ cycle-cancellation step of
+// Proposition 7.
+//
+// Given the current solution's edge set F (the union of k disjoint paths),
+// the residual graph G̃ contains every non-flow edge forward with its
+// original weights and every flow edge reversed with *negated* cost and
+// delay — unlike the zero-cost reversal of [12, 18], which is exactly the
+// novelty the bicameral machinery addresses. A residual cycle O applied via
+// F ⊕ O yields a new union of k disjoint paths whose cost/delay shift by
+// (c(O), d(O)).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+#include "graph/digraph.h"
+
+namespace krsp::core {
+
+class ResidualGraph {
+ public:
+  /// Builds G̃ for graph g with respect to the flow edge set `flow_edges`
+  /// (must be a subset of g's edges; typically PathSet::all_edges()).
+  ResidualGraph(const graph::Digraph& g,
+                const std::vector<graph::EdgeId>& flow_edges);
+
+  [[nodiscard]] const graph::Digraph& digraph() const { return residual_; }
+
+  /// Original edge behind residual edge `re`.
+  [[nodiscard]] graph::EdgeId original_edge(graph::EdgeId re) const {
+    return tags_[re].orig;
+  }
+  /// True iff residual edge `re` is a reversed (negated) flow edge.
+  [[nodiscard]] bool is_reversed(graph::EdgeId re) const {
+    return tags_[re].reversed;
+  }
+
+  /// Cost/delay of a residual edge set (already sign-adjusted).
+  [[nodiscard]] graph::Cost cycle_cost(
+      std::span<const graph::EdgeId> residual_edges) const;
+  [[nodiscard]] graph::Delay cycle_delay(
+      std::span<const graph::EdgeId> residual_edges) const;
+
+  /// F ⊕ O: applies a residual cycle to the flow edge set this residual was
+  /// built from and returns the new flow edge set. KRSP_CHECKs that forward
+  /// residual edges are not already in F and reversed ones are.
+  [[nodiscard]] std::vector<graph::EdgeId> apply_cycle(
+      std::span<const graph::EdgeId> residual_cycle) const;
+
+ private:
+  struct Tag {
+    graph::EdgeId orig = graph::kInvalidEdge;
+    bool reversed = false;
+  };
+
+  const graph::Digraph& original_;
+  std::unordered_set<graph::EdgeId> flow_;
+  graph::Digraph residual_;
+  std::vector<Tag> tags_;
+};
+
+/// The cycle system {P*} ⊕ {P̄} of Proposition 8: the symmetric difference
+/// of two k-path edge sets, expressed as residual edges of the residual
+/// graph built from `current`, decomposed into edge-disjoint simple cycles.
+/// Used by tests (Prop. 8 / Lemma 9) and by the brute-force analyzer.
+std::vector<std::vector<graph::EdgeId>> difference_cycles(
+    const ResidualGraph& residual, const std::vector<graph::EdgeId>& current,
+    const std::vector<graph::EdgeId>& target);
+
+}  // namespace krsp::core

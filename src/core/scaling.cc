@@ -1,0 +1,44 @@
+#include "core/scaling.h"
+
+#include <cmath>
+
+namespace krsp::core {
+
+ScaledInstance scale_instance(const Instance& inst, double eps1, double eps2,
+                              graph::Cost cost_guess) {
+  KRSP_CHECK(eps1 > 0 && eps2 > 0);
+  ScaledInstance out;
+  out.scaled.s = inst.s;
+  out.scaled.t = inst.t;
+  out.scaled.k = inst.k;
+  out.scaled.delay_bound = inst.delay_bound;
+
+  const auto kn = static_cast<double>(inst.k) *
+                  static_cast<double>(inst.graph.num_vertices());
+  const auto s_d = static_cast<std::int64_t>(std::ceil(kn / eps1));
+  const auto s_c = static_cast<std::int64_t>(std::ceil(kn / eps2));
+
+  if (inst.delay_bound > 0 && s_d < inst.delay_bound) {
+    out.delay_scaled = true;
+    out.delay_num = s_d;
+    out.delay_den = inst.delay_bound;
+    out.scaled.delay_bound = s_d;
+  }
+  if (cost_guess > 0 && s_c < cost_guess) {
+    out.cost_scaled = true;
+    out.cost_num = s_c;
+    out.cost_den = cost_guess;
+  }
+
+  out.scaled.graph.resize(inst.graph.num_vertices());
+  for (const auto& e : inst.graph.edges()) {
+    const graph::Delay d =
+        out.delay_scaled ? (e.delay * out.delay_num) / out.delay_den : e.delay;
+    const graph::Cost c =
+        out.cost_scaled ? (e.cost * out.cost_num) / out.cost_den : e.cost;
+    out.scaled.graph.add_edge(e.from, e.to, c, d);
+  }
+  return out;
+}
+
+}  // namespace krsp::core

@@ -1,0 +1,240 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/scaling.h"
+#include "util/timer.h"
+
+namespace krsp::core {
+
+namespace {
+
+graph::Cost ceil_of(const util::Rational& r) {
+  KRSP_CHECK(r >= util::Rational(0));
+  return (r.num() + r.den() - 1) / r.den();
+}
+
+Solution from_phase1(const Phase1Result& p1) {
+  Solution s;
+  s.telemetry.phase1_mcmf_calls = p1.mcmf_calls;
+  s.telemetry.lambda = p1.lambda;
+  s.telemetry.cost_lower_bound = p1.cost_lower_bound;
+  switch (p1.status) {
+    case Phase1Status::kNoKDisjointPaths:
+      s.status = SolveStatus::kNoKDisjointPaths;
+      return s;
+    case Phase1Status::kInfeasible:
+      s.status = SolveStatus::kInfeasible;
+      return s;
+    case Phase1Status::kOptimal:
+      s.status = SolveStatus::kOptimal;
+      s.telemetry.phase1_was_optimal = true;
+      break;
+    case Phase1Status::kApprox:
+      s.status = SolveStatus::kApprox;
+      break;
+  }
+  s.paths = p1.paths;
+  s.cost = p1.cost;
+  s.delay = p1.delay;
+  return s;
+}
+
+}  // namespace
+
+Solution KrspSolver::solve(const Instance& inst) const {
+  inst.validate();
+  const util::WallTimer timer;
+  Solution s;
+  switch (options_.mode) {
+    case SolverOptions::Mode::kExactWeights:
+      s = solve_exact_weights(inst);
+      break;
+    case SolverOptions::Mode::kScaled:
+      s = solve_scaled(inst);
+      break;
+    case SolverOptions::Mode::kPhase1Only:
+      s = solve_phase1_only(inst);
+      break;
+  }
+  s.telemetry.wall_seconds = timer.seconds();
+  return s;
+}
+
+Solution KrspSolver::solve_phase1_only(const Instance& inst) const {
+  const auto p1 = phase1_lagrangian(inst);
+  Solution s = from_phase1(p1);
+  if (s.status == SolveStatus::kApprox && s.delay > inst.delay_bound)
+    s.status = SolveStatus::kApproxDelayOver;
+  return s;
+}
+
+Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
+  const auto p1 = phase1_lagrangian(inst);
+  Solution s = from_phase1(p1);
+  if (s.status != SolveStatus::kApprox) return s;  // optimal or no solution
+  if (s.delay <= inst.delay_bound) return s;       // Lemma 5 already met D
+
+  // Algorithm 1 with a binary search on the cap Ĉ over [max(1,⌈C_LP⌉),
+  // cost(F_hi)]. Success is monotone above C_OPT; a minimal succeeding Ĉ†
+  // adjacent to a failure satisfies Ĉ† <= C_OPT + 1, certifying
+  // cost <= 2·(C_OPT + 1).
+  KRSP_CHECK(p1.feasible_alternative.has_value());
+  const PathSet& f_hi = *p1.feasible_alternative;
+  const graph::Cost c_hi = f_hi.total_cost(inst.graph);
+  const graph::Cost lo0 =
+      std::max<graph::Cost>(1, ceil_of(p1.cost_lower_bound));
+  const graph::Cost hi0 = std::max(lo0, c_hi);
+
+  std::optional<CycleCancelResult> best_run;
+  graph::Cost best_guess = 0;
+  const auto run = [&](graph::Cost guess) -> bool {
+    ++s.telemetry.guess_attempts;
+    auto r = cancel_cycles(inst, p1.paths, guess, options_.cancel);
+    if (r.status != CancelStatus::kSuccess) return false;
+    if (!best_run || guess < best_guess) {
+      best_run = std::move(r);
+      best_guess = guess;
+    }
+    return true;
+  };
+
+  if (options_.guess == SolverOptions::GuessStrategy::kBinarySearch) {
+    graph::Cost lo = lo0, hi = hi0;
+    if (run(hi)) {
+      while (lo < hi) {
+        const graph::Cost mid = lo + (hi - lo) / 2;
+        if (run(mid))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+    }
+  } else {
+    graph::Cost guess = lo0;
+    while (!run(guess) && guess < hi0)
+      guess = std::min<graph::Cost>(hi0, std::max<graph::Cost>(guess * 2, 1));
+  }
+
+  if (!best_run) {
+    // Theory guarantees success at Ĉ = c_hi >= C_OPT; if an internal limit
+    // tripped anyway, fall back to the feasible phase-1 alternative.
+    s.telemetry.used_feasible_fallback = true;
+    s.paths = f_hi;
+    s.cost = c_hi;
+    s.delay = f_hi.total_delay(inst.graph);
+    s.status = SolveStatus::kApprox;
+    return s;
+  }
+
+  s.telemetry.cost_guess_used = best_guess;
+  s.telemetry.cancel = best_run->telemetry;
+  // The phase-1 feasible alternative is itself a valid answer; keep the
+  // cheaper of the two.
+  if (c_hi < best_run->cost) {
+    s.telemetry.used_feasible_fallback = true;
+    s.paths = f_hi;
+    s.cost = c_hi;
+    s.delay = f_hi.total_delay(inst.graph);
+  } else {
+    s.paths = std::move(best_run->paths);
+    s.cost = best_run->cost;
+    s.delay = best_run->delay;
+  }
+  s.status = SolveStatus::kApprox;
+  return s;
+}
+
+Solution KrspSolver::solve_scaled(const Instance& inst) const {
+  // Phase 1 on the *original* weights settles feasibility questions exactly
+  // and provides the Ĉ search range.
+  const auto p1 = phase1_lagrangian(inst);
+  Solution s = from_phase1(p1);
+  if (s.status != SolveStatus::kApprox) return s;
+  if (s.delay <= inst.delay_bound) return s;
+
+  KRSP_CHECK(p1.feasible_alternative.has_value());
+  const PathSet& f_hi = *p1.feasible_alternative;
+  const graph::Cost c_hi = f_hi.total_cost(inst.graph);
+  const graph::Cost lo0 =
+      std::max<graph::Cost>(1, ceil_of(p1.cost_lower_bound));
+  const graph::Cost hi0 = std::max(lo0, c_hi);
+
+  // Internal ε2/2 keeps the flooring loss within the advertised (2+ε2).
+  const double eps1 = options_.eps1;
+  const double eps2 = options_.eps2 / 2.0;
+  const auto delay_limit = static_cast<graph::Delay>(
+      std::floor((1.0 + options_.eps1) * static_cast<double>(inst.delay_bound)));
+
+  KrspSolver inner_solver{[&] {
+    SolverOptions o = options_;
+    o.mode = SolverOptions::Mode::kExactWeights;
+    return o;
+  }()};
+
+  struct Attempt {
+    Solution sol;        // in original weights
+    graph::Cost guess;
+  };
+  std::optional<Attempt> best;
+  const auto run = [&](graph::Cost guess) -> bool {
+    ++s.telemetry.guess_attempts;
+    const auto scaled = scale_instance(inst, eps1, eps2, guess);
+    Solution inner = inner_solver.solve(scaled.scaled);
+    if (!inner.has_paths()) return false;
+    // Edge ids are shared between the scaled and original graphs.
+    Solution mapped = inner;
+    mapped.cost = inner.paths.total_cost(inst.graph);
+    mapped.delay = inner.paths.total_delay(inst.graph);
+    if (mapped.delay > delay_limit) return false;
+    const auto threshold = static_cast<graph::Cost>(
+        std::ceil((2.0 + options_.eps2) * static_cast<double>(guess)));
+    if (mapped.cost > threshold) return false;
+    if (!best || guess < best->guess) best = Attempt{std::move(mapped), guess};
+    return true;
+  };
+
+  if (options_.guess == SolverOptions::GuessStrategy::kBinarySearch) {
+    graph::Cost lo = lo0, hi = hi0;
+    if (run(hi)) {
+      while (lo < hi) {
+        const graph::Cost mid = lo + (hi - lo) / 2;
+        if (run(mid))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+    }
+  } else {
+    graph::Cost guess = lo0;
+    while (!run(guess) && guess < hi0)
+      guess = std::min<graph::Cost>(hi0, std::max<graph::Cost>(guess * 2, 1));
+  }
+
+  if (!best) {
+    s.telemetry.used_feasible_fallback = true;
+    s.paths = f_hi;
+    s.cost = c_hi;
+    s.delay = f_hi.total_delay(inst.graph);
+    s.status = SolveStatus::kApprox;
+    return s;
+  }
+
+  s.telemetry.cost_guess_used = best->guess;
+  s.telemetry.cancel = best->sol.telemetry.cancel;
+  if (c_hi < best->sol.cost) {
+    s.telemetry.used_feasible_fallback = true;
+    s.paths = f_hi;
+    s.cost = c_hi;
+    s.delay = f_hi.total_delay(inst.graph);
+  } else {
+    s.paths = std::move(best->sol.paths);
+    s.cost = best->sol.cost;
+    s.delay = best->sol.delay;
+  }
+  s.status = SolveStatus::kApprox;
+  return s;
+}
+
+}  // namespace krsp::core

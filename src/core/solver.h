@@ -1,0 +1,87 @@
+// Public solver facade: the paper's full pipeline.
+//
+//   Mode::kExactWeights — Lemma 3: phase 1, then bicameral cycle
+//       cancellation with a binary search on the cost cap Ĉ. Bifactor
+//       (1, 2) (delay strictly within D; cost <= 2·Ĉ† with Ĉ† <= C_OPT + 1,
+//       see core/bicameral.cc on the strict type-2 rule). Pseudo-polynomial.
+//   Mode::kScaled — Theorem 4: delays scaled against D, costs against a
+//       guessed Ĉ (outer binary search), exact-weights core on the scaled
+//       instance. Bifactor (1+ε1, 2+ε2), polynomial.
+//   Mode::kPhase1Only — Lemma 5 only (the [9]-equivalent LP rounding):
+//       bifactor (2, 2), delay may exceed D.
+#pragma once
+
+#include "core/cycle_cancel.h"
+#include "core/instance.h"
+#include "core/path_set.h"
+#include "core/phase1.h"
+#include "util/rational.h"
+
+namespace krsp::core {
+
+enum class SolveStatus {
+  kOptimal,           // provably minimum cost within the delay bound
+  kApprox,            // approximation guarantee of the selected mode holds
+  kApproxDelayOver,   // kPhase1Only: solution valid but delay in (D, 2D]
+  kInfeasible,        // no k disjoint paths meet the delay bound
+  kNoKDisjointPaths,  // fewer than k edge-disjoint s→t paths exist
+  kFailed,            // internal limit tripped (reported, never silent)
+};
+
+struct SolverOptions {
+  enum class Mode { kExactWeights, kScaled, kPhase1Only };
+  Mode mode = Mode::kScaled;
+  double eps1 = 0.25;  // delay slack (Theorem 4)
+  double eps2 = 0.25;  // cost slack (Theorem 4)
+
+  /// Ĉ search strategy for the cancellation cap. kBinarySearch certifies
+  /// the 2·(C_OPT+1) cost bound; kDoubling trades a factor <= 2 on the cap
+  /// for fewer cancellation runs.
+  enum class GuessStrategy { kBinarySearch, kDoubling };
+  GuessStrategy guess = GuessStrategy::kBinarySearch;
+
+  CycleCancelOptions cancel;
+};
+
+struct SolveTelemetry {
+  double wall_seconds = 0.0;
+  int phase1_mcmf_calls = 0;
+  util::Rational lambda = 0;            // phase-1 breakpoint λ*
+  util::Rational cost_lower_bound = 0;  // certified LP bound on C_OPT
+  graph::Cost cost_guess_used = 0;      // final cap Ĉ†
+  int guess_attempts = 0;               // cancellation runs across guesses
+  bool phase1_was_optimal = false;
+  bool used_feasible_fallback = false;  // returned phase-1 F_hi instead
+  CycleCancelTelemetry cancel;          // from the final successful run
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kFailed;
+  PathSet paths;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+  SolveTelemetry telemetry;
+
+  [[nodiscard]] bool has_paths() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kApprox ||
+           status == SolveStatus::kApproxDelayOver;
+  }
+};
+
+class KrspSolver {
+ public:
+  explicit KrspSolver(SolverOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Solution solve(const Instance& inst) const;
+
+  [[nodiscard]] const SolverOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] Solution solve_exact_weights(const Instance& inst) const;
+  [[nodiscard]] Solution solve_scaled(const Instance& inst) const;
+  [[nodiscard]] Solution solve_phase1_only(const Instance& inst) const;
+
+  SolverOptions options_;
+};
+
+}  // namespace krsp::core

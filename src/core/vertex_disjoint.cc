@@ -1,0 +1,35 @@
+#include "core/vertex_disjoint.h"
+
+#include "graph/transform.h"
+
+namespace krsp::core {
+
+Solution solve_vertex_disjoint(const Instance& inst,
+                               const SolverOptions& options) {
+  inst.validate();
+  const graph::SplitGraph split(inst.graph);
+
+  Instance split_inst;
+  split_inst.graph = split.digraph();
+  split_inst.s = split.out_vertex(inst.s);  // leave s without its gate so k
+  split_inst.t = split.in_vertex(inst.t);   // paths may share the terminals
+  split_inst.k = inst.k;
+  split_inst.delay_bound = inst.delay_bound;
+
+  Solution solution = KrspSolver(options).solve(split_inst);
+  if (!solution.has_paths()) return solution;
+
+  // Project back to base edges; measures are unchanged (gates are free).
+  std::vector<std::vector<graph::EdgeId>> base_paths;
+  for (const auto& p : solution.paths.paths())
+    base_paths.push_back(split.project_path(p));
+  solution.paths = PathSet(std::move(base_paths));
+  KRSP_CHECK(solution.paths.total_cost(inst.graph) == solution.cost);
+  KRSP_CHECK(solution.paths.total_delay(inst.graph) == solution.delay);
+  std::string why;
+  KRSP_CHECK_MSG(solution.paths.is_valid(inst, &why),
+                 "vertex-disjoint projection produced invalid paths: " << why);
+  return solution;
+}
+
+}  // namespace krsp::core

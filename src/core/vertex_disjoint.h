@@ -1,0 +1,23 @@
+// Vertex-disjoint kRSP: k internally vertex-disjoint s→t paths, total cost
+// minimized, total delay within D.
+//
+// Solved by the standard vertex-splitting reduction (graph/transform.h):
+// unit-capacity gates v_in → v_out make edge-disjointness in the split
+// graph equal internal-vertex-disjointness in the base graph, so the
+// paper's edge-disjoint algorithm applies verbatim with the same bifactor
+// guarantees. A library extension beyond the brief announcement's scope,
+// covering the common survivability requirement (router failures, not just
+// link failures).
+#pragma once
+
+#include "core/solver.h"
+
+namespace krsp::core {
+
+/// Solves the vertex-disjoint variant of `inst` with the given solver
+/// options. Returned paths are in the *base* graph's edge ids and are
+/// internally vertex-disjoint (s and t are shared, as usual).
+Solution solve_vertex_disjoint(const Instance& inst,
+                               const SolverOptions& options = {});
+
+}  // namespace krsp::core

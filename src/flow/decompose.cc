@@ -1,0 +1,72 @@
+#include "flow/decompose.h"
+
+#include <unordered_map>
+
+namespace krsp::flow {
+
+FlowDecomposition decompose_unit_flow(const graph::Digraph& g,
+                                      std::span<const graph::EdgeId> edges,
+                                      graph::VertexId s, graph::VertexId t,
+                                      int k) {
+  KRSP_CHECK(k >= 0);
+  std::unordered_map<graph::VertexId, std::vector<graph::EdgeId>> out;
+  std::unordered_map<graph::VertexId, int> divergence;
+  for (const graph::EdgeId e : edges) {
+    out[g.edge(e).from].push_back(e);
+    ++divergence[g.edge(e).from];
+    --divergence[g.edge(e).to];
+  }
+  for (const auto& [v, d] : divergence) {
+    const int expected = v == s ? k : (v == t ? -k : 0);
+    KRSP_CHECK_MSG(d == expected, "decompose_unit_flow: vertex "
+                                      << v << " has divergence " << d
+                                      << ", expected " << expected);
+  }
+
+  FlowDecomposition result;
+  // Extract k walks s→t, popping any cycle encountered along the way so the
+  // reported paths are simple (decompose_closed_walk stack technique).
+  for (int i = 0; i < k; ++i) {
+    std::vector<graph::EdgeId> stack;
+    std::unordered_map<graph::VertexId, int> pos_of;
+    pos_of[s] = 0;
+    graph::VertexId at = s;
+    while (at != t) {
+      auto& avail = out[at];
+      KRSP_CHECK_MSG(!avail.empty(), "decompose_unit_flow: stuck at vertex "
+                                         << at << " extracting path " << i);
+      const graph::EdgeId e = avail.back();
+      avail.pop_back();
+      stack.push_back(e);
+      const graph::VertexId head = g.edge(e).to;
+      const auto it = pos_of.find(head);
+      if (it != pos_of.end()) {
+        graph::Cycle cycle(stack.begin() + it->second, stack.end());
+        for (const graph::EdgeId pe : cycle) {
+          const graph::VertexId tail = g.edge(pe).from;
+          if (tail != head) pos_of.erase(tail);
+        }
+        stack.resize(it->second);
+        result.cycles.push_back(std::move(cycle));
+        at = head;
+      } else {
+        pos_of[head] = static_cast<int>(stack.size());
+        at = head;
+      }
+    }
+    KRSP_DCHECK(graph::is_simple_path(g, stack, s, t));
+    result.paths.push_back(std::move(stack));
+  }
+
+  // Whatever remains is balanced: pure cycles.
+  std::vector<graph::EdgeId> leftover;
+  for (auto& [v, avail] : out)
+    for (const graph::EdgeId e : avail) leftover.push_back(e);
+  if (!leftover.empty()) {
+    auto cycles = graph::decompose_balanced_edge_set(g, leftover);
+    for (auto& c : cycles) result.cycles.push_back(std::move(c));
+  }
+  return result;
+}
+
+}  // namespace krsp::flow

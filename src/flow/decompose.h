@@ -1,0 +1,31 @@
+// Decomposition of unit flows into simple paths and cycles.
+//
+// kRSP solutions are unit s→t flows of value k; after a ⊕ cycle-cancellation
+// step (Proposition 7) the edge set is again such a flow and must be
+// re-expressed as k disjoint paths. Degenerate leftover cycles (zero net
+// contribution) are returned separately — callers drop them, which can only
+// reduce cost/delay since original weights are non-negative.
+#pragma once
+
+#include <vector>
+
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+
+namespace krsp::flow {
+
+struct FlowDecomposition {
+  std::vector<std::vector<graph::EdgeId>> paths;  // simple s→t paths
+  std::vector<graph::Cycle> cycles;               // simple cycles
+};
+
+/// Decomposes an edge set in which every edge carries one unit of flow and
+/// the net divergence is +k at s, -k at t, 0 elsewhere, into exactly k
+/// simple s→t paths plus a set of simple cycles partitioning the edges.
+/// KRSP_CHECKs the divergence precondition.
+FlowDecomposition decompose_unit_flow(const graph::Digraph& g,
+                                      std::span<const graph::EdgeId> edges,
+                                      graph::VertexId s, graph::VertexId t,
+                                      int k);
+
+}  // namespace krsp::flow

@@ -1,0 +1,93 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace krsp::flow {
+
+Dinic::Dinic(int num_vertices)
+    : arcs_(num_vertices),
+      level_(num_vertices),
+      iter_(num_vertices),
+      head_(num_vertices) {
+  KRSP_CHECK(num_vertices >= 0);
+}
+
+int Dinic::add_arc(graph::VertexId from, graph::VertexId to,
+                   std::int64_t capacity) {
+  KRSP_CHECK(from >= 0 && from < num_vertices());
+  KRSP_CHECK(to >= 0 && to < num_vertices());
+  KRSP_CHECK(capacity >= 0);
+  const int fwd = static_cast<int>(arcs_[from].size());
+  const int bwd = static_cast<int>(arcs_[to].size()) + (from == to ? 1 : 0);
+  arcs_[from].push_back(InternalArc{to, capacity, bwd});
+  arcs_[to].push_back(InternalArc{from, 0, fwd});
+  handles_.emplace_back(from, fwd);
+  original_cap_.push_back(capacity);
+  return static_cast<int>(handles_.size()) - 1;
+}
+
+bool Dinic::bfs(graph::VertexId s, graph::VertexId t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<graph::VertexId> queue{s};
+  level_[s] = 0;
+  while (!queue.empty()) {
+    const graph::VertexId v = queue.front();
+    queue.pop_front();
+    for (const auto& a : arcs_[v]) {
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[v] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t Dinic::dfs(graph::VertexId v, graph::VertexId t,
+                        std::int64_t limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[v]; i < arcs_[v].size(); ++i) {
+    InternalArc& a = arcs_[v][i];
+    if (a.cap <= 0 || level_[a.to] != level_[v] + 1) continue;
+    const std::int64_t pushed = dfs(a.to, t, std::min(limit, a.cap));
+    if (pushed > 0) {
+      a.cap -= pushed;
+      arcs_[a.to][a.rev].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::solve(graph::VertexId s, graph::VertexId t) {
+  KRSP_CHECK(s >= 0 && s < num_vertices() && t >= 0 && t < num_vertices());
+  KRSP_CHECK_MSG(s != t, "max flow with s == t");
+  std::int64_t total = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t Dinic::flow_on(int arc) const {
+  KRSP_CHECK(arc >= 0 && arc < static_cast<int>(handles_.size()));
+  const auto& [from, idx] = handles_[arc];
+  return original_cap_[arc] - arcs_[from][idx].cap;
+}
+
+int max_edge_disjoint_paths(const graph::Digraph& g, graph::VertexId s,
+                            graph::VertexId t) {
+  Dinic dinic(g.num_vertices());
+  for (const auto& e : g.edges()) dinic.add_arc(e.from, e.to, 1);
+  return static_cast<int>(dinic.solve(s, t));
+}
+
+}  // namespace krsp::flow

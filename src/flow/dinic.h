@@ -1,0 +1,53 @@
+// Dinic max-flow. In this library it answers the structural feasibility
+// question of kRSP: do k edge-disjoint s→t paths exist at all (unit
+// capacities)? General integer capacities are supported for completeness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::flow {
+
+class Dinic {
+ public:
+  explicit Dinic(int num_vertices);
+
+  /// Adds a directed arc with the given capacity; returns an arc handle that
+  /// can be queried for flow after solve().
+  int add_arc(graph::VertexId from, graph::VertexId to, std::int64_t capacity);
+
+  /// Max flow from s to t (callable once per instance).
+  std::int64_t solve(graph::VertexId s, graph::VertexId t);
+
+  /// Flow routed on the arc returned by add_arc.
+  [[nodiscard]] std::int64_t flow_on(int arc) const;
+
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(head_.size());
+  }
+
+ private:
+  struct InternalArc {
+    graph::VertexId to;
+    std::int64_t cap;  // residual capacity
+    int rev;           // index of the reverse arc in arcs_[to]
+  };
+
+  bool bfs(graph::VertexId s, graph::VertexId t);
+  std::int64_t dfs(graph::VertexId v, graph::VertexId t, std::int64_t limit);
+
+  std::vector<std::vector<InternalArc>> arcs_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<graph::VertexId, int>> handles_;  // (from, index)
+  std::vector<std::int64_t> original_cap_;
+  std::vector<int> head_;  // sized to num_vertices for bookkeeping
+};
+
+/// Maximum number of edge-disjoint s→t paths in g (unit capacity per edge).
+int max_edge_disjoint_paths(const graph::Digraph& g, graph::VertexId s,
+                            graph::VertexId t);
+
+}  // namespace krsp::flow

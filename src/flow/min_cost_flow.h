@@ -1,0 +1,65 @@
+// Minimum-cost flow via successive shortest paths with Johnson potentials.
+//
+// This is the engine behind phase 1 (Lemma 5): min-cost k-flows under the
+// Lagrangian weight q·cost + p·delay are integral and computed exactly in
+// 64-bit integer arithmetic. Arc costs must be non-negative (all phase-1
+// weights are; residual negativity is handled by the potentials).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::flow {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_vertices);
+
+  /// Adds an arc; returns a handle for flow_on(). cost must be >= 0.
+  int add_arc(graph::VertexId from, graph::VertexId to, std::int64_t capacity,
+              std::int64_t cost);
+
+  /// Sends exactly `amount` units s→t at minimum cost. Returns the total
+  /// cost, or nullopt if the max flow is smaller than `amount`.
+  /// Callable once per instance.
+  std::optional<std::int64_t> solve(graph::VertexId s, graph::VertexId t,
+                                    std::int64_t amount);
+
+  [[nodiscard]] std::int64_t flow_on(int arc) const;
+
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(first_out_.size());
+  }
+
+ private:
+  struct InternalArc {
+    graph::VertexId to;
+    std::int64_t cap;
+    std::int64_t cost;
+    int rev;
+  };
+
+  std::vector<std::vector<InternalArc>> arcs_;
+  std::vector<std::pair<graph::VertexId, int>> handles_;
+  std::vector<std::int64_t> original_cap_;
+  std::vector<int> first_out_;  // sized to n (bookkeeping only)
+};
+
+/// Convenience: minimum-(linear weight) k edge-disjoint flow on a Digraph.
+/// Sends k units with every graph edge given capacity 1 and cost
+/// w_cost·cost(e) + w_delay·delay(e). Returns the used edge ids, or nullopt
+/// if fewer than k disjoint paths exist.
+struct UnitFlowResult {
+  std::vector<graph::EdgeId> edges;  // edges carrying one unit each
+  std::int64_t weight = 0;           // total combined weight
+};
+std::optional<UnitFlowResult> min_weight_unit_flow(const graph::Digraph& g,
+                                                   graph::VertexId s,
+                                                   graph::VertexId t, int k,
+                                                   std::int64_t w_cost,
+                                                   std::int64_t w_delay);
+
+}  // namespace krsp::flow

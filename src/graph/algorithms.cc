@@ -1,0 +1,170 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace krsp::graph {
+
+std::vector<bool> reachable_from(const Digraph& g, VertexId source) {
+  KRSP_CHECK(g.is_vertex(source));
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue{source};
+  seen[source] = true;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : g.out_edges(v)) {
+      const VertexId w = g.edge(e).to;
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> can_reach(const Digraph& g, VertexId sink) {
+  KRSP_CHECK(g.is_vertex(sink));
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue{sink};
+  seen[sink] = true;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : g.in_edges(v)) {
+      const VertexId w = g.edge(e).from;
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+bool has_path(const Digraph& g, VertexId s, VertexId t) {
+  return reachable_from(g, s)[t];
+}
+
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> indeg(n, 0);
+  for (const auto& e : g.edges()) ++indeg[e.to];
+  std::deque<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const VertexId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v))
+      if (--indeg[g.edge(e).to] == 0) ready.push_back(g.edge(e).to);
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+namespace {
+
+// Iterative Tarjan SCC (explicit stack; recursion would overflow on long
+// paths in benchmark-sized graphs).
+struct TarjanState {
+  const Digraph& g;
+  std::vector<int> index, lowlink, component;
+  std::vector<bool> on_stack;
+  std::vector<VertexId> stack;
+  int next_index = 0;
+  int num_components = 0;
+
+  explicit TarjanState(const Digraph& graph)
+      : g(graph),
+        index(graph.num_vertices(), -1),
+        lowlink(graph.num_vertices(), -1),
+        component(graph.num_vertices(), -1),
+        on_stack(graph.num_vertices(), false) {}
+
+  void run(VertexId root) {
+    // Frame: (vertex, next out-edge position).
+    std::vector<std::pair<VertexId, std::size_t>> frames;
+    frames.emplace_back(root, 0);
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      auto& [v, pos] = frames.back();
+      const auto out = g.out_edges(v);
+      if (pos < out.size()) {
+        const VertexId w = g.edge(out[pos++]).to;
+        if (index[w] < 0) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.emplace_back(w, 0);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            const VertexId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = num_components;
+            if (w == v) break;
+          }
+          ++num_components;
+        }
+        const VertexId child = v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const VertexId parent = frames.back().first;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[child]);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SccResult strongly_connected_components(const Digraph& g) {
+  TarjanState st(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (st.index[v] < 0) st.run(v);
+  return SccResult{std::move(st.component), st.num_components};
+}
+
+std::vector<EdgeId> bfs_path(const Digraph& g, VertexId s, VertexId t) {
+  KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t));
+  std::vector<EdgeId> parent(g.num_vertices(), kInvalidEdge);
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue{s};
+  seen[s] = true;
+  while (!queue.empty() && !seen[t]) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const EdgeId e : g.out_edges(v)) {
+      const VertexId w = g.edge(e).to;
+      if (!seen[w]) {
+        seen[w] = true;
+        parent[w] = e;
+        queue.push_back(w);
+      }
+    }
+  }
+  std::vector<EdgeId> path;
+  if (!seen[t]) return path;
+  for (VertexId at = t; at != s;) {
+    const EdgeId e = parent[at];
+    path.push_back(e);
+    at = g.edge(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace krsp::graph

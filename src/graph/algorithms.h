@@ -1,0 +1,38 @@
+// Structural graph algorithms: reachability, topological order, strongly
+// connected components. Weight-aware algorithms live in src/paths.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::graph {
+
+/// Vertices reachable from `source` following edge direction.
+std::vector<bool> reachable_from(const Digraph& g, VertexId source);
+
+/// Vertices that can reach `sink` following edge direction.
+std::vector<bool> can_reach(const Digraph& g, VertexId sink);
+
+/// True iff a directed s→t path exists.
+bool has_path(const Digraph& g, VertexId s, VertexId t);
+
+/// Topological order of all vertices, or nullopt if the graph has a cycle.
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
+
+/// Tarjan strongly connected components. Returns component id per vertex,
+/// with components numbered in reverse topological order of the condensation
+/// (i.e. component of u <= component of v whenever v→u is an edge... ids are
+/// assigned as components complete). Also returns the number of components.
+struct SccResult {
+  std::vector<int> component;
+  int num_components = 0;
+};
+SccResult strongly_connected_components(const Digraph& g);
+
+/// Shortest (fewest-edges) s→t path as edge ids, or empty if unreachable and
+/// s != t. BFS.
+std::vector<EdgeId> bfs_path(const Digraph& g, VertexId s, VertexId t);
+
+}  // namespace krsp::graph

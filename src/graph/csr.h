@@ -1,0 +1,54 @@
+// Compressed-sparse-row adjacency view of a Digraph.
+//
+// The bicameral product-graph scan relaxes every edge (B+1) times per
+// Bellman–Ford round; the pointer-chasing vector-of-vectors adjacency is
+// the bottleneck there. CsrView packs (head, cost, delay, id) per arc into
+// contiguous arrays grouped by tail — a read-only snapshot taken once per
+// residual graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::graph {
+
+class CsrView {
+ public:
+  struct Arc {
+    VertexId to;
+    Cost cost;
+    Delay delay;
+    EdgeId id;
+  };
+
+  explicit CsrView(const Digraph& g) {
+    const int n = g.num_vertices();
+    first_.assign(n + 1, 0);
+    for (const auto& e : g.edges()) ++first_[e.from + 1];
+    for (int v = 0; v < n; ++v) first_[v + 1] += first_[v];
+    arcs_.resize(g.num_edges());
+    std::vector<int> at(first_.begin(), first_.end() - 1);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      arcs_[at[edge.from]++] = Arc{edge.to, edge.cost, edge.delay, e};
+    }
+  }
+
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(first_.size()) - 1;
+  }
+  [[nodiscard]] int num_arcs() const { return static_cast<int>(arcs_.size()); }
+
+  [[nodiscard]] std::span<const Arc> out(VertexId v) const {
+    KRSP_DCHECK(v >= 0 && v + 1 < static_cast<VertexId>(first_.size()));
+    return {arcs_.data() + first_[v],
+            static_cast<std::size_t>(first_[v + 1] - first_[v])};
+  }
+
+ private:
+  std::vector<int> first_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace krsp::graph

@@ -1,0 +1,39 @@
+// Cycle extraction machinery.
+//
+// The paper's core operations produce (a) closed walks in residual/auxiliary
+// graphs that must be split into *simple* cycles (Lemma 15 maps an auxiliary
+// cycle to "a set of cycles" in the residual graph), and (b) balanced edge
+// sets — every vertex with in-degree == out-degree — arising from the
+// symmetric difference of two k-path systems (Proposition 8), which
+// decompose into edge-disjoint simple cycles.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::graph {
+
+/// A cycle represented as a sequence of edge ids forming a closed walk with
+/// no repeated vertex (simple cycle).
+using Cycle = std::vector<EdgeId>;
+
+/// True iff `edges` forms a simple directed cycle in g (non-empty, closed,
+/// no vertex repeated).
+bool is_simple_cycle(const Digraph& g, std::span<const EdgeId> edges);
+
+/// Splits a closed walk (sequence of edge ids, head of each edge == tail of
+/// the next, last head == first tail) into edge-disjoint simple cycles whose
+/// edge multisets partition the walk's. The walk may repeat vertices and
+/// even edges (if the underlying multigraph has parallel edges, repeated ids
+/// are still split correctly because the stack tracks positions).
+std::vector<Cycle> decompose_closed_walk(const Digraph& g,
+                                         std::span<const EdgeId> walk);
+
+/// Decomposes an edge multiset in which every vertex is balanced
+/// (in-degree == out-degree within the multiset) into edge-disjoint simple
+/// cycles. KRSP_CHECKs the balance precondition.
+std::vector<Cycle> decompose_balanced_edge_set(const Digraph& g,
+                                               std::span<const EdgeId> edges);
+
+}  // namespace krsp::graph

@@ -1,0 +1,85 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+namespace krsp::graph {
+
+Cost Digraph::total_cost() const {
+  Cost sum = 0;
+  for (const auto& e : edges_) sum += e.cost;
+  return sum;
+}
+
+Delay Digraph::total_delay() const {
+  Delay sum = 0;
+  for (const auto& e : edges_) sum += e.delay;
+  return sum;
+}
+
+Cost Digraph::max_abs_cost() const {
+  Cost best = 0;
+  for (const auto& e : edges_) best = std::max(best, std::abs(e.cost));
+  return best;
+}
+
+Delay Digraph::max_abs_delay() const {
+  Delay best = 0;
+  for (const auto& e : edges_) best = std::max(best, std::abs(e.delay));
+  return best;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(num_vertices());
+  for (const auto& e : edges_) r.add_edge(e.to, e.from, e.cost, e.delay);
+  return r;
+}
+
+std::string Digraph::summary() const {
+  std::ostringstream os;
+  os << "Digraph(n=" << num_vertices() << ", m=" << num_edges() << ")";
+  return os.str();
+}
+
+Cost path_cost(const Digraph& g, std::span<const EdgeId> edges) {
+  Cost sum = 0;
+  for (const EdgeId e : edges) sum += g.edge(e).cost;
+  return sum;
+}
+
+Delay path_delay(const Digraph& g, std::span<const EdgeId> edges) {
+  Delay sum = 0;
+  for (const EdgeId e : edges) sum += g.edge(e).delay;
+  return sum;
+}
+
+bool is_walk(const Digraph& g, std::span<const EdgeId> edges, VertexId from,
+             VertexId to) {
+  if (edges.empty()) return from == to;
+  VertexId at = from;
+  for (const EdgeId e : edges) {
+    if (!g.is_edge(e) || g.edge(e).from != at) return false;
+    at = g.edge(e).to;
+  }
+  return at == to;
+}
+
+bool is_simple_path(const Digraph& g, std::span<const EdgeId> edges,
+                    VertexId from, VertexId to) {
+  if (!is_walk(g, edges, from, to)) return false;
+  std::unordered_set<VertexId> seen;
+  std::unordered_set<EdgeId> seen_edges;
+  seen.insert(from);
+  for (const EdgeId e : edges) {
+    if (!seen_edges.insert(e).second) return false;
+    const VertexId head = g.edge(e).to;
+    // The endpoint may equal `from` only if this is the final edge of a
+    // cycle-shaped "path"; for s-t paths from != to so head must be fresh.
+    if (!seen.insert(head).second) return false;
+  }
+  return true;
+}
+
+}  // namespace krsp::graph

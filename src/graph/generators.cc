@@ -1,0 +1,271 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace krsp::gen {
+
+namespace {
+
+Cost draw_cost(util::Rng& rng, const WeightRange& w) {
+  return rng.uniform_int(w.cost_min, w.cost_max);
+}
+
+Delay draw_delay(util::Rng& rng, const WeightRange& w) {
+  return rng.uniform_int(w.delay_min, w.delay_max);
+}
+
+}  // namespace
+
+Digraph erdos_renyi(util::Rng& rng, int n, double p, const WeightRange& w) {
+  KRSP_CHECK(n >= 0 && p >= 0.0 && p <= 1.0);
+  Digraph g(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = 0; v < n; ++v)
+      if (u != v && rng.bernoulli(p))
+        g.add_edge(u, v, draw_cost(rng, w), draw_delay(rng, w));
+  return g;
+}
+
+Digraph random_m_edges(util::Rng& rng, int n, int m, const WeightRange& w) {
+  KRSP_CHECK(n >= 2);
+  KRSP_CHECK_MSG(m <= static_cast<std::int64_t>(n) * (n - 1),
+                 "too many edges requested for simple digraph");
+  Digraph g(n);
+  std::set<std::pair<VertexId, VertexId>> used;
+  while (static_cast<int>(used.size()) < m) {
+    const auto u = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    const auto v = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    if (u == v || !used.emplace(u, v).second) continue;
+    g.add_edge(u, v, draw_cost(rng, w), draw_delay(rng, w));
+  }
+  return g;
+}
+
+Digraph waxman(util::Rng& rng, int n, const WaxmanParams& params) {
+  KRSP_CHECK(n >= 0);
+  Digraph g(n);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.uniform01(), rng.uniform01()};
+  const double diag = std::sqrt(2.0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double dx = pos[u].first - pos[v].first;
+      const double dy = pos[u].second - pos[v].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double prob =
+          params.beta * std::exp(-dist / (params.alpha * diag));
+      if (!rng.bernoulli(prob)) continue;
+      const Delay delay = std::max<Delay>(
+          1, static_cast<Delay>(
+                 std::ceil(dist * static_cast<double>(params.delay_scale))));
+      g.add_edge(u, v, rng.uniform_int(params.cost_min, params.cost_max),
+                 delay);
+    }
+  }
+  return g;
+}
+
+Digraph grid(util::Rng& rng, int width, int height, const WeightRange& w) {
+  KRSP_CHECK(width >= 1 && height >= 1);
+  Digraph g(width * height);
+  const auto id = [width](int r, int c) {
+    return static_cast<VertexId>(r * width + c);
+  };
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      if (c + 1 < width) {
+        g.add_edge(id(r, c), id(r, c + 1), draw_cost(rng, w),
+                   draw_delay(rng, w));
+        g.add_edge(id(r, c + 1), id(r, c), draw_cost(rng, w),
+                   draw_delay(rng, w));
+      }
+      if (r + 1 < height) {
+        g.add_edge(id(r, c), id(r + 1, c), draw_cost(rng, w),
+                   draw_delay(rng, w));
+        g.add_edge(id(r + 1, c), id(r, c), draw_cost(rng, w),
+                   draw_delay(rng, w));
+      }
+    }
+  }
+  return g;
+}
+
+Digraph layered_dag(util::Rng& rng, int layers, int width, double p, int k,
+                    const WeightRange& w) {
+  KRSP_CHECK(layers >= 1 && width >= 1 && k >= 1 && k <= width);
+  const int n = layers * width + 2;
+  Digraph g(n);
+  const VertexId s = 0;
+  const VertexId t = static_cast<VertexId>(n - 1);
+  const auto id = [width](int layer, int i) {
+    return static_cast<VertexId>(1 + layer * width + i);
+  };
+  // Spine: k vertex-disjoint guaranteed s-t paths through lanes 0..k-1.
+  for (int lane = 0; lane < k; ++lane) {
+    g.add_edge(s, id(0, lane), draw_cost(rng, w), draw_delay(rng, w));
+    for (int layer = 0; layer + 1 < layers; ++layer)
+      g.add_edge(id(layer, lane), id(layer + 1, lane), draw_cost(rng, w),
+                 draw_delay(rng, w));
+    g.add_edge(id(layers - 1, lane), t, draw_cost(rng, w), draw_delay(rng, w));
+  }
+  // Random extra arcs between consecutive layers, plus extra s/t attachment.
+  for (int i = k; i < width; ++i) {
+    if (rng.bernoulli(p)) {
+      g.add_edge(s, id(0, i), draw_cost(rng, w), draw_delay(rng, w));
+    }
+    if (rng.bernoulli(p)) {
+      g.add_edge(id(layers - 1, i), t, draw_cost(rng, w), draw_delay(rng, w));
+    }
+  }
+  for (int layer = 0; layer + 1 < layers; ++layer)
+    for (int i = 0; i < width; ++i)
+      for (int j = 0; j < width; ++j)
+        if ((i != j || i >= k) && rng.bernoulli(p))
+          g.add_edge(id(layer, i), id(layer + 1, j), draw_cost(rng, w),
+                     draw_delay(rng, w));
+  return g;
+}
+
+Digraph barabasi_albert(util::Rng& rng, int n, int attach,
+                        const WeightRange& w) {
+  KRSP_CHECK(attach >= 1);
+  const int m0 = attach + 1;
+  KRSP_CHECK_MSG(n >= m0, "barabasi_albert: n < attach + 1");
+  Digraph g(n);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<VertexId> endpoints;
+  for (VertexId u = 0; u < m0; ++u)
+    for (VertexId v = 0; v < m0; ++v)
+      if (u < v) {
+        g.add_edge(u, v, draw_cost(rng, w), draw_delay(rng, w));
+        g.add_edge(v, u, draw_cost(rng, w), draw_delay(rng, w));
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+  for (VertexId v = m0; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (static_cast<int>(targets.size()) < attach) {
+      const auto pick = endpoints[rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoints.size()) - 1)];
+      targets.insert(pick);
+    }
+    for (const VertexId u : targets) {
+      g.add_edge(v, u, draw_cost(rng, w), draw_delay(rng, w));
+      g.add_edge(u, v, draw_cost(rng, w), draw_delay(rng, w));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return g;
+}
+
+Digraph isp_like(util::Rng& rng, const IspParams& params) {
+  const int core = params.core_size;
+  KRSP_CHECK(core >= 3 && params.region_count >= 1 && params.region_size >= 1);
+  const int n = core + params.region_count * params.region_size;
+  Digraph g(n);
+  const auto core_id = [](int i) { return static_cast<VertexId>(i); };
+  const auto region_id = [&](int r, int i) {
+    return static_cast<VertexId>(core + r * params.region_size + i);
+  };
+  const auto add_bidir = [&](VertexId u, VertexId v, Cost c, Delay d) {
+    g.add_edge(u, v, c, d);
+    g.add_edge(v, u, c, d);
+  };
+  // Core ring: cheap and fast.
+  for (int i = 0; i < core; ++i)
+    add_bidir(core_id(i), core_id((i + 1) % core), rng.uniform_int(1, 3),
+              rng.uniform_int(1, 3));
+  // Random core chords.
+  for (int i = 0; i < core; ++i)
+    for (int j = i + 2; j < core; ++j)
+      if ((i != 0 || j != core - 1) && rng.bernoulli(params.core_chord_prob))
+        add_bidir(core_id(i), core_id(j), rng.uniform_int(1, 4),
+                  rng.uniform_int(1, 4));
+  // Regions: local chain, dual-homed onto two distinct core routers via
+  // slower, pricier access links.
+  for (int r = 0; r < params.region_count; ++r) {
+    for (int i = 0; i + 1 < params.region_size; ++i)
+      add_bidir(region_id(r, i), region_id(r, i + 1), rng.uniform_int(1, 3),
+                rng.uniform_int(2, 5));
+    const int home1 = static_cast<int>(rng.uniform_int(0, core - 1));
+    int home2 = static_cast<int>(rng.uniform_int(0, core - 2));
+    if (home2 >= home1) ++home2;
+    add_bidir(region_id(r, 0), core_id(home1), rng.uniform_int(3, 8),
+              rng.uniform_int(4, 10));
+    add_bidir(region_id(r, params.region_size - 1), core_id(home2),
+              rng.uniform_int(3, 8), rng.uniform_int(4, 10));
+  }
+  return g;
+}
+
+Figure1Gadget figure1_gadget(Delay D, Cost c_opt) {
+  KRSP_CHECK(D >= 1 && c_opt >= 2);
+  Figure1Gadget fig;
+  fig.delay_bound = D;
+  fig.optimal_cost = c_opt;
+  fig.bad_cost = c_opt * (D + 1) - 1;
+
+  // Vertices: s=0, a=1, b=2, c=3, t=4.
+  Digraph g(5);
+  const VertexId s = 0, a = 1, b = 2, c = 3, t = 4;
+  g.add_edge(s, a, 0, 0);
+  g.add_edge(a, b, 0, 1);
+  g.add_edge(b, c, 0, D);
+  g.add_edge(c, t, 0, 0);
+  g.add_edge(s, t, 0, 0);                  // second path
+  g.add_edge(b, t, c_opt, D - 1);          // optimal detour: s-a-b-t
+  g.add_edge(a, t, fig.bad_cost, 0);       // tempting ruinous detour: s-a-t
+  fig.graph = std::move(g);
+  fig.s = s;
+  fig.t = t;
+  return fig;
+}
+
+Figure2Example figure2_example() {
+  Figure2Example fig;
+  // s=0, x=1, y=2, z=3, t=4; current solution path s-x-y-z-t.
+  Digraph g(5);
+  fig.current_path.push_back(g.add_edge(fig.s, fig.x, 1, 2));
+  fig.current_path.push_back(g.add_edge(fig.x, fig.y, 2, 3));
+  fig.current_path.push_back(g.add_edge(fig.y, fig.z, 1, 4));
+  fig.current_path.push_back(g.add_edge(fig.z, fig.t, 2, 2));
+  // Bypass arcs creating residual cycles of positive cost within B = 6:
+  // x->z (cost 4, delay 1): residual cycle x->z, z->y(-1,-4), y->x(-2,-3)
+  // has cost 1 in (0, 6] and delay -6 < 0 — a delay-reducing cycle.
+  g.add_edge(fig.x, fig.z, 4, 1);
+  // s->y direct and y->t direct give alternative partial reroutes.
+  g.add_edge(fig.s, fig.y, 5, 1);
+  g.add_edge(fig.y, fig.t, 5, 1);
+  fig.graph = std::move(g);
+  return fig;
+}
+
+Digraph tradeoff_chains(util::Rng& rng, int chains, int hops, Cost fast_cost,
+                        Delay slow_delay) {
+  KRSP_CHECK(chains >= 1 && hops >= 1 && fast_cost >= 1 && slow_delay >= 1);
+  // s = 0, t = 1, then chain c hop h internal vertex.
+  const int n = 2 + chains * (hops - 1);
+  Digraph g(std::max(n, 2));
+  const VertexId s = 0, t = 1;
+  const auto inner = [&](int chain, int h) {
+    return static_cast<VertexId>(2 + chain * (hops - 1) + h);
+  };
+  for (int c = 0; c < chains; ++c) {
+    for (int h = 0; h < hops; ++h) {
+      const VertexId u = h == 0 ? s : inner(c, h - 1);
+      const VertexId v = h == hops - 1 ? t : inner(c, h);
+      // Cheap/slow variant and expensive/fast variant of every hop.
+      g.add_edge(u, v, rng.uniform_int(0, 1), slow_delay);
+      g.add_edge(u, v, fast_cost + rng.uniform_int(0, 1), 1);
+    }
+  }
+  return g;
+}
+
+}  // namespace krsp::gen

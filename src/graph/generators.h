@@ -1,0 +1,125 @@
+// Workload generators for tests, examples and the benchmark harness.
+//
+// All generators are deterministic given the Rng. Costs and delays are drawn
+// independently unless stated; QoS-style generators (Waxman, ISP) tie delay
+// to geometric distance, the standard model in the multipath-QoS literature
+// the paper targets.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace krsp::gen {
+
+using graph::Cost;
+using graph::Delay;
+using graph::Digraph;
+using graph::VertexId;
+
+struct WeightRange {
+  Cost cost_min = 1;
+  Cost cost_max = 10;
+  Delay delay_min = 1;
+  Delay delay_max = 10;
+};
+
+/// G(n, p) random digraph (no self loops). Each ordered pair gets an edge
+/// with probability p; weights uniform in the given ranges.
+Digraph erdos_renyi(util::Rng& rng, int n, double p,
+                    const WeightRange& w = {});
+
+/// Random digraph with exactly m edges (distinct ordered pairs, no loops).
+Digraph random_m_edges(util::Rng& rng, int n, int m, const WeightRange& w = {});
+
+/// Waxman random geometric graph: n points in the unit square; arc u→v with
+/// probability beta * exp(-dist(u,v) / (alpha * sqrt(2))). Delay is the
+/// scaled Euclidean distance (propagation delay), cost uniform (monetary /
+/// load cost). Arcs are added in both directions independently.
+struct WaxmanParams {
+  double alpha = 0.4;
+  double beta = 0.6;
+  Delay delay_scale = 100;  // delay = ceil(dist * delay_scale), >= 1
+  Cost cost_min = 1;
+  Cost cost_max = 20;
+};
+Digraph waxman(util::Rng& rng, int n, const WaxmanParams& params = {});
+
+/// Directed grid of width x height. Arcs go right and down plus their
+/// reverses, giving rich disjoint-path structure. Vertex (r, c) has id
+/// r * width + c. Weights uniform.
+Digraph grid(util::Rng& rng, int width, int height, const WeightRange& w = {});
+
+/// Layered DAG: `layers` layers of `width` vertices plus source (id 0) and
+/// sink (id n-1); arcs between consecutive layers with probability p.
+/// Guaranteed k vertex-disjoint s-t "spine" paths so kRSP instances are
+/// k-edge-connected by construction.
+Digraph layered_dag(util::Rng& rng, int layers, int width, double p, int k,
+                    const WeightRange& w = {});
+
+/// Barabási–Albert preferential-attachment graph (scale-free degree
+/// distribution, the classic Internet-topology model). Starts from a
+/// directed clique on `m0 = attach + 1` vertices; each new vertex attaches
+/// to `attach` existing vertices sampled proportionally to degree, adding
+/// arcs in both directions. Weights uniform.
+Digraph barabasi_albert(util::Rng& rng, int n, int attach,
+                        const WeightRange& w = {});
+
+/// Two-level ISP-like topology: a well-connected core ring+chords, and
+/// `region_count` access regions each hanging off two distinct core nodes
+/// (dual-homing). Core links are cheap/fast, access links slower. Vertex 0
+/// is a region host, vertex 1 a host in a different region — natural s/t.
+struct IspParams {
+  int core_size = 8;
+  int region_count = 4;
+  int region_size = 5;
+  double core_chord_prob = 0.3;
+};
+Digraph isp_like(util::Rng& rng, const IspParams& params = {});
+
+/// The paper's Figure 1 gadget (k = 2, terminals s=0, t=4).
+///
+/// Reproduces the example of Section 3.1: starting from the phase-1 solution
+/// {s-a-b-c-t, s-t} with delay D+1 (one unit over budget), the residual
+/// graph contains two delay-reducing cycles:
+///   O_good: cost C_OPT,          delay -1      (leads to the optimum)
+///   O_bad:  cost C_OPT*(D+1)-1,  delay -(D+1)  (slightly better ratio!)
+/// A best-ratio picker without the bicameral cost cap takes O_bad and ends
+/// with cost C_OPT*(D+1)-1 and delay 0; the cap (|c(O)| <= C_OPT) rejects it
+/// and the algorithm returns the optimum {s-a-b-t, s-t} with cost C_OPT and
+/// delay exactly D.
+struct Figure1Gadget {
+  Digraph graph;
+  VertexId s = 0;
+  VertexId t = 4;
+  int k = 2;
+  Delay delay_bound = 0;   // D
+  Cost optimal_cost = 0;   // C_OPT
+  Cost bad_cost = 0;       // C_OPT*(D+1)-1, the unconstrained outcome
+};
+Figure1Gadget figure1_gadget(Delay D, Cost c_opt = 5);
+
+/// The running example used for Figure 2 (auxiliary-graph construction):
+/// a 5-vertex graph whose path s-x-y-z-t is the current solution, with a
+/// bypass arc so the residual graph has a cycle of positive cost within
+/// budget B = 6. The exact arc weights of the paper's figure are not
+/// recoverable from the text, so this is a faithful representative: same
+/// shape (5 vertices, current path s-x-y-z-t, B = 6), documented in
+/// DESIGN.md §6.
+struct Figure2Example {
+  Digraph graph;
+  VertexId s = 0, x = 1, y = 2, z = 3, t = 4;
+  std::vector<graph::EdgeId> current_path;  // s-x-y-z-t
+  Cost budget = 6;                          // B in the figure
+};
+Figure2Example figure2_example();
+
+/// Instances engineered so the phase-1 solution overshoots the delay bound
+/// and cycle cancellation must run several iterations: `chains` parallel
+/// s-t chains, each offering a cheap/slow and an expensive/fast variant per
+/// hop, with the budget set between the all-slow and all-fast extremes.
+Digraph tradeoff_chains(util::Rng& rng, int chains, int hops, Cost fast_cost,
+                        Delay slow_delay);
+
+}  // namespace krsp::gen

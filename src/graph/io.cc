@@ -1,0 +1,69 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+
+namespace krsp::graph {
+
+void write_graph(std::ostream& os, const Digraph& g) {
+  os << "c krsp digraph, cost+delay per arc\n";
+  os << "p krsp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges())
+    os << "a " << e.from << ' ' << e.to << ' ' << e.cost << ' ' << e.delay
+       << '\n';
+}
+
+Digraph read_graph(std::istream& is) {
+  Digraph g;
+  std::string line;
+  int declared_edges = -1;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string tag;
+      int n = 0, m = 0;
+      ls >> tag >> n >> m;
+      KRSP_CHECK_MSG(tag == "krsp", "unexpected problem tag: " << tag);
+      KRSP_CHECK(n >= 0 && m >= 0);
+      g.resize(n);
+      declared_edges = m;
+      have_header = true;
+    } else if (kind == 'a') {
+      KRSP_CHECK_MSG(have_header, "arc line before problem line");
+      VertexId u = kInvalidVertex, v = kInvalidVertex;
+      Cost c = 0;
+      Delay d = 0;
+      ls >> u >> v >> c >> d;
+      KRSP_CHECK_MSG(!ls.fail(), "malformed arc line: " << line);
+      g.add_edge(u, v, c, d);
+    } else {
+      KRSP_CHECK_MSG(false, "unknown line kind '" << kind << "' in: " << line);
+    }
+  }
+  KRSP_CHECK_MSG(have_header, "graph stream missing problem line");
+  KRSP_CHECK_MSG(declared_edges == g.num_edges(),
+                 "edge count mismatch: declared " << declared_edges << " read "
+                                                  << g.num_edges());
+  return g;
+}
+
+void write_graph_file(const std::string& path, const Digraph& g) {
+  std::ofstream os(path);
+  KRSP_CHECK_MSG(os.good(), "cannot open for write: " << path);
+  write_graph(os, g);
+}
+
+Digraph read_graph_file(const std::string& path) {
+  std::ifstream is(path);
+  KRSP_CHECK_MSG(is.good(), "cannot open for read: " << path);
+  return read_graph(is);
+}
+
+}  // namespace krsp::graph

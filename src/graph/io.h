@@ -1,0 +1,23 @@
+// Plain-text serialization of graphs (DIMACS-flavored), used by examples and
+// for persisting benchmark workloads.
+//
+// Format:
+//   p krsp <num_vertices> <num_edges>
+//   a <from> <to> <cost> <delay>     (one line per edge, 0-based vertices)
+// Lines starting with 'c' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace krsp::graph {
+
+void write_graph(std::ostream& os, const Digraph& g);
+Digraph read_graph(std::istream& is);
+
+void write_graph_file(const std::string& path, const Digraph& g);
+Digraph read_graph_file(const std::string& path);
+
+}  // namespace krsp::graph

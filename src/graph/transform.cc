@@ -1,0 +1,30 @@
+#include "graph/transform.h"
+
+namespace krsp::graph {
+
+SplitGraph::SplitGraph(const Digraph& base)
+    : num_base_vertices_(base.num_vertices()),
+      split_(2 * base.num_vertices()) {
+  // Gates first so their ids are stable (= base vertex id).
+  for (VertexId v = 0; v < num_base_vertices_; ++v) {
+    split_.add_edge(in_vertex(v), out_vertex(v), 0, 0);
+    base_edge_.push_back(kInvalidEdge);
+  }
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const auto& edge = base.edge(e);
+    split_.add_edge(out_vertex(edge.from), in_vertex(edge.to), edge.cost,
+                    edge.delay);
+    base_edge_.push_back(e);
+  }
+}
+
+std::vector<EdgeId> SplitGraph::project_path(
+    std::span<const EdgeId> split_path) const {
+  std::vector<EdgeId> out;
+  for (const EdgeId e : split_path) {
+    if (!is_gate(e)) out.push_back(base_edge_of(e));
+  }
+  return out;
+}
+
+}  // namespace krsp::graph

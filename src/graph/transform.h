@@ -1,0 +1,61 @@
+// Graph transformations.
+//
+// Vertex splitting reduces *vertex*-disjoint path problems to the
+// edge-disjoint problems this library solves (the paper treats the
+// edge-disjoint kRSP; Definition 2's footnote "(edge) disjoint" — the
+// vertex-disjoint variant is the standard companion and reduces by
+// splitting every vertex v into v_in → v_out with a zero-weight arc of
+// unit "capacity").
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::graph {
+
+/// Result of splitting every vertex of a base graph.
+///
+/// Vertex v of the base becomes v_in (receives all in-arcs) and v_out
+/// (emits all out-arcs), joined by a zero-cost zero-delay *gate* arc.
+/// Edge-disjoint paths in the split graph that each cross a gate at most
+/// once correspond to internally-vertex-disjoint paths of the base graph —
+/// and unit-capacity gates enforce exactly that.
+class SplitGraph {
+ public:
+  explicit SplitGraph(const Digraph& base);
+
+  [[nodiscard]] const Digraph& digraph() const { return split_; }
+
+  [[nodiscard]] VertexId in_vertex(VertexId base_vertex) const {
+    KRSP_DCHECK(base_vertex >= 0 && base_vertex < num_base_vertices_);
+    return static_cast<VertexId>(2 * base_vertex);
+  }
+  [[nodiscard]] VertexId out_vertex(VertexId base_vertex) const {
+    KRSP_DCHECK(base_vertex >= 0 && base_vertex < num_base_vertices_);
+    return static_cast<VertexId>(2 * base_vertex + 1);
+  }
+  [[nodiscard]] VertexId base_vertex_of(VertexId split_vertex) const {
+    return split_vertex / 2;
+  }
+
+  /// True iff the split edge is a v_in -> v_out gate.
+  [[nodiscard]] bool is_gate(EdgeId split_edge) const {
+    return base_edge_[split_edge] == kInvalidEdge;
+  }
+  /// Base edge behind a non-gate split edge.
+  [[nodiscard]] EdgeId base_edge_of(EdgeId split_edge) const {
+    return base_edge_[split_edge];
+  }
+
+  /// Projects a path of the split graph to the base graph (gates dropped).
+  [[nodiscard]] std::vector<EdgeId> project_path(
+      std::span<const EdgeId> split_path) const;
+
+ private:
+  int num_base_vertices_;
+  Digraph split_;
+  std::vector<EdgeId> base_edge_;
+};
+
+}  // namespace krsp::graph

@@ -1,0 +1,22 @@
+#include "lp/model.h"
+
+namespace krsp::lp {
+
+int LpModel::add_variable(double objective_coef, double lb, double ub) {
+  KRSP_CHECK_MSG(lb <= ub, "variable with lb > ub");
+  KRSP_CHECK_MSG(lb == 0.0, "only lb == 0 variables are supported");
+  objective_.push_back(objective_coef);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  return num_variables() - 1;
+}
+
+void LpModel::add_constraint(std::vector<LinearTerm> terms, Relation relation,
+                             double rhs) {
+  for (const auto& t : terms)
+    KRSP_CHECK_MSG(t.var >= 0 && t.var < num_variables(),
+                   "constraint references unknown variable " << t.var);
+  constraints_.push_back(Constraint{std::move(terms), relation, rhs});
+}
+
+}  // namespace krsp::lp

@@ -1,0 +1,64 @@
+// Declarative linear-program builder consumed by the simplex solver.
+//
+// The library's LPs are small network LPs: the phase-1 arc-flow LP with a
+// delay side constraint, and LP (6) of the paper on the auxiliary graphs
+// H_v^±(B). Variables have bounds [lb, ub] (ub may be infinite); objective
+// is always minimization.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace krsp::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Relation { kLessEq, kEq, kGreaterEq };
+
+struct LinearTerm {
+  int var = 0;
+  double coef = 0.0;
+};
+
+struct Constraint {
+  std::vector<LinearTerm> terms;
+  Relation relation = Relation::kEq;
+  double rhs = 0.0;
+};
+
+class LpModel {
+ public:
+  /// Adds a variable with bounds [lb, ub] and objective coefficient c.
+  int add_variable(double objective_coef, double lb = 0.0,
+                   double ub = kInfinity);
+
+  /// Adds a constraint Σ coef·x relation rhs.
+  void add_constraint(std::vector<LinearTerm> terms, Relation relation,
+                      double rhs);
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(objective_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const std::vector<double>& objective() const {
+    return objective_;
+  }
+  [[nodiscard]] const std::vector<double>& lower_bounds() const { return lb_; }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return ub_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> lb_;
+  std::vector<double> ub_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace krsp::lp

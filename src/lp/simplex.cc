@@ -1,0 +1,211 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace krsp::lp {
+
+namespace {
+
+// Dense tableau. Row layout: [coefficients | rhs].
+struct Tableau {
+  int rows = 0;
+  int cols = 0;                        // excluding rhs column
+  std::vector<std::vector<double>> a;  // rows x (cols + 1)
+  std::vector<int> basis;              // basic column per row
+
+  double rhs(int r) const { return a[r][cols]; }
+
+  void pivot(int row, int col, double eps) {
+    const double p = a[row][col];
+    KRSP_CHECK(std::abs(p) > eps);
+    for (int c = 0; c <= cols; ++c) a[row][c] /= p;
+    for (int r = 0; r < rows; ++r) {
+      if (r == row) continue;
+      const double f = a[r][col];
+      if (std::abs(f) <= eps) continue;
+      for (int c = 0; c <= cols; ++c) a[r][c] -= f * a[row][c];
+    }
+    basis[row] = col;
+  }
+};
+
+// One simplex phase: minimize `obj` (length cols). The objective row is
+// first reduced against the current basis. Returns true on optimal, false
+// on unbounded. Bland's rule throughout (anti-cycling).
+bool run_phase(Tableau& t, std::vector<double> obj, int max_pivots,
+               double eps) {
+  for (int r = 0; r < t.rows; ++r) {
+    const double f = obj[t.basis[r]];
+    if (std::abs(f) <= eps) continue;
+    for (int c = 0; c < t.cols; ++c) obj[c] -= f * t.a[r][c];
+  }
+  for (int iter = 0; iter < max_pivots; ++iter) {
+    int enter = -1;
+    for (int c = 0; c < t.cols; ++c) {
+      if (obj[c] < -eps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter < 0) return true;  // optimal
+    // Bland's rule needs the *exact* minimum ratio with ties broken by the
+    // smallest basis index; a loose tolerance window here reintroduces the
+    // cycling Bland prevents (observed on degenerate circulation LPs).
+    int leave = -1;
+    double best_ratio = 0.0;
+    constexpr double kTie = 1e-12;
+    for (int r = 0; r < t.rows; ++r) {
+      if (t.a[r][enter] > eps) {
+        const double ratio = t.rhs(r) / t.a[r][enter];
+        if (leave < 0) {
+          leave = r;
+          best_ratio = ratio;
+        } else if (ratio < best_ratio - kTie ||
+                   (ratio <= best_ratio + kTie &&
+                    t.basis[r] < t.basis[leave])) {
+          leave = r;
+          best_ratio = std::min(best_ratio, ratio);
+        }
+      }
+    }
+    if (leave < 0) return false;  // unbounded
+    const double f = obj[enter];
+    t.pivot(leave, enter, eps);
+    if (std::abs(f) > eps)
+      for (int c = 0; c < t.cols; ++c) obj[c] -= f * t.a[leave][c];
+  }
+  KRSP_CHECK_MSG(false, "simplex exceeded pivot limit");
+  return false;
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LpModel& model) const {
+  const double eps = options_.eps;
+  const int n = model.num_variables();
+
+  struct Row {
+    std::vector<LinearTerm> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  for (const auto& c : model.constraints())
+    rows.push_back({c.terms, c.relation, c.rhs});
+  for (int j = 0; j < n; ++j)
+    if (model.upper_bounds()[j] != kInfinity)
+      rows.push_back(
+          {{LinearTerm{j, 1.0}}, Relation::kLessEq, model.upper_bounds()[j]});
+
+  // Normalize to rhs >= 0.
+  for (auto& r : rows) {
+    if (r.rhs < 0.0) {
+      r.rhs = -r.rhs;
+      for (auto& term : r.terms) term.coef = -term.coef;
+      if (r.rel == Relation::kLessEq)
+        r.rel = Relation::kGreaterEq;
+      else if (r.rel == Relation::kGreaterEq)
+        r.rel = Relation::kLessEq;
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  int num_slack = 0, num_artificial = 0;
+  for (const auto& r : rows) {
+    if (r.rel != Relation::kEq) ++num_slack;
+    if (r.rel != Relation::kLessEq) ++num_artificial;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + num_slack + num_artificial;
+  t.a.assign(m, std::vector<double>(t.cols + 1, 0.0));
+  t.basis.assign(m, -1);
+
+  int slack_at = n;
+  int artificial_at = n + num_slack;
+  const int first_artificial = artificial_at;
+  for (int r = 0; r < m; ++r) {
+    for (const auto& term : rows[r].terms) t.a[r][term.var] += term.coef;
+    t.a[r][t.cols] = rows[r].rhs;
+    switch (rows[r].rel) {
+      case Relation::kLessEq:
+        t.a[r][slack_at] = 1.0;
+        t.basis[r] = slack_at++;
+        break;
+      case Relation::kGreaterEq:
+        t.a[r][slack_at++] = -1.0;
+        t.a[r][artificial_at] = 1.0;
+        t.basis[r] = artificial_at++;
+        break;
+      case Relation::kEq:
+        t.a[r][artificial_at] = 1.0;
+        t.basis[r] = artificial_at++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  if (num_artificial > 0) {
+    std::vector<double> phase1_obj(t.cols, 0.0);
+    for (int c = first_artificial; c < t.cols; ++c) phase1_obj[c] = 1.0;
+    const bool ok = run_phase(t, phase1_obj, options_.max_pivots, eps);
+    KRSP_CHECK_MSG(ok, "phase-1 LP cannot be unbounded");
+    double infeasibility = 0.0;
+    for (int r = 0; r < m; ++r)
+      if (t.basis[r] >= first_artificial) infeasibility += t.rhs(r);
+    if (infeasibility > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive basic artificials out; rows where that is impossible are
+    // redundant (zero over the real columns) and are dropped below.
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[r] < first_artificial) continue;
+      for (int c = 0; c < first_artificial; ++c) {
+        if (std::abs(t.a[r][c]) > eps) {
+          t.pivot(r, c, eps);
+          break;
+        }
+      }
+    }
+    // Rebuild the tableau without artificial columns / redundant rows.
+    Tableau t2;
+    t2.cols = first_artificial;
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[r] >= first_artificial) {
+        KRSP_CHECK_MSG(std::abs(t.rhs(r)) <= 1e-7,
+                       "non-redundant row stuck on artificial basis");
+        continue;
+      }
+      std::vector<double> row(t.a[r].begin(),
+                              t.a[r].begin() + first_artificial);
+      row.push_back(t.rhs(r));
+      t2.a.push_back(std::move(row));
+      t2.basis.push_back(t.basis[r]);
+    }
+    t2.rows = static_cast<int>(t2.a.size());
+    t = std::move(t2);
+  }
+
+  std::vector<double> obj(t.cols, 0.0);
+  for (int j = 0; j < n; ++j) obj[j] = model.objective()[j];
+  const bool ok = run_phase(t, std::move(obj), options_.max_pivots, eps);
+  if (!ok) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (int r = 0; r < t.rows; ++r)
+    if (t.basis[r] < n) solution.x[t.basis[r]] = t.rhs(r);
+  solution.objective = 0.0;
+  for (int j = 0; j < n; ++j)
+    solution.objective += model.objective()[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace krsp::lp

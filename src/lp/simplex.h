@@ -1,0 +1,39 @@
+// Dense two-phase primal simplex with Bland's anti-cycling rule.
+//
+// Scope: the small network LPs of this library (tens to a few hundred
+// variables). Finite upper bounds are lowered to explicit constraints; all
+// structural variables are non-negative. Deterministic: same model, same
+// pivots, same answer.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace krsp::lp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    double eps = 1e-9;
+    int max_pivots = 200000;
+  };
+
+  SimplexSolver() : options_(Options{}) {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  [[nodiscard]] LpSolution solve(const LpModel& model) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace krsp::lp

@@ -1,0 +1,71 @@
+#include "paths/bellman_ford.h"
+
+#include <algorithm>
+
+namespace krsp::paths {
+
+namespace {
+
+BellmanFordResult run_bellman_ford(const graph::Digraph& g,
+                                   std::vector<std::int64_t> dist,
+                                   const EdgeWeight& w) {
+  const int n = g.num_vertices();
+  BellmanFordResult result;
+  result.tree.dist = std::move(dist);
+  result.tree.parent.assign(n, graph::kInvalidEdge);
+  auto& dd = result.tree.dist;
+  auto& parent = result.tree.parent;
+
+  graph::VertexId last_relaxed = graph::kInvalidVertex;
+  for (int round = 0; round < n; ++round) {
+    last_relaxed = graph::kInvalidVertex;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      if (dd[edge.from] == kUnreachable) continue;
+      const std::int64_t nd = dd[edge.from] + w(edge);
+      if (nd < dd[edge.to]) {
+        dd[edge.to] = nd;
+        parent[edge.to] = e;
+        last_relaxed = edge.to;
+      }
+    }
+    if (last_relaxed == graph::kInvalidVertex) break;  // converged
+  }
+
+  if (last_relaxed != graph::kInvalidVertex) {
+    // A relaxation in round n certifies a negative cycle on the predecessor
+    // chain of `last_relaxed`. Walk back n steps to be inside the cycle,
+    // then collect it.
+    graph::VertexId v = last_relaxed;
+    for (int i = 0; i < n; ++i) v = g.edge(parent[v]).from;
+    std::vector<graph::EdgeId> cycle;
+    graph::VertexId at = v;
+    do {
+      const graph::EdgeId e = parent[at];
+      KRSP_CHECK(e != graph::kInvalidEdge);
+      cycle.push_back(e);
+      at = g.edge(e).from;
+    } while (at != v);
+    std::reverse(cycle.begin(), cycle.end());
+    result.negative_cycle = std::move(cycle);
+  }
+  return result;
+}
+
+}  // namespace
+
+BellmanFordResult bellman_ford(const graph::Digraph& g,
+                               graph::VertexId source, const EdgeWeight& w) {
+  KRSP_CHECK(g.is_vertex(source));
+  std::vector<std::int64_t> dist(g.num_vertices(), kUnreachable);
+  dist[source] = 0;
+  return run_bellman_ford(g, std::move(dist), w);
+}
+
+BellmanFordResult bellman_ford_all_sources(const graph::Digraph& g,
+                                           const EdgeWeight& w) {
+  std::vector<std::int64_t> dist(g.num_vertices(), 0);
+  return run_bellman_ford(g, std::move(dist), w);
+}
+
+}  // namespace krsp::paths

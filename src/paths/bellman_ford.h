@@ -1,0 +1,34 @@
+// Bellman–Ford shortest paths with negative weights and negative-cycle
+// extraction. Residual graphs (Definition 6) carry negated weights, so this
+// is the workhorse for everything downstream of phase 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "paths/dijkstra.h"  // EdgeWeight, kUnreachable, ShortestPathTree
+
+namespace krsp::paths {
+
+struct BellmanFordResult {
+  ShortestPathTree tree;
+  /// A simple cycle of negative total weight reachable from the source, if
+  /// one exists (then `tree` distances are not meaningful on/downstream of
+  /// the cycle).
+  std::optional<std::vector<graph::EdgeId>> negative_cycle;
+};
+
+/// Bellman–Ford from `source` under weight w. Detects negative cycles
+/// reachable from source and extracts one (as a simple cycle).
+BellmanFordResult bellman_ford(const graph::Digraph& g,
+                               graph::VertexId source, const EdgeWeight& w);
+
+/// Multi-source variant: all vertices start at distance 0 (equivalent to a
+/// super-source). Finds a negative cycle anywhere in the graph if one
+/// exists. Used for min-ratio cycle detection (Lawler binary search).
+BellmanFordResult bellman_ford_all_sources(const graph::Digraph& g,
+                                           const EdgeWeight& w);
+
+}  // namespace krsp::paths

@@ -1,0 +1,72 @@
+#include "paths/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace krsp::paths {
+
+std::vector<graph::EdgeId> ShortestPathTree::path_to(
+    const graph::Digraph& g, graph::VertexId v) const {
+  KRSP_CHECK_MSG(reached(v), "path_to on unreached vertex " << v);
+  std::vector<graph::EdgeId> path;
+  while (parent[v] != graph::kInvalidEdge) {
+    const graph::EdgeId e = parent[v];
+    path.push_back(e);
+    v = g.edge(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+ShortestPathTree run_dijkstra(const graph::Digraph& g, graph::VertexId source,
+                              const EdgeWeight& w,
+                              const std::vector<std::int64_t>* potential) {
+  KRSP_CHECK(g.is_vertex(source));
+  const int n = g.num_vertices();
+  ShortestPathTree tree;
+  tree.dist.assign(n, kUnreachable);
+  tree.parent.assign(n, graph::kInvalidEdge);
+  tree.dist[source] = 0;
+
+  using Item = std::pair<std::int64_t, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != tree.dist[v]) continue;  // stale entry
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      const auto& edge = g.edge(e);
+      std::int64_t we = w(edge);
+      if (potential != nullptr)
+        we += (*potential)[edge.from] - (*potential)[edge.to];
+      KRSP_CHECK_MSG(we >= 0, "dijkstra: negative (reduced) weight "
+                                  << we << " on edge " << e);
+      const std::int64_t nd = d + we;
+      if (nd < tree.dist[edge.to]) {
+        tree.dist[edge.to] = nd;
+        tree.parent[edge.to] = e;
+        heap.emplace(nd, edge.to);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const graph::Digraph& g, graph::VertexId source,
+                          const EdgeWeight& w) {
+  return run_dijkstra(g, source, w, nullptr);
+}
+
+ShortestPathTree dijkstra_with_potentials(
+    const graph::Digraph& g, graph::VertexId source, const EdgeWeight& w,
+    const std::vector<std::int64_t>& potential) {
+  KRSP_CHECK(static_cast<int>(potential.size()) == g.num_vertices());
+  return run_dijkstra(g, source, w, &potential);
+}
+
+}  // namespace krsp::paths

@@ -1,0 +1,61 @@
+// Dijkstra single-source shortest paths over a pluggable edge weight.
+//
+// Weights must be non-negative; this is KRSP_CHECKed lazily (on the first
+// negative weight encountered) so combined-weight callers (q·cost + p·delay)
+// fail loudly instead of silently mis-routing.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::paths {
+
+/// Linear edge weight w(e) = cost_mult * cost(e) + delay_mult * delay(e).
+/// The common instantiations:
+///   EdgeWeight::cost()      — pure cost
+///   EdgeWeight::delay()     — pure delay
+///   EdgeWeight::combined(q, p) — Lagrangian weight q·c + p·d
+struct EdgeWeight {
+  std::int64_t cost_mult = 1;
+  std::int64_t delay_mult = 0;
+
+  static EdgeWeight cost() { return {1, 0}; }
+  static EdgeWeight delay() { return {0, 1}; }
+  static EdgeWeight combined(std::int64_t q, std::int64_t p) { return {q, p}; }
+
+  [[nodiscard]] std::int64_t operator()(const graph::Edge& e) const {
+    return cost_mult * e.cost + delay_mult * e.delay;
+  }
+};
+
+inline constexpr std::int64_t kUnreachable =
+    std::numeric_limits<std::int64_t>::max();
+
+struct ShortestPathTree {
+  std::vector<std::int64_t> dist;        // kUnreachable if not reached
+  std::vector<graph::EdgeId> parent;     // kInvalidEdge at source/unreached
+
+  [[nodiscard]] bool reached(graph::VertexId v) const {
+    return dist[v] != kUnreachable;
+  }
+
+  /// Edge sequence of the tree path source→v (empty if v is the source).
+  [[nodiscard]] std::vector<graph::EdgeId> path_to(const graph::Digraph& g,
+                                                   graph::VertexId v) const;
+};
+
+/// Dijkstra from `source` under weight `w` (all edges must have w(e) >= 0).
+ShortestPathTree dijkstra(const graph::Digraph& g, graph::VertexId source,
+                          const EdgeWeight& w);
+
+/// Dijkstra with per-vertex potentials (Johnson reweighting): effective
+/// weight w(e) + pot[from] - pot[to] must be >= 0. Returned dist is in the
+/// *reweighted* space; callers translate back.
+ShortestPathTree dijkstra_with_potentials(
+    const graph::Digraph& g, graph::VertexId source, const EdgeWeight& w,
+    const std::vector<std::int64_t>& potential);
+
+}  // namespace krsp::paths

@@ -1,0 +1,102 @@
+#include "paths/pareto.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace krsp::paths {
+
+namespace {
+
+struct Label {
+  graph::Cost cost;
+  graph::Delay delay;
+  graph::EdgeId via_edge;  // kInvalidEdge at the source
+  int pred_label;          // index into the label arena; -1 at the source
+};
+
+// a dominates b (weakly better in both, strictly in one).
+bool dominates(const Label& a, const Label& b) {
+  return a.cost <= b.cost && a.delay <= b.delay &&
+         (a.cost < b.cost || a.delay < b.delay);
+}
+
+}  // namespace
+
+std::vector<ParetoPath> pareto_frontier(const graph::Digraph& g,
+                                        graph::VertexId s, graph::VertexId t,
+                                        const ParetoOptions& options) {
+  KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t));
+  for (const auto& e : g.edges())
+    KRSP_CHECK_MSG(e.cost >= 0 && e.delay >= 0,
+                   "pareto_frontier requires non-negative weights");
+
+  std::vector<Label> arena;                    // all labels ever created
+  std::vector<std::vector<int>> at(g.num_vertices());  // live labels per v
+  std::deque<std::pair<graph::VertexId, int>> queue;
+
+  arena.push_back(Label{0, 0, graph::kInvalidEdge, -1});
+  at[s].push_back(0);
+  queue.emplace_back(s, 0);
+
+  const auto try_insert = [&](graph::VertexId v, const Label& cand) -> int {
+    auto& labels = at[v];
+    for (const int i : labels)
+      if (!dominates(cand, arena[i]) &&
+          (arena[i].cost <= cand.cost && arena[i].delay <= cand.delay))
+        return -1;  // dominated (or equal to) an existing label
+    // Remove labels the candidate dominates.
+    labels.erase(std::remove_if(labels.begin(), labels.end(),
+                                [&](int i) { return dominates(cand, arena[i]); }),
+                 labels.end());
+    KRSP_CHECK_MSG(
+        static_cast<std::int64_t>(arena.size()) < options.max_labels,
+        "pareto_frontier label budget exceeded");
+    arena.push_back(cand);
+    const int id = static_cast<int>(arena.size()) - 1;
+    labels.push_back(id);
+    return id;
+  };
+
+  while (!queue.empty()) {
+    const auto [v, label_id] = queue.front();
+    queue.pop_front();
+    // Stale if no longer among v's live labels.
+    const auto& live = at[v];
+    if (std::find(live.begin(), live.end(), label_id) == live.end()) continue;
+    const Label base = arena[label_id];
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      const auto& edge = g.edge(e);
+      const Label cand{base.cost + edge.cost, base.delay + edge.delay, e,
+                       label_id};
+      const int id = try_insert(edge.to, cand);
+      if (id >= 0 && edge.to != t) queue.emplace_back(edge.to, id);
+    }
+  }
+
+  std::vector<ParetoPath> frontier;
+  for (const int id : at[t]) {
+    ParetoPath p;
+    p.cost = arena[id].cost;
+    p.delay = arena[id].delay;
+    for (int i = id; arena[i].pred_label >= 0; i = arena[i].pred_label)
+      p.edges.push_back(arena[i].via_edge);
+    std::reverse(p.edges.begin(), p.edges.end());
+    frontier.push_back(std::move(p));
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const ParetoPath& a, const ParetoPath& b) {
+              return a.cost != b.cost ? a.cost < b.cost : a.delay < b.delay;
+            });
+  return frontier;
+}
+
+std::optional<ParetoPath> rsp_via_frontier(const graph::Digraph& g,
+                                           graph::VertexId s,
+                                           graph::VertexId t, graph::Delay D,
+                                           const ParetoOptions& options) {
+  for (auto& p : pareto_frontier(g, s, t, options))
+    if (p.delay <= D) return std::move(p);
+  return std::nullopt;
+}
+
+}  // namespace krsp::paths

@@ -1,0 +1,42 @@
+// Exact bicriteria (cost, delay) Pareto frontier for single-pair paths.
+//
+// Label-correcting search keeping, per vertex, the set of non-dominated
+// (cost, delay) labels. Worst-case exponential (the frontier itself can
+// be), so the search carries an explicit label budget and fails loudly
+// rather than degrade. Used as an exact oracle in tests (it subsumes RSP:
+// the answer is the cheapest frontier point with delay <= D) and by
+// examples that display the whole trade-off curve.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::paths {
+
+struct ParetoPath {
+  std::vector<graph::EdgeId> edges;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+};
+
+struct ParetoOptions {
+  /// Hard bound on the total number of labels created (KRSP_CHECKed).
+  std::int64_t max_labels = 2'000'000;
+};
+
+/// All Pareto-optimal (cost, delay) s→t paths, sorted by increasing cost
+/// (hence decreasing delay). Empty if t is unreachable. Requires
+/// non-negative weights.
+std::vector<ParetoPath> pareto_frontier(const graph::Digraph& g,
+                                        graph::VertexId s, graph::VertexId t,
+                                        const ParetoOptions& options = {});
+
+/// Exact RSP via the frontier: cheapest path with delay <= D.
+std::optional<ParetoPath> rsp_via_frontier(const graph::Digraph& g,
+                                           graph::VertexId s,
+                                           graph::VertexId t, graph::Delay D,
+                                           const ParetoOptions& options = {});
+
+}  // namespace krsp::paths

@@ -1,0 +1,222 @@
+#include "paths/rsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "paths/dijkstra.h"
+
+namespace krsp::paths {
+
+namespace {
+
+using graph::Digraph;
+using graph::EdgeId;
+using graph::VertexId;
+
+constexpr std::int64_t kInf = kUnreachable;
+
+// Generic budgeted DP: minimize Σ objective(e) over s→t paths subject to
+// Σ budget(e) <= limit, both measures non-negative integers. Layered over
+// the budget dimension; zero-budget edges are handled by an intra-layer
+// Dijkstra (objectives are non-negative). Memory O(n · limit).
+struct BudgetedDp {
+  struct Parent {
+    EdgeId edge = graph::kInvalidEdge;  // kInvalidEdge => carried / seed
+    std::int64_t prev_layer = -1;
+  };
+
+  // dp[layer][v] = min objective with budget <= layer.
+  std::vector<std::vector<std::int64_t>> dp;
+  std::vector<std::vector<Parent>> parent;
+
+  static BudgetedDp run(const Digraph& g, VertexId s, std::int64_t limit,
+                        const EdgeWeight& budget, const EdgeWeight& objective) {
+    const int n = g.num_vertices();
+    BudgetedDp out;
+    out.dp.assign(limit + 1, std::vector<std::int64_t>(n, kInf));
+    out.parent.assign(limit + 1, std::vector<Parent>(n));
+
+    for (std::int64_t layer = 0; layer <= limit; ++layer) {
+      auto& dist = out.dp[layer];
+      auto& par = out.parent[layer];
+      // Seeds: carried from previous layer, plus cross-layer relaxations.
+      if (layer == 0) {
+        dist[s] = 0;
+      } else {
+        for (VertexId v = 0; v < n; ++v) {
+          dist[v] = out.dp[layer - 1][v];
+          par[v] = Parent{graph::kInvalidEdge, layer - 1};
+        }
+        if (dist[s] > 0) {
+          dist[s] = 0;
+          par[s] = Parent{graph::kInvalidEdge, -1};
+        }
+      }
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto& edge = g.edge(e);
+        const std::int64_t b = budget(edge);
+        KRSP_CHECK_MSG(b >= 0, "budgeted dp: negative budget on edge " << e);
+        if (b == 0 || b > layer) continue;
+        const std::int64_t base = out.dp[layer - b][edge.from];
+        if (base == kInf) continue;
+        const std::int64_t cand = base + objective(edge);
+        if (cand < dist[edge.to]) {
+          dist[edge.to] = cand;
+          par[edge.to] = Parent{e, layer - b};
+        }
+      }
+      // Intra-layer Dijkstra over zero-budget edges.
+      using Item = std::pair<std::int64_t, VertexId>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+      for (VertexId v = 0; v < n; ++v)
+        if (dist[v] != kInf) heap.emplace(dist[v], v);
+      while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        if (d != dist[v]) continue;
+        for (const EdgeId e : g.out_edges(v)) {
+          const auto& edge = g.edge(e);
+          if (budget(edge) != 0) continue;
+          const std::int64_t o = objective(edge);
+          KRSP_CHECK_MSG(o >= 0, "budgeted dp: negative objective, edge " << e);
+          if (d + o < dist[edge.to]) {
+            dist[edge.to] = d + o;
+            out.parent[layer][edge.to] = Parent{e, layer};
+            heap.emplace(d + o, edge.to);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<EdgeId> reconstruct(const Digraph& g, VertexId s,
+                                                VertexId t,
+                                                std::int64_t layer) const {
+    std::vector<EdgeId> path;
+    VertexId v = t;
+    std::int64_t at = layer;
+    while (!(v == s && dp[at][v] == 0 &&
+             parent[at][v].edge == graph::kInvalidEdge &&
+             parent[at][v].prev_layer == -1)) {
+      const Parent& p = parent[at][v];
+      if (p.edge != graph::kInvalidEdge) {
+        path.push_back(p.edge);
+        v = g.edge(p.edge).from;
+        at = p.prev_layer;
+      } else {
+        KRSP_CHECK_MSG(p.prev_layer >= 0, "dp reconstruction walked off seed");
+        at = p.prev_layer;
+      }
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+};
+
+std::optional<RspResult> make_result(const Digraph& g,
+                                     std::vector<EdgeId> path) {
+  RspResult r;
+  r.cost = graph::path_cost(g, path);
+  r.delay = graph::path_delay(g, path);
+  r.path = std::move(path);
+  return r;
+}
+
+}  // namespace
+
+std::optional<RspResult> rsp_exact(const Digraph& g, VertexId s, VertexId t,
+                                   graph::Delay D) {
+  KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t) && D >= 0);
+  const auto dp =
+      BudgetedDp::run(g, s, D, EdgeWeight::delay(), EdgeWeight::cost());
+  if (dp.dp[D][t] == kInf) return std::nullopt;
+  return make_result(g, dp.reconstruct(g, s, t, D));
+}
+
+std::optional<RspResult> rsp_fptas(const Digraph& g, VertexId s, VertexId t,
+                                   graph::Delay D, double eps) {
+  KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t) && D >= 0);
+  KRSP_CHECK_MSG(eps > 0, "rsp_fptas requires eps > 0");
+  const int n = g.num_vertices();
+
+  // Feasibility + initial bounds. The min-delay path is a feasible witness;
+  // the unconstrained min-cost path cost is a lower bound on OPT.
+  const auto by_delay = dijkstra(g, s, EdgeWeight::delay());
+  if (!by_delay.reached(t) || by_delay.dist[t] > D) return std::nullopt;
+  const auto witness = by_delay.path_to(g, t);
+  const graph::Cost ub = graph::path_cost(g, witness);
+  const auto by_cost = dijkstra(g, s, EdgeWeight::cost());
+  graph::Cost lb = by_cost.dist[t];
+
+  // Zero-cost special case: search the zero-cost subgraph exactly.
+  if (lb == 0) {
+    Digraph zero(g.num_vertices());
+    for (const auto& e : g.edges())
+      if (e.cost == 0) zero.add_edge(e.from, e.to, e.cost, e.delay);
+    const auto zd = dijkstra(zero, s, EdgeWeight::delay());
+    if (zd.reached(t) && zd.dist[t] <= D) {
+      auto path0 = zd.path_to(zero, t);
+      // Map zero-subgraph edge ids back: rebuild by walking the path.
+      // (Edges were inserted in g order; re-find the matching g edge.)
+      std::vector<EdgeId> mapped;
+      VertexId at = s;
+      for (const EdgeId ze : path0) {
+        const auto& zedge = zero.edge(ze);
+        EdgeId found = graph::kInvalidEdge;
+        for (const EdgeId ge : g.out_edges(at))
+          if (g.edge(ge).to == zedge.to && g.edge(ge).cost == 0 &&
+              g.edge(ge).delay == zedge.delay) {
+            found = ge;
+            break;
+          }
+        KRSP_CHECK(found != graph::kInvalidEdge);
+        mapped.push_back(found);
+        at = zedge.to;
+      }
+      return make_result(g, std::move(mapped));
+    }
+    lb = 1;  // OPT >= 1 since no zero-cost feasible path exists
+  }
+
+  // Internal epsilon so guess granularity + scaling loss stay within eps.
+  const double e3 = eps / 3.0;
+  const auto scaled_test =
+      [&](graph::Cost guess) -> std::optional<std::vector<EdgeId>> {
+    const auto theta = std::max<graph::Cost>(
+        1, static_cast<graph::Cost>(
+               std::floor(e3 * static_cast<double>(guess) / (n + 1))));
+    const std::int64_t limit = guess / theta;
+    // Budget = scaled cost, objective = delay.
+    Digraph scaled(g.num_vertices());
+    for (const auto& e : g.edges())
+      scaled.add_edge(e.from, e.to, e.cost / theta, e.delay);
+    const auto dp = BudgetedDp::run(scaled, s, limit, EdgeWeight::cost(),
+                                    EdgeWeight::delay());
+    if (dp.dp[limit][t] == kInf || dp.dp[limit][t] > D) return std::nullopt;
+    // Find the smallest layer achieving delay <= D for the cheapest result.
+    std::int64_t layer = limit;
+    while (layer > 0 && dp.dp[layer - 1][t] != kInf &&
+           dp.dp[layer - 1][t] <= D)
+      --layer;
+    return dp.reconstruct(scaled, s, t, layer);  // ids match g's insertions
+  };
+
+  graph::Cost guess = lb;
+  std::optional<std::vector<EdgeId>> best;
+  while (true) {
+    if (auto path = scaled_test(std::min(guess, ub))) {
+      best = std::move(path);
+      break;
+    }
+    if (guess >= ub) break;
+    const auto next = static_cast<graph::Cost>(
+        std::ceil(static_cast<double>(guess) * (1.0 + e3)));
+    guess = std::max(guess + 1, next);
+  }
+  if (!best) return make_result(g, witness);  // fall back to the feasible UB
+  return make_result(g, std::move(*best));
+}
+
+}  // namespace krsp::paths

@@ -1,0 +1,34 @@
+// Single-pair Restricted Shortest Path (RSP): minimum-cost s→t path with
+// total delay at most D. This is the k = 1 special case of kRSP and a
+// classical QoS-routing primitive ([7, 17] in the paper). Used as a test
+// oracle, a baseline, and inside examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace krsp::paths {
+
+struct RspResult {
+  std::vector<graph::EdgeId> path;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+};
+
+/// Exact pseudo-polynomial DP over the delay dimension: O((n + m) · D).
+/// Requires non-negative costs and delays. Returns nullopt if no s→t path
+/// with delay <= D exists.
+std::optional<RspResult> rsp_exact(const graph::Digraph& g, graph::VertexId s,
+                                   graph::VertexId t, graph::Delay D);
+
+/// Lorenz–Raz style (1 + eps) FPTAS: returns a path with delay <= D and
+/// cost <= (1 + eps) · OPT, or nullopt if infeasible. Cost scaling with a
+/// geometric bound search keeps the DP polynomial in n, m, 1/eps.
+std::optional<RspResult> rsp_fptas(const graph::Digraph& g, graph::VertexId s,
+                                   graph::VertexId t, graph::Delay D,
+                                   double eps);
+
+}  // namespace krsp::paths

@@ -1,0 +1,121 @@
+#include "paths/yen.h"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <set>
+
+namespace krsp::paths {
+
+namespace {
+
+using graph::Digraph;
+using graph::EdgeId;
+using graph::VertexId;
+
+// Dijkstra on g with some edges and vertices masked out.
+std::optional<std::vector<EdgeId>> masked_shortest_path(
+    const Digraph& g, VertexId s, VertexId t, const EdgeWeight& w,
+    const std::vector<bool>& edge_banned, const std::vector<bool>& vtx_banned) {
+  const int n = g.num_vertices();
+  std::vector<std::int64_t> dist(n, kUnreachable);
+  std::vector<EdgeId> parent(n, graph::kInvalidEdge);
+  using Item = std::pair<std::int64_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  if (vtx_banned[s]) return std::nullopt;
+  dist[s] = 0;
+  heap.emplace(0, s);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;
+    for (const EdgeId e : g.out_edges(v)) {
+      if (edge_banned[e]) continue;
+      const auto& edge = g.edge(e);
+      if (vtx_banned[edge.to]) continue;
+      const std::int64_t we = w(edge);
+      KRSP_CHECK_MSG(we >= 0, "yen: negative weight");
+      if (d + we < dist[edge.to]) {
+        dist[edge.to] = d + we;
+        parent[edge.to] = e;
+        heap.emplace(dist[edge.to], edge.to);
+      }
+    }
+  }
+  if (dist[t] == kUnreachable) return std::nullopt;
+  std::vector<EdgeId> path;
+  for (VertexId at = t; at != s;) {
+    path.push_back(parent[at]);
+    at = g.edge(parent[at]).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<WeightedPath> yen_k_shortest(const Digraph& g, VertexId s,
+                                         VertexId t, int K,
+                                         const EdgeWeight& w) {
+  KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t) && K >= 0);
+  std::vector<WeightedPath> result;
+  if (K == 0) return result;
+
+  std::vector<bool> no_edges(g.num_edges(), false);
+  std::vector<bool> no_vtxs(g.num_vertices(), false);
+  auto first = masked_shortest_path(g, s, t, w, no_edges, no_vtxs);
+  if (!first) return result;
+
+  const auto weight_of = [&](const std::vector<EdgeId>& p) {
+    std::int64_t sum = 0;
+    for (const EdgeId e : p) sum += w(g.edge(e));
+    return sum;
+  };
+  result.push_back({*first, weight_of(*first)});
+
+  // Candidate pool ordered by weight, deduplicated by edge sequence.
+  auto cmp = [](const WeightedPath& a, const WeightedPath& b) {
+    return a.weight != b.weight ? a.weight < b.weight : a.edges < b.edges;
+  };
+  std::set<WeightedPath, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(result.size()) < K) {
+    const auto& prev = result.back().edges;
+    // Spur from every prefix of the previous path.
+    std::vector<bool> vtx_banned(g.num_vertices(), false);
+    VertexId spur = s;
+    for (std::size_t i = 0; i <= prev.size() - 1; ++i) {
+      std::vector<EdgeId> root(prev.begin(),
+                               prev.begin() + static_cast<std::ptrdiff_t>(i));
+      std::vector<bool> edge_banned(g.num_edges(), false);
+      // Ban edges that would recreate an already-output path with this root.
+      for (const auto& wp : result) {
+        if (wp.edges.size() > i &&
+            std::equal(root.begin(), root.end(), wp.edges.begin()))
+          edge_banned[wp.edges[i]] = true;
+      }
+      auto spur_path =
+          masked_shortest_path(g, spur, t, w, edge_banned, vtx_banned);
+      if (spur_path) {
+        WeightedPath cand;
+        cand.edges = root;
+        cand.edges.insert(cand.edges.end(), spur_path->begin(),
+                          spur_path->end());
+        cand.weight = weight_of(cand.edges);
+        bool duplicate = false;
+        for (const auto& wp : result)
+          if (wp.edges == cand.edges) duplicate = true;
+        if (!duplicate) candidates.insert(std::move(cand));
+      }
+      // Extend the root: ban the spur vertex for deeper spurs (looplessness).
+      vtx_banned[spur] = true;
+      spur = g.edge(prev[i]).to;
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace krsp::paths

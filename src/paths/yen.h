@@ -1,0 +1,24 @@
+// Yen's algorithm for the K loopless shortest s→t paths under a linear edge
+// weight. Used by examples (route diversity reporting) and as a baseline
+// ingredient; not on the solver's critical path.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "paths/dijkstra.h"
+
+namespace krsp::paths {
+
+struct WeightedPath {
+  std::vector<graph::EdgeId> edges;
+  std::int64_t weight = 0;
+};
+
+/// The up-to-K cheapest loopless s→t paths in increasing weight order.
+/// Returns fewer than K entries if the graph has fewer distinct paths.
+std::vector<WeightedPath> yen_k_shortest(const graph::Digraph& g,
+                                         graph::VertexId s, graph::VertexId t,
+                                         int K, const EdgeWeight& w);
+
+}  // namespace krsp::paths

@@ -1,0 +1,64 @@
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO tie-breaking (events at equal timestamps fire in schedule order, so
+// simulations are fully deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace krsp::sim {
+
+using Time = std::int64_t;  // integral ticks; delays are integral already
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `at` (must not be in the past).
+  void schedule(Time at, Handler handler) {
+    KRSP_CHECK_MSG(at >= now_, "scheduling into the past: " << at << " < "
+                                                            << now_);
+    heap_.push(Event{at, next_seq_++, std::move(handler)});
+  }
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Runs events until the queue drains or `horizon` is passed (events
+  /// scheduled after the horizon stay queued). Returns events executed.
+  std::int64_t run_until(Time horizon) {
+    std::int64_t executed = 0;
+    while (!heap_.empty() && heap_.top().at <= horizon) {
+      // Copy out before pop: the handler may schedule new events.
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.at;
+      ev.handler();
+      ++executed;
+    }
+    now_ = std::max(now_, horizon);
+    return executed;
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Handler handler;
+
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace krsp::sim

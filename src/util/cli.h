@@ -1,0 +1,82 @@
+// Minimal command-line flag parsing for examples and benchmark drivers.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace krsp::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      KRSP_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " << arg);
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    touched_.push_back(name);
+    return values_.count(name) > 0;
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const {
+    touched_.push_back(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const {
+    const auto s = get_string(name, "");
+    if (s.empty()) return def;
+    return std::stoll(s);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name, double def) const {
+    const auto s = get_string(name, "");
+    if (s.empty()) return def;
+    return std::stod(s);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const {
+    const auto s = get_string(name, "");
+    if (s.empty()) return def;
+    return s == "true" || s == "1" || s == "yes";
+  }
+
+  /// Call after all get_* calls: rejects flags that nothing consumed.
+  void reject_unknown() const {
+    for (const auto& [name, value] : values_) {
+      bool known = false;
+      for (const auto& t : touched_)
+        if (t == name) known = true;
+      KRSP_CHECK_MSG(known, "unknown flag --" << name << "=" << value);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> touched_;
+};
+
+}  // namespace krsp::util

@@ -1,0 +1,142 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Used for Lagrange multipliers λ = p/q in the parametric phase-1 search and
+// for the ΔD/ΔC ratio tests of Definition 10, where floating point would
+// make the bicameral classification unsound near ties. Comparisons are
+// performed in 128-bit intermediates so they never overflow for operands
+// that themselves fit in 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace krsp::util {
+
+// 128-bit intermediates (GCC/Clang extension, wrapped so -Wpedantic
+// stays clean).
+__extension__ typedef __int128 Int128;
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    KRSP_CHECK_MSG(den != 0, "Rational with zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return static_cast<Int128>(a.num_) * b.den_ <
+           static_cast<Int128>(b.num_) * a.den_;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return from128(static_cast<Int128>(a.num_) * b.den_ +
+                       static_cast<Int128>(b.num_) * a.den_,
+                   static_cast<Int128>(a.den_) * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return from128(static_cast<Int128>(a.num_) * b.den_ -
+                       static_cast<Int128>(b.num_) * a.den_,
+                   static_cast<Int128>(a.den_) * b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return from128(static_cast<Int128>(a.num_) * b.num_,
+                   static_cast<Int128>(a.den_) * b.den_);
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    KRSP_CHECK_MSG(b.num_ != 0, "Rational division by zero");
+    return from128(static_cast<Int128>(a.num_) * b.den_,
+                   static_cast<Int128>(a.den_) * b.num_);
+  }
+  Rational operator-() const {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    os << r.num_;
+    if (r.den_ != 1) os << '/' << r.den_;
+    return os;
+  }
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  // Reduce a 128-bit fraction back into 64 bits; the gcd reduction keeps all
+  // in-library uses (products of edge-weight sums) well inside range, and we
+  // check rather than silently truncate.
+  static Rational from128(Int128 num, Int128 den) {
+    KRSP_CHECK(den != 0);
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const Int128 a = num < 0 ? -num : num;
+    Int128 g = gcd128(a, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+    KRSP_CHECK_MSG(num <= INT64_MAX && num >= INT64_MIN && den <= INT64_MAX,
+                   "Rational overflow after reduction");
+    Rational r;
+    r.num_ = static_cast<std::int64_t>(num);
+    r.den_ = static_cast<std::int64_t>(den);
+    if (r.num_ == 0) r.den_ = 1;
+    return r;
+  }
+
+  static Int128 gcd128(Int128 a, Int128 b) {
+    while (b != 0) {
+      const Int128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  }
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+}  // namespace krsp::util

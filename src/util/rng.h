@@ -1,0 +1,100 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic code in the library (generators, property tests, benchmark
+// workloads) draws from Rng so that every run is reproducible from a single
+// 64-bit seed. The core generator is xoshiro256**, seeded via splitmix64 —
+// both public-domain algorithms by Blackman & Vigna, implemented here from
+// the published reference descriptions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace krsp::util {
+
+__extension__ typedef unsigned __int128 Uint128;
+
+/// splitmix64 step: used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    KRSP_CHECK_MSG(lo <= hi, "uniform_int: lo=" << lo << " hi=" << hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Debiased modulo (Lemire-style rejection).
+    std::uint64_t x = (*this)();
+    Uint128 m = static_cast<Uint128>(x) * span;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < span) {
+      const std::uint64_t floor = (0 - span) % span;
+      while (l < floor) {
+        x = (*this)();
+        m = static_cast<Uint128>(x) * span;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Fork an independent stream (for parallel workers / sub-generators).
+  Rng fork() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace krsp::util

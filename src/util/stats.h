@@ -1,0 +1,67 @@
+// Streaming statistics accumulator (Welford) plus percentile support for
+// benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace krsp::util {
+
+/// Accumulates min/max/mean/stddev in a single pass (Welford's algorithm)
+/// and optionally retains samples for exact percentiles.
+class Stats {
+ public:
+  explicit Stats(bool keep_samples = true) : keep_samples_(keep_samples) {}
+
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    if (keep_samples_) samples_.push_back(x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const {
+    return mean_ * static_cast<double>(count_);
+  }
+
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Exact percentile (nearest-rank); requires keep_samples.
+  [[nodiscard]] double percentile(double p) const {
+    KRSP_CHECK(keep_samples_);
+    KRSP_CHECK(!samples_.empty());
+    KRSP_CHECK(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  bool keep_samples_;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace krsp::util

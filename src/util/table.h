@@ -1,0 +1,71 @@
+// Console table printer used by the benchmark harnesses to emit the
+// paper-style result tables (EXPERIMENTS.md copies these verbatim).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace krsp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  template <typename T>
+  Table& cell(const T& value) {
+    KRSP_CHECK(!rows_.empty());
+    std::ostringstream os;
+    os << value;
+    rows_.back().push_back(os.str());
+    return *this;
+  }
+
+  Table& cell_fp(double value, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+      widths[i] = header_[i].size();
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], r[i].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[i])) << c
+           << " |";
+      }
+      os << '\n';
+    };
+
+    print_row(header_);
+    os << "|";
+    for (const auto w : widths) os << std::string(w + 2, '-') << "|";
+    os << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace krsp::util

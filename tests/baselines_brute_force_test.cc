@@ -1,0 +1,133 @@
+#include "baselines/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "paths/rsp.h"
+#include "util/rng.h"
+
+namespace krsp::baselines {
+namespace {
+
+using core::Instance;
+
+Instance diamond(graph::Delay D) {
+  Instance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 1, 3);
+  inst.graph.add_edge(1, 3, 1, 3);
+  inst.graph.add_edge(0, 2, 5, 1);
+  inst.graph.add_edge(2, 3, 5, 1);
+  inst.graph.add_edge(0, 3, 2, 2);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = D;
+  return inst;
+}
+
+TEST(BruteForce, PicksCheapestFeasiblePair) {
+  // Budget 8 allows {0-1-3 (delay 6), 0-3 (2)}: cost 4.
+  const auto r = brute_force_krsp(diamond(8));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 4);
+  EXPECT_EQ(r->delay, 8);
+}
+
+TEST(BruteForce, TighterBudgetForcesExpensiveRoute) {
+  // Budget 4 forces {0-2-3 (2), 0-3 (2)}: cost 12.
+  const auto r = brute_force_krsp(diamond(4));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 12);
+  EXPECT_EQ(r->delay, 4);
+}
+
+TEST(BruteForce, InfeasibleBudget) {
+  EXPECT_FALSE(brute_force_krsp(diamond(3)).has_value());
+}
+
+TEST(BruteForce, NotEnoughPaths) {
+  Instance inst;
+  inst.graph.resize(2);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.s = 0;
+  inst.t = 1;
+  inst.k = 2;
+  inst.delay_bound = 10;
+  EXPECT_FALSE(brute_force_krsp(inst).has_value());
+}
+
+TEST(BruteForce, ValidatesOutputPaths) {
+  const auto inst = diamond(8);
+  const auto r = brute_force_krsp(inst);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->paths.is_valid(inst));
+  EXPECT_EQ(r->paths.total_cost(inst.graph), r->cost);
+}
+
+TEST(BruteForce, MinDelayMatchesFlowOracle) {
+  const auto inst = diamond(100);
+  const auto d = brute_force_min_delay(inst);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, *core::min_possible_delay(inst));
+}
+
+// Property: for k = 1 the brute force agrees with the exact RSP DP.
+TEST(BruteForce, PropertyK1MatchesRspDp) {
+  util::Rng rng(293);
+  int compared = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    Instance inst;
+    inst.graph = gen::erdos_renyi(rng, 9, 0.3);
+    inst.s = 0;
+    inst.t = 8;
+    inst.k = 1;
+    inst.delay_bound = rng.uniform_int(0, 30);
+    const auto brute = brute_force_krsp(inst);
+    const auto dp = paths::rsp_exact(inst.graph, 0, 8, inst.delay_bound);
+    ASSERT_EQ(brute.has_value(), dp.has_value());
+    if (brute) {
+      EXPECT_EQ(brute->cost, dp->cost);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 5);
+}
+
+// Property: min-delay brute force matches the min-delay flow (which is
+// exact for the delay-sum objective).
+TEST(BruteForce, PropertyMinDelayMatchesFlow) {
+  util::Rng rng(307);
+  int compared = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    core::RandomInstanceOptions opt;
+    opt.k = 2;
+    const auto inst = core::random_er_instance(rng, 8, 0.4, opt);
+    if (!inst) continue;
+    const auto brute = brute_force_min_delay(*inst);
+    const auto flow = core::min_possible_delay(*inst);
+    ASSERT_EQ(brute.has_value(), flow.has_value());
+    if (brute) {
+      EXPECT_EQ(*brute, *flow);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 8);
+}
+
+TEST(BruteForce, EnumerationBudgetEnforced) {
+  // Dense graph with tiny budget must trip the KRSP_CHECK.
+  util::Rng rng(311);
+  Instance inst;
+  inst.graph = gen::erdos_renyi(rng, 10, 0.8);
+  inst.s = 0;
+  inst.t = 9;
+  inst.k = 2;
+  inst.delay_bound = 100;
+  BruteForceOptions opt;
+  opt.max_paths = 5;
+  EXPECT_THROW(brute_force_krsp(inst, opt), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::baselines

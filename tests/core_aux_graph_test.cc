@@ -1,0 +1,240 @@
+#include "core/aux_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/residual.h"
+#include "graph/cycles.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+using graph::Cost;
+using graph::EdgeId;
+using graph::VertexId;
+
+TEST(AuxGraph, VertexDuplicationPerAlgorithm2Step1) {
+  graph::Digraph base(3);
+  base.add_edge(0, 1, 2, 1);
+  const AuxiliaryGraph aux(base, 0, 4, /*positive=*/true);
+  // B+1 = 5 layers per base vertex.
+  EXPECT_EQ(aux.digraph().num_vertices(), 15);
+  EXPECT_EQ(aux.layer_of(aux.vertex_of(1, 3)), 3);
+  EXPECT_EQ(aux.base_vertex_of(aux.vertex_of(2, 4)), 2);
+}
+
+TEST(AuxGraph, PositiveCostEdgesClimbLayers) {
+  graph::Digraph base(2);
+  base.add_edge(0, 1, 2, 7);
+  const AuxiliaryGraph aux(base, 0, 5, true);
+  // Arcs 0^l -> 1^(l+2) for l = 0..3, plus closing arcs 0^l -> 0^0.
+  int structural = 0;
+  for (EdgeId e = 0; e < aux.digraph().num_edges(); ++e)
+    if (aux.base_edge_of(e) != graph::kInvalidEdge) ++structural;
+  EXPECT_EQ(structural, 4);
+  for (EdgeId e = 0; e < aux.digraph().num_edges(); ++e) {
+    if (aux.base_edge_of(e) == graph::kInvalidEdge) continue;
+    const auto& he = aux.digraph().edge(e);
+    EXPECT_EQ(aux.layer_of(he.to) - aux.layer_of(he.from), 2);
+    EXPECT_EQ(he.delay, 7);
+  }
+}
+
+TEST(AuxGraph, NegativeCostEdgesDescendLayers) {
+  graph::Digraph base(2);
+  base.add_edge(0, 1, -3, -1);
+  const AuxiliaryGraph aux(base, 0, 5, true);
+  int structural = 0;
+  for (EdgeId e = 0; e < aux.digraph().num_edges(); ++e) {
+    if (aux.base_edge_of(e) == graph::kInvalidEdge) continue;
+    ++structural;
+    const auto& he = aux.digraph().edge(e);
+    EXPECT_EQ(aux.layer_of(he.to) - aux.layer_of(he.from), -3);
+  }
+  EXPECT_EQ(structural, 3);  // l = 3, 4, 5
+}
+
+TEST(AuxGraph, ClosingArcsAnchorOnly) {
+  graph::Digraph base(3);
+  base.add_edge(0, 1, 1, 1);
+  base.add_edge(1, 2, 1, 1);
+  const AuxiliaryGraph plus(base, 1, 4, true);
+  const AuxiliaryGraph minus(base, 1, 4, false);
+  int plus_closing = 0, minus_closing = 0;
+  for (EdgeId e = 0; e < plus.digraph().num_edges(); ++e)
+    if (plus.base_edge_of(e) == graph::kInvalidEdge) {
+      ++plus_closing;
+      const auto& he = plus.digraph().edge(e);
+      EXPECT_EQ(plus.base_vertex_of(he.from), 1);
+      EXPECT_EQ(plus.layer_of(he.to), 0);  // H+ closes to layer 0
+    }
+  for (EdgeId e = 0; e < minus.digraph().num_edges(); ++e)
+    if (minus.base_edge_of(e) == graph::kInvalidEdge) {
+      ++minus_closing;
+      EXPECT_EQ(minus.layer_of(minus.digraph().edge(e).to), 4);  // to layer B
+    }
+  EXPECT_EQ(plus_closing, 4);
+  EXPECT_EQ(minus_closing, 4);
+}
+
+// The Figure 2 scenario: residual graph of the path s-x-y-z-t with budget
+// B = 6; the bypass arc x->z creates a positive-cost delay-reducing cycle
+// that must appear as an H+ cycle through the anchor.
+TEST(AuxGraph, Figure2ResidualCycleRepresented) {
+  const auto fig = gen::figure2_example();
+  const ResidualGraph residual(fig.graph, fig.current_path);
+  const auto& rg = residual.digraph();
+
+  const AuxiliaryGraph aux(rg, fig.x, fig.budget, true);
+  // Expected base cycle: x->z (cost 4), z->y (-1), y->x (-2): cost 1.
+  // In H+: x^0 -> z^4 -> y^3 -> x^1 -> (closing) x^0.
+  const VertexId x0 = aux.vertex_of(fig.x, 0);
+  // Follow the unique structural arcs.
+  bool found_cycle = false;
+  for (const EdgeId e1 : aux.digraph().out_edges(x0)) {
+    if (aux.base_edge_of(e1) == graph::kInvalidEdge) continue;
+    const VertexId v1 = aux.digraph().edge(e1).to;
+    if (aux.base_vertex_of(v1) != fig.z || aux.layer_of(v1) != 4) continue;
+    for (const EdgeId e2 : aux.digraph().out_edges(v1)) {
+      const VertexId v2 = aux.digraph().edge(e2).to;
+      if (aux.base_vertex_of(v2) != fig.y || aux.layer_of(v2) != 3) continue;
+      for (const EdgeId e3 : aux.digraph().out_edges(v2)) {
+        const VertexId v3 = aux.digraph().edge(e3).to;
+        if (aux.base_vertex_of(v3) == fig.x && aux.layer_of(v3) == 1)
+          found_cycle = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_cycle);
+}
+
+// Lemma 15, forward direction (property): any cycle of H projects to a
+// closed walk of the base graph whose simple cycles each have |cost| <= B.
+TEST(AuxGraph, PropertyLemma15Projection) {
+  util::Rng rng(227);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::WeightRange w;
+    w.cost_min = -3;
+    w.cost_max = 3;
+    const auto base = gen::erdos_renyi(rng, 6, 0.4, w);
+    const Cost B = 4;
+    for (const bool positive : {true, false}) {
+      const AuxiliaryGraph aux(base, 0, B, positive);
+      // Find any cycle in H by DFS (via SCC membership would also work):
+      // walk random out-edges until a vertex repeats.
+      const auto& h = aux.digraph();
+      for (VertexId start = 0; start < h.num_vertices(); ++start) {
+        std::vector<EdgeId> stack;
+        std::vector<int> pos(h.num_vertices(), -1);
+        VertexId at = start;
+        pos[at] = 0;
+        for (int step = 0; step < 50; ++step) {
+          const auto out = h.out_edges(at);
+          if (out.empty()) break;
+          const EdgeId e = out[rng.uniform_int(0, out.size() - 1)];
+          stack.push_back(e);
+          at = h.edge(e).to;
+          if (pos[at] >= 0) {
+            const std::vector<EdgeId> h_cycle(stack.begin() + pos[at],
+                                              stack.end());
+            const auto walk = aux.project_cycle(h_cycle);
+            if (!walk.empty()) {
+              for (const auto& cyc :
+                   graph::decompose_closed_walk(base, walk)) {
+                const Cost c = graph::path_cost(base, cyc);
+                EXPECT_LE(c, B);
+                EXPECT_GE(c, -B);
+              }
+            }
+            break;
+          }
+          pos[at] = static_cast<int>(stack.size());
+        }
+      }
+    }
+  }
+}
+
+// Lemma 15, reverse direction (property): a simple base cycle through the
+// anchor with cost in [0, B] and in-range prefix sums appears in H+ — we
+// verify by walking its image layer by layer.
+TEST(AuxGraph, PropertyLemma15Embedding) {
+  util::Rng rng(229);
+  int embedded = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    gen::WeightRange w;
+    w.cost_min = -2;
+    w.cost_max = 3;
+    const auto base = gen::erdos_renyi(rng, 6, 0.4, w);
+    // Find a simple cycle via random walk.
+    std::vector<EdgeId> stack;
+    std::vector<int> pos(base.num_vertices(), -1);
+    VertexId at = 0;
+    pos[at] = 0;
+    std::vector<EdgeId> cycle;
+    for (int step = 0; step < 40 && cycle.empty(); ++step) {
+      const auto out = base.out_edges(at);
+      if (out.empty()) break;
+      const EdgeId e = out[rng.uniform_int(0, out.size() - 1)];
+      stack.push_back(e);
+      at = base.edge(e).to;
+      if (pos[at] >= 0) {
+        cycle.assign(stack.begin() + pos[at], stack.end());
+      } else {
+        pos[at] = static_cast<int>(stack.size());
+      }
+    }
+    if (cycle.empty()) continue;
+    const Cost total = graph::path_cost(base, cycle);
+    if (total < 0) continue;
+    // Anchor at the min-prefix rotation so prefixes stay in [0, ascent].
+    Cost prefix = 0, min_prefix = 0;
+    std::size_t best_rot = 0;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      prefix += base.edge(cycle[i]).cost;
+      if (prefix < min_prefix) {
+        min_prefix = prefix;
+        best_rot = i + 1;
+      }
+    }
+    std::rotate(cycle.begin(),
+                cycle.begin() + static_cast<std::ptrdiff_t>(best_rot % cycle.size()),
+                cycle.end());
+    Cost ascent = 0;
+    prefix = 0;
+    for (const EdgeId e : cycle) {
+      prefix += base.edge(e).cost;
+      ascent = std::max(ascent, prefix);
+    }
+    const Cost B = ascent;
+    const VertexId anchor = base.edge(cycle.front()).from;
+    const AuxiliaryGraph aux(base, anchor, B, true);
+    // Walk the image of the cycle through H+.
+    VertexId hv = aux.vertex_of(anchor, 0);
+    bool ok = true;
+    Cost layer = 0;
+    for (const EdgeId e : cycle) {
+      layer += base.edge(e).cost;
+      ASSERT_GE(layer, 0);
+      ASSERT_LE(layer, B);
+      bool stepped = false;
+      for (const EdgeId he : aux.digraph().out_edges(hv)) {
+        if (aux.base_edge_of(he) == e &&
+            aux.layer_of(aux.digraph().edge(he).to) == layer) {
+          hv = aux.digraph().edge(he).to;
+          stepped = true;
+          break;
+        }
+      }
+      if (!stepped) ok = false;
+      if (!ok) break;
+    }
+    EXPECT_TRUE(ok) << "cycle image missing from H+";
+    if (ok) ++embedded;
+  }
+  EXPECT_GT(embedded, 5);
+}
+
+}  // namespace
+}  // namespace krsp::core

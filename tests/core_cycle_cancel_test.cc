@@ -1,0 +1,132 @@
+#include "core/cycle_cancel.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/phase1.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+Instance gadget_instance(graph::Delay D = 4, graph::Cost c_opt = 5) {
+  const auto fig = gen::figure1_gadget(D, c_opt);
+  Instance inst;
+  inst.graph = fig.graph;
+  inst.s = fig.s;
+  inst.t = fig.t;
+  inst.k = fig.k;
+  inst.delay_bound = fig.delay_bound;
+  return inst;
+}
+
+PathSet gadget_start() {
+  // {s-a-b-c-t, s-t}: edges 0,1,2,3 and 4.
+  return PathSet({{0, 1, 2, 3}, {4}});
+}
+
+TEST(CycleCancel, GadgetReachesOptimumWithTightCap) {
+  const auto inst = gadget_instance();
+  const auto r = cancel_cycles(inst, gadget_start(), /*cost_guess=*/5);
+  ASSERT_EQ(r.status, CancelStatus::kSuccess);
+  EXPECT_EQ(r.cost, 5);
+  EXPECT_EQ(r.delay, 4);
+  EXPECT_TRUE(r.paths.is_valid(inst));
+  EXPECT_EQ(r.telemetry.iterations, 1);
+}
+
+TEST(CycleCancel, GadgetWithGenerousCapStillBounded) {
+  const auto inst = gadget_instance();
+  const auto r = cancel_cycles(inst, gadget_start(), /*cost_guess=*/24);
+  ASSERT_EQ(r.status, CancelStatus::kSuccess);
+  // Lemma 11 with Ĉ = 24: cost <= C_before_last + Ĉ <= 0 + 24.
+  EXPECT_LE(r.cost, 2 * 24);
+  EXPECT_LE(r.delay, inst.delay_bound);
+}
+
+TEST(CycleCancel, UnsafeModeReproducesFigure1Blowup) {
+  const auto inst = gadget_instance(4, 5);
+  CycleCancelOptions opt;
+  opt.unsafe_no_cap = true;
+  const auto r = cancel_cycles(inst, gadget_start(), 0, opt);
+  ASSERT_EQ(r.status, CancelStatus::kSuccess);
+  EXPECT_EQ(r.cost, 5 * (4 + 1) - 1);  // C_OPT*(D+1) - 1
+  EXPECT_EQ(r.delay, 0);
+}
+
+TEST(CycleCancel, CapTooSmallReportsNoCycle) {
+  const auto inst = gadget_instance();
+  // Ĉ = 3 < C_OPT = 5: the only delay-reducing cycles cost 5 and 24.
+  const auto r = cancel_cycles(inst, gadget_start(), 3);
+  EXPECT_EQ(r.status, CancelStatus::kNoBicameralCycle);
+}
+
+TEST(CycleCancel, AlreadyFeasibleIsNoop) {
+  const auto inst = gadget_instance();
+  // Start from the optimum itself: {s-a-b-t, s-t} = edges 0,1,5 and 4.
+  const PathSet start({{0, 1, 5}, {4}});
+  const auto r = cancel_cycles(inst, start, 5);
+  EXPECT_EQ(r.status, CancelStatus::kSuccess);
+  EXPECT_EQ(r.telemetry.iterations, 0);
+  EXPECT_EQ(r.cost, 5);
+}
+
+TEST(CycleCancel, InvalidStartRejected) {
+  const auto inst = gadget_instance();
+  EXPECT_THROW(cancel_cycles(inst, PathSet({{0, 1, 2, 3}}), 5),
+               util::CheckError);
+}
+
+// Property: starting from phase 1 with cap = C_OPT (from brute force), the
+// cancellation loop terminates with delay <= D and cost <= 2*C_OPT, and the
+// ratio trace is monotone (Lemma 12).
+TEST(CycleCancel, PropertyLemma11BoundsAtTrueOptCap) {
+  util::Rng rng(239);
+  int ran = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.25;
+    const auto inst = random_er_instance(rng, 9, 0.35, opt);
+    if (!inst) continue;
+    const auto p1 = phase1_lagrangian(*inst);
+    if (p1.status != Phase1Status::kApprox) continue;
+    if (p1.delay <= inst->delay_bound) continue;
+    const auto best = baselines::brute_force_krsp(*inst);
+    ASSERT_TRUE(best.has_value());
+    ++ran;
+    const auto r = cancel_cycles(*inst, p1.paths, best->cost);
+    ASSERT_EQ(r.status, CancelStatus::kSuccess) << inst->summary();
+    EXPECT_LE(r.delay, inst->delay_bound);
+    EXPECT_LE(r.cost, 2 * best->cost) << inst->summary();
+    EXPECT_TRUE(r.paths.is_valid(*inst));
+    EXPECT_TRUE(r.telemetry.ratio_monotone) << inst->summary();
+  }
+  EXPECT_GT(ran, 5);
+}
+
+// Property: telemetry type counts equal total iterations.
+TEST(CycleCancel, TelemetryConsistency) {
+  util::Rng rng(241);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.15;
+    const auto inst = random_er_instance(rng, 9, 0.35, opt);
+    if (!inst) continue;
+    const auto p1 = phase1_lagrangian(*inst);
+    if (p1.status != Phase1Status::kApprox || p1.delay <= inst->delay_bound)
+      continue;
+    const auto best = baselines::brute_force_krsp(*inst);
+    if (!best) continue;
+    const auto r = cancel_cycles(*inst, p1.paths, best->cost);
+    if (r.status != CancelStatus::kSuccess) continue;
+    EXPECT_EQ(r.telemetry.type_counts[0] + r.telemetry.type_counts[1] +
+                  r.telemetry.type_counts[2],
+              r.telemetry.iterations);
+  }
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,116 @@
+// Failure injection: the solver's behavior when internal limits trip and
+// when components are deliberately crippled. The contract: never hang,
+// never return invalid paths, always surface a typed status (or fall back
+// to the certified-feasible phase-1 alternative).
+#include <gtest/gtest.h>
+
+#include "core/cycle_cancel.h"
+#include "core/phase1.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+// An instance whose phase-1 solution overshoots the budget, so cancellation
+// must iterate (Figure-1 gadget guarantees exactly one iteration).
+Instance gadget_instance() {
+  const auto fig = gen::figure1_gadget(4, 5);
+  Instance inst;
+  inst.graph = fig.graph;
+  inst.s = fig.s;
+  inst.t = fig.t;
+  inst.k = fig.k;
+  inst.delay_bound = fig.delay_bound;
+  return inst;
+}
+
+TEST(FailureInjection, IterationLimitSurfacesTypedStatus) {
+  util::Rng rng(431);
+  // Tradeoff chains need several iterations; a limit of 1 must trip.
+  Instance inst;
+  inst.graph = gen::tradeoff_chains(rng, 3, 5, 6, 5);
+  inst.s = 0;
+  inst.t = 1;
+  inst.k = 3;
+  const auto lo = min_possible_delay(inst);
+  ASSERT_TRUE(lo.has_value());
+  inst.delay_bound = (*lo + 5 * 5 * 3) / 2;
+  const auto p1 = phase1_lagrangian(inst);
+  ASSERT_EQ(p1.status, Phase1Status::kApprox);
+  if (p1.delay <= inst.delay_bound) GTEST_SKIP() << "no overshoot drawn";
+
+  CycleCancelOptions opt;
+  opt.max_iterations = 1;
+  const auto cap = p1.feasible_alternative->total_cost(inst.graph);
+  const auto r = cancel_cycles(inst, p1.paths, cap, opt);
+  if (r.status == CancelStatus::kSuccess) GTEST_SKIP() << "solved in 1";
+  EXPECT_EQ(r.status, CancelStatus::kIterationLimit);
+  // Partial progress is still structurally valid.
+  EXPECT_TRUE(r.paths.is_valid(inst));
+}
+
+TEST(FailureInjection, SolverFallsBackWhenCancellationCrippled) {
+  // max_iterations = 0 is "auto"; use a crippled finder instead: zero DP
+  // rounds force every cancellation run to fail, so the solver must return
+  // the phase-1 feasible alternative with the fallback flag set.
+  SolverOptions opt;
+  opt.mode = SolverOptions::Mode::kExactWeights;
+  opt.cancel.finder.max_rounds = 1;  // cycles need >= 2 edges: always misses
+  const auto inst = gadget_instance();
+  const auto s = KrspSolver(opt).solve(inst);
+  ASSERT_EQ(s.status, SolveStatus::kApprox);
+  EXPECT_TRUE(s.telemetry.used_feasible_fallback);
+  EXPECT_TRUE(s.paths.is_valid(inst));
+  EXPECT_LE(s.delay, inst.delay_bound);  // the fallback is always feasible
+  EXPECT_EQ(s.cost, 24);                 // F_hi on the gadget: the fast pair
+}
+
+TEST(FailureInjection, ScaledModeFallsBackToo) {
+  SolverOptions opt;
+  opt.mode = SolverOptions::Mode::kScaled;
+  opt.cancel.finder.max_rounds = 1;
+  const auto inst = gadget_instance();
+  const auto s = KrspSolver(opt).solve(inst);
+  ASSERT_EQ(s.status, SolveStatus::kApprox);
+  EXPECT_TRUE(s.paths.is_valid(inst));
+  EXPECT_LE(s.delay, inst.delay_bound);
+}
+
+TEST(FailureInjection, TightIterationBudgetNeverReturnsInvalidPaths) {
+  util::Rng rng(433);
+  for (const int limit : {1, 2, 3}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      RandomInstanceOptions ropt;
+      ropt.k = 2;
+      ropt.delay_slack = 0.15;
+      const auto inst = random_er_instance(rng, 10, 0.3, ropt);
+      if (!inst) continue;
+      SolverOptions opt;
+      opt.mode = SolverOptions::Mode::kExactWeights;
+      opt.cancel.max_iterations = limit;
+      const auto s = KrspSolver(opt).solve(*inst);
+      if (s.has_paths()) {
+        EXPECT_TRUE(s.paths.is_valid(*inst));
+        EXPECT_LE(s.delay, inst->delay_bound);
+      } else {
+        EXPECT_TRUE(s.status == SolveStatus::kInfeasible ||
+                    s.status == SolveStatus::kNoKDisjointPaths ||
+                    s.status == SolveStatus::kFailed);
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, UnsolvableGuessRangeHandled) {
+  // cancel_cycles with an absurd cap guess of 0 on an overshooting start:
+  // ΔC <= 0 must be reported as kNoBicameralCycle, not looped on.
+  const auto inst = gadget_instance();
+  const PathSet start({{0, 1, 2, 3}, {4}});
+  const auto r = cancel_cycles(inst, start, /*cost_guess=*/0);
+  EXPECT_EQ(r.status, CancelStatus::kNoBicameralCycle);
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,137 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/path_set.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+Instance diamond_instance() {
+  Instance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.graph.add_edge(1, 3, 1, 1);
+  inst.graph.add_edge(0, 2, 2, 2);
+  inst.graph.add_edge(2, 3, 2, 2);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 6;
+  return inst;
+}
+
+TEST(Instance, ValidatePasses) { EXPECT_NO_THROW(diamond_instance().validate()); }
+
+TEST(Instance, ValidateRejectsBadFields) {
+  auto inst = diamond_instance();
+  inst.s = inst.t;
+  EXPECT_THROW(inst.validate(), util::CheckError);
+
+  inst = diamond_instance();
+  inst.k = 0;
+  EXPECT_THROW(inst.validate(), util::CheckError);
+
+  inst = diamond_instance();
+  inst.delay_bound = -1;
+  EXPECT_THROW(inst.validate(), util::CheckError);
+
+  inst = diamond_instance();
+  inst.graph.add_edge(0, 1, -1, 1);
+  EXPECT_THROW(inst.validate(), util::CheckError);
+}
+
+TEST(Instance, HasKDisjointPaths) {
+  auto inst = diamond_instance();
+  EXPECT_TRUE(has_k_disjoint_paths(inst));
+  inst.k = 3;
+  EXPECT_FALSE(has_k_disjoint_paths(inst));
+}
+
+TEST(Instance, MinPossibleDelay) {
+  const auto inst = diamond_instance();
+  const auto d = min_possible_delay(inst);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 6);  // both routes are needed: 2 + 4
+}
+
+TEST(Instance, MinPossibleDelayNulloptWhenDisconnected) {
+  Instance inst;
+  inst.graph.resize(3);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.s = 0;
+  inst.t = 2;
+  inst.k = 1;
+  inst.delay_bound = 10;
+  EXPECT_FALSE(min_possible_delay(inst).has_value());
+}
+
+TEST(RandomInstance, AlwaysStructurallyFeasible) {
+  util::Rng rng(179);
+  int made = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.5;
+    const auto inst = random_er_instance(rng, 12, 0.3, opt);
+    if (!inst) continue;
+    ++made;
+    EXPECT_TRUE(has_k_disjoint_paths(*inst));
+    const auto min_delay = min_possible_delay(*inst);
+    ASSERT_TRUE(min_delay.has_value());
+    EXPECT_GE(inst->delay_bound, *min_delay);  // feasible by construction
+  }
+  EXPECT_GT(made, 10);
+}
+
+TEST(RandomInstance, TightSlackGivesMinDelayBound) {
+  util::Rng rng(181);
+  RandomInstanceOptions opt;
+  opt.k = 2;
+  opt.delay_slack = 0.0;
+  const auto inst = random_er_instance(rng, 12, 0.35, opt);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->delay_bound, *min_possible_delay(*inst));
+}
+
+TEST(PathSet, MeasuresAndValidity) {
+  const auto inst = diamond_instance();
+  PathSet ps({{0, 1}, {2, 3}});
+  EXPECT_EQ(ps.total_cost(inst.graph), 6);
+  EXPECT_EQ(ps.total_delay(inst.graph), 6);
+  std::string why;
+  EXPECT_TRUE(ps.is_valid(inst, &why)) << why;
+  EXPECT_TRUE(ps.satisfies_delay(inst));
+}
+
+TEST(PathSet, DetectsWrongCount) {
+  const auto inst = diamond_instance();
+  PathSet ps({{0, 1}});
+  std::string why;
+  EXPECT_FALSE(ps.is_valid(inst, &why));
+  EXPECT_NE(why.find("expected 2"), std::string::npos);
+}
+
+TEST(PathSet, DetectsSharedEdge) {
+  const auto inst = diamond_instance();
+  PathSet ps({{0, 1}, {0, 1}});
+  std::string why;
+  EXPECT_FALSE(ps.is_valid(inst, &why));
+}
+
+TEST(PathSet, DetectsNonPath) {
+  const auto inst = diamond_instance();
+  PathSet ps({{0, 1}, {3, 2}});  // second is reversed order
+  EXPECT_FALSE(ps.is_valid(inst));
+}
+
+TEST(PathSet, AllEdgesFlattens) {
+  PathSet ps({{0, 1}, {2, 3}});
+  const auto edges = ps.all_edges();
+  EXPECT_EQ(edges.size(), 4u);
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,78 @@
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/solver.h"
+#include "graph/io.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+Instance sample_instance() {
+  util::Rng rng(421);
+  RandomInstanceOptions opt;
+  opt.k = 2;
+  opt.delay_slack = 0.4;
+  auto inst = random_er_instance(rng, 10, 0.35, opt);
+  KRSP_CHECK(inst.has_value());
+  return *inst;
+}
+
+TEST(InstanceIo, RoundTripStream) {
+  const auto inst = sample_instance();
+  std::stringstream ss;
+  write_instance(ss, inst);
+  const auto back = read_instance(ss);
+  EXPECT_EQ(back.s, inst.s);
+  EXPECT_EQ(back.t, inst.t);
+  EXPECT_EQ(back.k, inst.k);
+  EXPECT_EQ(back.delay_bound, inst.delay_bound);
+  ASSERT_EQ(back.graph.num_edges(), inst.graph.num_edges());
+  for (graph::EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    EXPECT_EQ(back.graph.edge(e).cost, inst.graph.edge(e).cost);
+    EXPECT_EQ(back.graph.edge(e).delay, inst.graph.edge(e).delay);
+  }
+}
+
+TEST(InstanceIo, RoundTripFilePreservesSolverResult) {
+  const auto inst = sample_instance();
+  const std::string path = testing::TempDir() + "/krsp_instance.kri";
+  write_instance_file(path, inst);
+  const auto back = read_instance_file(path);
+  const auto a = KrspSolver().solve(inst);
+  const auto b = KrspSolver().solve(back);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.delay, b.delay);
+}
+
+TEST(InstanceIo, MissingQueryLineThrows) {
+  const auto inst = sample_instance();
+  std::stringstream ss;
+  graph::write_graph(ss, inst.graph);  // no q line
+  EXPECT_THROW(read_instance(ss), util::CheckError);
+}
+
+TEST(PathsIo, RoundTrip) {
+  const auto inst = sample_instance();
+  const auto s = KrspSolver().solve(inst);
+  ASSERT_TRUE(s.has_paths());
+  std::stringstream ss;
+  write_paths(ss, s.paths);
+  const auto back = read_paths(ss, inst);
+  EXPECT_EQ(back.paths(), s.paths.paths());
+  EXPECT_EQ(back.total_cost(inst.graph), s.cost);
+}
+
+TEST(PathsIo, InvalidPathsRejectedOnRead) {
+  const auto inst = sample_instance();
+  std::stringstream ss("r 0\n");  // almost surely not a full s-t path set
+  EXPECT_THROW(read_paths(ss, inst), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,97 @@
+// k = 1 reduces kRSP to the classical RSP, for which the delay DP is a
+// polynomial exact oracle — so the solver's guarantees can be checked on
+// instances far beyond brute-force range.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "paths/rsp.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+TEST(K1Oracle, ExactWeightsModeAtN30) {
+  util::Rng rng(523);
+  int checked = 0;
+  SolverOptions opt;
+  opt.mode = SolverOptions::Mode::kExactWeights;
+  const KrspSolver solver(opt);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomInstanceOptions ropt;
+    ropt.k = 1;
+    ropt.delay_slack = 0.25;
+    gen::WeightRange w;
+    w.cost_max = 9;
+    w.delay_max = 9;
+    const auto inst = random_er_instance(rng, 30, 0.12, ropt, w);
+    if (!inst) continue;
+    const auto oracle = paths::rsp_exact(inst->graph, inst->s, inst->t,
+                                         inst->delay_bound);
+    ASSERT_TRUE(oracle.has_value());  // feasible by construction
+    const auto s = solver.solve(*inst);
+    ASSERT_TRUE(s.has_paths()) << inst->summary();
+    ++checked;
+    EXPECT_LE(s.delay, inst->delay_bound);
+    EXPECT_GE(s.cost, oracle->cost);
+    EXPECT_LE(s.cost, 2 * (oracle->cost + 1)) << inst->summary();
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(K1Oracle, ScaledModeAtN40LargeWeights) {
+  util::Rng rng(541);
+  int checked = 0;
+  SolverOptions opt;
+  opt.mode = SolverOptions::Mode::kScaled;
+  opt.eps1 = opt.eps2 = 0.5;
+  const KrspSolver solver(opt);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomInstanceOptions ropt;
+    ropt.k = 1;
+    ropt.delay_slack = 0.3;
+    gen::WeightRange w;
+    w.cost_max = 200;
+    w.delay_max = 200;
+    const auto inst = random_er_instance(rng, 40, 0.1, ropt, w);
+    if (!inst) continue;
+    const auto oracle = paths::rsp_exact(inst->graph, inst->s, inst->t,
+                                         inst->delay_bound);
+    ASSERT_TRUE(oracle.has_value());
+    const auto s = solver.solve(*inst);
+    ASSERT_TRUE(s.has_paths()) << inst->summary();
+    ++checked;
+    EXPECT_LE(static_cast<double>(s.delay),
+              1.5 * static_cast<double>(inst->delay_bound) + 1e-9);
+    EXPECT_LE(static_cast<double>(s.cost),
+              2.5 * static_cast<double>(oracle->cost + 1) + 1e-9)
+        << inst->summary();
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST(K1Oracle, InfeasibilityAgreement) {
+  util::Rng rng(547);
+  int compared = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    gen::WeightRange w;
+    w.delay_max = 12;
+    const auto g = gen::erdos_renyi(rng, 14, 0.15, w);
+    Instance inst;
+    inst.graph = g;
+    inst.s = 0;
+    inst.t = 13;
+    inst.k = 1;
+    inst.delay_bound = rng.uniform_int(0, 30);
+    const auto oracle =
+        paths::rsp_exact(inst.graph, inst.s, inst.t, inst.delay_bound);
+    const auto s = KrspSolver().solve(inst);
+    EXPECT_EQ(oracle.has_value(), s.has_paths())
+        << inst.summary() << " status=" << static_cast<int>(s.status);
+    ++compared;
+  }
+  EXPECT_EQ(compared, 20);
+}
+
+}  // namespace
+}  // namespace krsp::core

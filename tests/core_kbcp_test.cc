@@ -1,0 +1,107 @@
+#include "core/kbcp.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+KbcpInstance diamond(graph::Cost C, graph::Delay D) {
+  KbcpInstance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 1, 3);
+  inst.graph.add_edge(1, 3, 1, 3);
+  inst.graph.add_edge(0, 2, 5, 1);
+  inst.graph.add_edge(2, 3, 5, 1);
+  inst.graph.add_edge(0, 3, 2, 2);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.cost_bound = C;
+  inst.delay_bound = D;
+  return inst;
+}
+
+TEST(Kbcp, FeasibleWithGenerousBudgets) {
+  const auto r = solve_kbcp(diamond(20, 20));
+  EXPECT_EQ(r.status, KbcpStatus::kFeasible);
+  EXPECT_LE(r.cost, 20);
+  EXPECT_LE(r.delay, 20);
+  EXPECT_LE(r.cost_factor, 1.0);
+  EXPECT_LE(r.delay_factor, 1.0);
+}
+
+TEST(Kbcp, TightBudgetsFoundViaBestOrientation) {
+  // {0-1-3, 0-3}: cost 4, delay 8. Bounds C=4, D=8 are exactly achievable.
+  const auto r = solve_kbcp(diamond(4, 8));
+  ASSERT_TRUE(r.status == KbcpStatus::kFeasible ||
+              r.status == KbcpStatus::kViolates);
+  EXPECT_EQ(r.status, KbcpStatus::kFeasible);
+  EXPECT_EQ(r.cost, 4);
+  EXPECT_EQ(r.delay, 8);
+}
+
+TEST(Kbcp, ImpossiblePairReportsViolation) {
+  // C=4 forces the cheap pair (delay 8); D=4 forces the fast pair (cost
+  // 12). No solution satisfies both; factors quantify the gap.
+  const auto r = solve_kbcp(diamond(4, 4));
+  EXPECT_EQ(r.status, KbcpStatus::kViolates);
+  EXPECT_GT(std::max(r.cost_factor, r.delay_factor), 1.0);
+}
+
+TEST(Kbcp, NoKDisjointPaths) {
+  KbcpInstance inst;
+  inst.graph.resize(2);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.s = 0;
+  inst.t = 1;
+  inst.k = 2;
+  inst.cost_bound = 10;
+  inst.delay_bound = 10;
+  EXPECT_EQ(solve_kbcp(inst).status, KbcpStatus::kNoKDisjointPaths);
+}
+
+// Property: on instances where the budget pair is achievable (set from the
+// brute-force kRSP optimum), kBCP lands within the kRSP guarantee envelope
+// of both budgets.
+TEST(Kbcp, PropertyWithinGuaranteeOfAchievableBudgets) {
+  util::Rng rng(397);
+  int checked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.3;
+    const auto base = random_er_instance(rng, 9, 0.35, opt);
+    if (!base) continue;
+    const auto best = baselines::brute_force_krsp(*base);
+    if (!best) continue;
+    ++checked;
+    KbcpInstance inst;
+    inst.graph = base->graph;
+    inst.s = base->s;
+    inst.t = base->t;
+    inst.k = base->k;
+    inst.cost_bound = best->cost;       // achievable pair by construction
+    inst.delay_bound = base->delay_bound;
+    const auto r = solve_kbcp(inst);
+    ASSERT_TRUE(r.status == KbcpStatus::kFeasible ||
+                r.status == KbcpStatus::kViolates);
+    // The better orientation's worst factor is bounded by orientation A's
+    // (min cost s.t. delay): delay within (1+eps1), cost within
+    // (2+eps2)(C_OPT+1)/C = (2+eps2)(1+1/C) since the pair is achievable.
+    const double worst = std::max(r.cost_factor, r.delay_factor);
+    EXPECT_LE(worst,
+              (2.0 + 0.25) * (1.0 + 1.0 / static_cast<double>(std::max<
+                                              graph::Cost>(
+                                      1, inst.cost_bound))) +
+                  1e-9)
+        << base->summary();
+  }
+  EXPECT_GT(checked, 5);
+}
+
+}  // namespace
+}  // namespace krsp::core

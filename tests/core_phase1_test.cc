@@ -1,0 +1,177 @@
+#include "core/phase1.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "graph/generators.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+TEST(Phase1, OptimalWhenBudgetLoose) {
+  Instance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.graph.add_edge(1, 3, 1, 1);
+  inst.graph.add_edge(0, 2, 2, 2);
+  inst.graph.add_edge(2, 3, 2, 2);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 100;
+  const auto r = phase1_lagrangian(inst);
+  EXPECT_EQ(r.status, Phase1Status::kOptimal);
+  EXPECT_EQ(r.cost, 6);
+  EXPECT_EQ(r.cost_lower_bound, util::Rational(6));
+}
+
+TEST(Phase1, NoKDisjointPathsDetected) {
+  Instance inst;
+  inst.graph.resize(3);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.graph.add_edge(1, 2, 1, 1);
+  inst.s = 0;
+  inst.t = 2;
+  inst.k = 2;
+  inst.delay_bound = 100;
+  EXPECT_EQ(phase1_lagrangian(inst).status, Phase1Status::kNoKDisjointPaths);
+}
+
+TEST(Phase1, InfeasibleDetectedExactly) {
+  Instance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 1, 3);
+  inst.graph.add_edge(1, 3, 1, 3);
+  inst.graph.add_edge(0, 2, 2, 4);
+  inst.graph.add_edge(2, 3, 2, 4);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 13;  // min possible total delay is 14
+  EXPECT_EQ(phase1_lagrangian(inst).status, Phase1Status::kInfeasible);
+  inst.delay_bound = 14;
+  EXPECT_NE(phase1_lagrangian(inst).status, Phase1Status::kInfeasible);
+}
+
+TEST(Phase1, TradeoffInstanceReturnsApproxWithAlternative) {
+  // Cheap-slow vs expensive-fast chains force a genuine λ breakpoint.
+  util::Rng rng(199);
+  Instance inst;
+  inst.graph = gen::tradeoff_chains(rng, 3, 2, 10, 8);
+  inst.s = 0;
+  inst.t = 1;
+  inst.k = 2;
+  inst.delay_bound = 18;  // between all-slow (32) and all-fast (4)
+  const auto r = phase1_lagrangian(inst);
+  ASSERT_EQ(r.status, Phase1Status::kApprox);
+  ASSERT_TRUE(r.feasible_alternative.has_value());
+  EXPECT_LE(r.feasible_alternative->total_delay(inst.graph),
+            inst.delay_bound);
+  EXPECT_GT(r.cost_lower_bound, util::Rational(0));
+}
+
+// Lemma 5 (property): delay/D + cost/C_OPT <= 2 against the brute-force
+// optimum, on feasible random instances that are not solved exactly.
+TEST(Phase1, PropertyLemma5Score) {
+  util::Rng rng(211);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.25;
+    const auto inst = random_er_instance(rng, 10, 0.3, opt);
+    if (!inst) continue;
+    const auto r = phase1_lagrangian(*inst);
+    if (r.status != Phase1Status::kApprox) continue;
+    const auto best = baselines::brute_force_krsp(*inst);
+    ASSERT_TRUE(best.has_value());  // instance feasible by construction
+    ++checked;
+    // LB really is a lower bound on C_OPT.
+    EXPECT_LE(r.cost_lower_bound, util::Rational(best->cost));
+    // Lemma 5 score.
+    const double score =
+        static_cast<double>(r.delay) /
+            static_cast<double>(inst->delay_bound) +
+        static_cast<double>(r.cost) / std::max(1.0, double(best->cost));
+    EXPECT_LE(score, 2.0 + 1e-9) << inst->summary();
+    // Structural validity of both returned path systems.
+    EXPECT_TRUE(r.paths.is_valid(*inst));
+    EXPECT_TRUE(r.feasible_alternative->is_valid(*inst));
+    EXPECT_LE(r.feasible_alternative->total_delay(inst->graph),
+              inst->delay_bound);
+  }
+  EXPECT_GT(checked, 8);
+}
+
+// Strong duality cross-check: the Lagrangian bound equals the LP optimum of
+// the arc-flow relaxation (flow polytope is integral), computed by simplex.
+TEST(Phase1, PropertyLagrangianBoundEqualsLpOptimum) {
+  util::Rng rng(223);
+  int checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.3;
+    const auto inst = random_er_instance(rng, 8, 0.35, opt);
+    if (!inst) continue;
+    const auto r = phase1_lagrangian(*inst);
+    if (r.status != Phase1Status::kApprox &&
+        r.status != Phase1Status::kOptimal)
+      continue;
+    ++checked;
+
+    lp::LpModel model;
+    for (const auto& e : inst->graph.edges())
+      model.add_variable(static_cast<double>(e.cost), 0.0, 1.0);
+    for (graph::VertexId v = 0; v < inst->graph.num_vertices(); ++v) {
+      std::vector<lp::LinearTerm> terms;
+      for (const graph::EdgeId e : inst->graph.out_edges(v))
+        terms.push_back({e, 1.0});
+      for (const graph::EdgeId e : inst->graph.in_edges(v))
+        terms.push_back({e, -1.0});
+      const double rhs =
+          v == inst->s ? inst->k : (v == inst->t ? -inst->k : 0);
+      model.add_constraint(std::move(terms), lp::Relation::kEq, rhs);
+    }
+    std::vector<lp::LinearTerm> delay_terms;
+    for (graph::EdgeId e = 0; e < inst->graph.num_edges(); ++e)
+      delay_terms.push_back(
+          {e, static_cast<double>(inst->graph.edge(e).delay)});
+    model.add_constraint(std::move(delay_terms), lp::Relation::kLessEq,
+                         static_cast<double>(inst->delay_bound));
+
+    const auto lp_solution = lp::SimplexSolver().solve(model);
+    ASSERT_EQ(lp_solution.status, lp::LpStatus::kOptimal);
+    EXPECT_NEAR(r.cost_lower_bound.to_double(), lp_solution.objective, 1e-6)
+        << inst->summary();
+  }
+  EXPECT_GT(checked, 8);
+}
+
+TEST(Phase1, ZeroDelayBudgetHandled) {
+  Instance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 3, 0);
+  inst.graph.add_edge(1, 3, 3, 0);
+  inst.graph.add_edge(0, 2, 1, 1);
+  inst.graph.add_edge(2, 3, 1, 0);
+  inst.graph.add_edge(0, 3, 1, 0);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 0;
+  const auto r = phase1_lagrangian(inst);
+  // Feasible: {0-1-3, 0-3} all-zero-delay. Phase 1 must find it.
+  ASSERT_TRUE(r.status == Phase1Status::kOptimal ||
+              r.status == Phase1Status::kApprox);
+  if (r.status == Phase1Status::kApprox) {
+    ASSERT_TRUE(r.feasible_alternative.has_value());
+    EXPECT_EQ(r.feasible_alternative->total_delay(inst.graph), 0);
+  }
+}
+
+}  // namespace
+}  // namespace krsp::core

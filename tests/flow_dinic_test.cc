@@ -1,0 +1,119 @@
+#include "flow/dinic.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::flow {
+namespace {
+
+using graph::Digraph;
+
+TEST(Dinic, SingleEdge) {
+  Dinic d(2);
+  d.add_arc(0, 1, 7);
+  EXPECT_EQ(d.solve(0, 1), 7);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  Dinic d(3);
+  d.add_arc(0, 1, 10);
+  d.add_arc(1, 2, 3);
+  EXPECT_EQ(d.solve(0, 2), 3);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  Dinic d(4);
+  d.add_arc(0, 1, 2);
+  d.add_arc(1, 3, 2);
+  d.add_arc(0, 2, 3);
+  d.add_arc(2, 3, 3);
+  EXPECT_EQ(d.solve(0, 3), 5);
+}
+
+TEST(Dinic, ClassicTextbookNetwork) {
+  // CLRS-style example with crossing edge.
+  Dinic d(4);
+  d.add_arc(0, 1, 3);
+  d.add_arc(0, 2, 2);
+  d.add_arc(1, 2, 5);
+  d.add_arc(1, 3, 2);
+  d.add_arc(2, 3, 3);
+  EXPECT_EQ(d.solve(0, 3), 5);
+}
+
+TEST(Dinic, FlowConservationOnArcs) {
+  Dinic d(4);
+  const int a = d.add_arc(0, 1, 2);
+  const int b = d.add_arc(1, 3, 2);
+  const int c = d.add_arc(0, 2, 3);
+  const int e = d.add_arc(2, 3, 1);
+  const auto total = d.solve(0, 3);
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(d.flow_on(a), d.flow_on(b));
+  EXPECT_EQ(d.flow_on(c), d.flow_on(e));
+  EXPECT_EQ(d.flow_on(a) + d.flow_on(c), total);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic d(3);
+  d.add_arc(0, 1, 5);
+  EXPECT_EQ(d.solve(0, 2), 0);
+}
+
+TEST(Dinic, SelfLoopArcIgnoredByFlow) {
+  Dinic d(2);
+  d.add_arc(0, 0, 5);
+  d.add_arc(0, 1, 2);
+  EXPECT_EQ(d.solve(0, 1), 2);
+}
+
+TEST(MaxEdgeDisjointPaths, Diamond) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 3, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  EXPECT_EQ(max_edge_disjoint_paths(g, 0, 3), 2);
+}
+
+TEST(MaxEdgeDisjointPaths, SharedBridgeLimitsToOne) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 1, 1);  // bridge
+  g.add_edge(2, 3, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  EXPECT_EQ(max_edge_disjoint_paths(g, 0, 3), 1);
+}
+
+// Property: max-flow == min-cut on small random unit-capacity graphs, with
+// the cut found by exhaustive subset enumeration.
+TEST(Dinic, PropertyMaxFlowEqualsMinCutUnitCapacities) {
+  util::Rng rng(149);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 8, 0.3);
+    const int flow = max_edge_disjoint_paths(g, 0, 7);
+    // Min cut over all vertex subsets containing 0 but not 7.
+    int min_cut = g.num_edges() + 1;
+    for (int mask = 0; mask < (1 << 8); ++mask) {
+      if (!(mask & 1) || (mask & (1 << 7))) continue;
+      int cut = 0;
+      for (const auto& e : g.edges())
+        if ((mask >> e.from & 1) && !(mask >> e.to & 1)) ++cut;
+      min_cut = std::min(min_cut, cut);
+    }
+    EXPECT_EQ(flow, min_cut);
+  }
+}
+
+TEST(Dinic, InvalidArgumentsThrow) {
+  Dinic d(2);
+  EXPECT_THROW(d.add_arc(0, 5, 1), util::CheckError);
+  EXPECT_THROW(d.add_arc(0, 1, -1), util::CheckError);
+  EXPECT_THROW(d.solve(0, 0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::flow

@@ -1,0 +1,111 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> {1, 2} -> 3
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(1, 3, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  return g;
+}
+
+TEST(Reachability, Diamond) {
+  const auto g = diamond();
+  const auto from0 = reachable_from(g, 0);
+  EXPECT_TRUE(from0[0] && from0[1] && from0[2] && from0[3]);
+  const auto from1 = reachable_from(g, 1);
+  EXPECT_FALSE(from1[0]);
+  EXPECT_FALSE(from1[2]);
+  EXPECT_TRUE(from1[3]);
+  const auto to3 = can_reach(g, 3);
+  EXPECT_TRUE(to3[0] && to3[1] && to3[2] && to3[3]);
+  EXPECT_TRUE(has_path(g, 0, 3));
+  EXPECT_FALSE(has_path(g, 3, 0));
+}
+
+TEST(Topological, DagHasOrder) {
+  const auto g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  for (const auto& e : g.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(Topological, CycleHasNoOrder) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0, 0);
+  g.add_edge(1, 2, 0, 0);
+  g.add_edge(2, 0, 0, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(Scc, TwoComponentsAndSingleton) {
+  Digraph g(5);
+  g.add_edge(0, 1, 0, 0);
+  g.add_edge(1, 0, 0, 0);
+  g.add_edge(1, 2, 0, 0);
+  g.add_edge(2, 3, 0, 0);
+  g.add_edge(3, 2, 0, 0);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 3);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  EXPECT_NE(scc.component[4], scc.component[0]);
+  EXPECT_NE(scc.component[4], scc.component[2]);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  const auto g = diamond();
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 4);
+}
+
+// Property: SCC equivalence matches pairwise mutual reachability.
+TEST(Scc, PropertyMatchesMutualReachability) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 12, 0.15);
+    const auto scc = strongly_connected_components(g);
+    std::vector<std::vector<bool>> reach;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      reach.push_back(reachable_from(g, v));
+    for (VertexId u = 0; u < g.num_vertices(); ++u)
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const bool mutual = reach[u][v] && reach[v][u];
+        EXPECT_EQ(mutual, scc.component[u] == scc.component[v])
+            << "u=" << u << " v=" << v;
+      }
+  }
+}
+
+TEST(BfsPath, FindsShortestHopPath) {
+  Digraph g(5);
+  g.add_edge(0, 1, 0, 0);
+  g.add_edge(1, 2, 0, 0);
+  g.add_edge(2, 4, 0, 0);
+  g.add_edge(0, 3, 0, 0);
+  g.add_edge(3, 4, 0, 0);
+  const auto p = bfs_path(g, 0, 4);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(is_walk(g, p, 0, 4));
+}
+
+TEST(BfsPath, EmptyWhenUnreachable) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0, 0);
+  EXPECT_TRUE(bfs_path(g, 0, 2).empty());
+}
+
+}  // namespace
+}  // namespace krsp::graph

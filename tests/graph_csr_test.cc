@@ -1,0 +1,67 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::graph {
+namespace {
+
+TEST(CsrView, EmptyGraph) {
+  Digraph g(3);
+  const CsrView csr(g);
+  EXPECT_EQ(csr.num_vertices(), 3);
+  EXPECT_EQ(csr.num_arcs(), 0);
+  EXPECT_TRUE(csr.out(0).empty());
+}
+
+TEST(CsrView, GroupsArcsByTail) {
+  Digraph g(3);
+  g.add_edge(1, 0, 5, 6);
+  g.add_edge(0, 1, 1, 2);
+  g.add_edge(0, 2, 3, 4);
+  const CsrView csr(g);
+  EXPECT_EQ(csr.out(0).size(), 2u);
+  EXPECT_EQ(csr.out(1).size(), 1u);
+  EXPECT_TRUE(csr.out(2).empty());
+  EXPECT_EQ(csr.out(1)[0].to, 0);
+  EXPECT_EQ(csr.out(1)[0].cost, 5);
+  EXPECT_EQ(csr.out(1)[0].delay, 6);
+  EXPECT_EQ(csr.out(1)[0].id, 0);
+}
+
+TEST(CsrView, SupportsParallelArcs) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 1, 2, 2);
+  const CsrView csr(g);
+  EXPECT_EQ(csr.out(0).size(), 2u);
+}
+
+// Property: CSR's per-vertex arc multiset equals the Digraph's adjacency.
+TEST(CsrView, PropertyEquivalentToAdjacency) {
+  util::Rng rng(457);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 15, 0.3);
+    const CsrView csr(g);
+    EXPECT_EQ(csr.num_arcs(), g.num_edges());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      std::multiset<EdgeId> a, b;
+      for (const EdgeId e : g.out_edges(v)) a.insert(e);
+      for (const auto& arc : csr.out(v)) {
+        b.insert(arc.id);
+        EXPECT_EQ(g.edge(arc.id).to, arc.to);
+        EXPECT_EQ(g.edge(arc.id).cost, arc.cost);
+        EXPECT_EQ(g.edge(arc.id).delay, arc.delay);
+        EXPECT_EQ(g.edge(arc.id).from, v);
+      }
+      EXPECT_EQ(a, b) << "vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace krsp::graph

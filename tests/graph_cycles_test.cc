@@ -1,0 +1,132 @@
+#include "graph/cycles.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::graph {
+namespace {
+
+TEST(IsSimpleCycle, Basics) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 2, 0, 0);
+  const EdgeId c = g.add_edge(2, 0, 0, 0);
+  EXPECT_TRUE(is_simple_cycle(g, std::vector<EdgeId>{a, b, c}));
+  EXPECT_FALSE(is_simple_cycle(g, std::vector<EdgeId>{a, b}));   // open
+  EXPECT_FALSE(is_simple_cycle(g, std::vector<EdgeId>{}));       // empty
+}
+
+TEST(IsSimpleCycle, SelfParallelPair) {
+  Digraph g(2);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 0, 0, 0);
+  EXPECT_TRUE(is_simple_cycle(g, std::vector<EdgeId>{a, b}));
+}
+
+TEST(DecomposeClosedWalk, SingleCycle) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 2, 0, 0);
+  const EdgeId c = g.add_edge(2, 0, 0, 0);
+  const auto cycles = decompose_closed_walk(g, std::vector<EdgeId>{a, b, c});
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 3u);
+}
+
+TEST(DecomposeClosedWalk, FigureEightSplits) {
+  // 0->1->0 then 0->2->0, traversed as one closed walk through 0.
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 0, 0, 0);
+  const EdgeId c = g.add_edge(0, 2, 0, 0);
+  const EdgeId d = g.add_edge(2, 0, 0, 0);
+  const auto cycles =
+      decompose_closed_walk(g, std::vector<EdgeId>{a, b, c, d});
+  ASSERT_EQ(cycles.size(), 2u);
+  for (const auto& cyc : cycles) EXPECT_TRUE(is_simple_cycle(g, cyc));
+}
+
+TEST(DecomposeClosedWalk, InnerCyclePoppedBeforeOuter) {
+  // Walk 0->1->2->1 ... 1->0: inner cycle 1->2->1 inside outer 0->1->0.
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 2, 0, 0);
+  const EdgeId c = g.add_edge(2, 1, 0, 0);
+  const EdgeId d = g.add_edge(1, 0, 0, 0);
+  const auto cycles =
+      decompose_closed_walk(g, std::vector<EdgeId>{a, b, c, d});
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].size(), 2u);  // inner pops first
+  EXPECT_EQ(cycles[1].size(), 2u);
+}
+
+TEST(DecomposeClosedWalk, RejectsNonClosedInput) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 2, 0, 0);
+  EXPECT_THROW(decompose_closed_walk(g, std::vector<EdgeId>{a, b}),
+               util::CheckError);
+}
+
+TEST(DecomposeBalanced, RejectsImbalance) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  EXPECT_THROW(decompose_balanced_edge_set(g, std::vector<EdgeId>{a}),
+               util::CheckError);
+}
+
+TEST(DecomposeBalanced, DisjointCycles) {
+  Digraph g(6);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1, 0, 0));
+  edges.push_back(g.add_edge(1, 2, 0, 0));
+  edges.push_back(g.add_edge(2, 0, 0, 0));
+  edges.push_back(g.add_edge(3, 4, 0, 0));
+  edges.push_back(g.add_edge(4, 3, 0, 0));
+  const auto cycles = decompose_balanced_edge_set(g, edges);
+  EXPECT_EQ(cycles.size(), 2u);
+}
+
+// Property: on random balanced edge sets (unions of random simple cycles),
+// the decomposition yields simple cycles partitioning the edge multiset.
+TEST(DecomposeBalanced, PropertyPartitionOfRandomCycleUnions) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 8;
+    Digraph g(n);
+    std::vector<EdgeId> edges;
+    // Build 1-3 random simple cycles over fresh parallel edges (so the
+    // union is trivially balanced even with shared vertices).
+    const int num_cycles = static_cast<int>(rng.uniform_int(1, 3));
+    for (int c = 0; c < num_cycles; ++c) {
+      const int len = static_cast<int>(rng.uniform_int(2, n));
+      std::vector<VertexId> verts;
+      for (VertexId v = 0; v < n; ++v) verts.push_back(v);
+      for (int i = n - 1; i > 0; --i) {
+        const int j = static_cast<int>(rng.uniform_int(0, i));
+        std::swap(verts[i], verts[j]);
+      }
+      verts.resize(len);
+      for (int i = 0; i < len; ++i)
+        edges.push_back(
+            g.add_edge(verts[i], verts[(i + 1) % len], 0, 0));
+    }
+    const auto cycles = decompose_balanced_edge_set(g, edges);
+    std::map<EdgeId, int> seen;
+    std::size_t total = 0;
+    for (const auto& cyc : cycles) {
+      EXPECT_TRUE(is_simple_cycle(g, cyc));
+      total += cyc.size();
+      for (const EdgeId e : cyc) ++seen[e];
+    }
+    EXPECT_EQ(total, edges.size());
+    for (const auto& [e, count] : seen) EXPECT_EQ(count, 1) << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace krsp::graph

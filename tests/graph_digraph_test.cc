@@ -1,0 +1,115 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace krsp::graph {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Digraph, AddVerticesAndEdges) {
+  Digraph g(3);
+  const EdgeId e0 = g.add_edge(0, 1, 5, 7);
+  const EdgeId e1 = g.add_edge(1, 2, -3, 2);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(e0).from, 0);
+  EXPECT_EQ(g.edge(e0).to, 1);
+  EXPECT_EQ(g.edge(e0).cost, 5);
+  EXPECT_EQ(g.edge(e0).delay, 7);
+  EXPECT_EQ(g.edge(e1).cost, -3);
+}
+
+TEST(Digraph, SupportsParallelEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 1, 2, 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(1), 2);
+}
+
+TEST(Digraph, AdjacencyIsConsistent) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.in_degree(3), 1);
+  for (const EdgeId e : g.out_edges(0)) EXPECT_EQ(g.edge(e).from, 0);
+  for (const EdgeId e : g.in_edges(3)) EXPECT_EQ(g.edge(e).to, 3);
+}
+
+TEST(Digraph, AddVertexGrows) {
+  Digraph g(1);
+  const VertexId v = g.add_vertex();
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(g.num_vertices(), 2);
+}
+
+TEST(Digraph, BadEndpointsThrow) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 0, 0), util::CheckError);
+  EXPECT_THROW(g.add_edge(-1, 1, 0, 0), util::CheckError);
+}
+
+TEST(Digraph, Aggregates) {
+  Digraph g(3);
+  g.add_edge(0, 1, 4, 10);
+  g.add_edge(1, 2, -6, 20);
+  EXPECT_EQ(g.total_cost(), -2);
+  EXPECT_EQ(g.total_delay(), 30);
+  EXPECT_EQ(g.max_abs_cost(), 6);
+  EXPECT_EQ(g.max_abs_delay(), 20);
+}
+
+TEST(Digraph, ReversedSwapsDirections) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1, 2);
+  g.add_edge(1, 2, 3, 4);
+  const Digraph r = g.reversed();
+  EXPECT_EQ(r.num_edges(), 2);
+  EXPECT_EQ(r.edge(0).from, 1);
+  EXPECT_EQ(r.edge(0).to, 0);
+  EXPECT_EQ(r.edge(0).cost, 1);
+}
+
+TEST(PathHelpers, CostAndDelay) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 2, 5);
+  const EdgeId b = g.add_edge(1, 2, 3, 7);
+  const std::vector<EdgeId> p{a, b};
+  EXPECT_EQ(path_cost(g, p), 5);
+  EXPECT_EQ(path_delay(g, p), 12);
+}
+
+TEST(PathHelpers, IsWalkValidation) {
+  Digraph g(4);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 2, 0, 0);
+  const EdgeId c = g.add_edge(2, 0, 0, 0);
+  EXPECT_TRUE(is_walk(g, std::vector<EdgeId>{a, b}, 0, 2));
+  EXPECT_TRUE(is_walk(g, std::vector<EdgeId>{a, b, c}, 0, 0));
+  EXPECT_FALSE(is_walk(g, std::vector<EdgeId>{b, a}, 1, 1));
+  EXPECT_TRUE(is_walk(g, std::vector<EdgeId>{}, 3, 3));
+  EXPECT_FALSE(is_walk(g, std::vector<EdgeId>{}, 0, 3));
+}
+
+TEST(PathHelpers, IsSimplePathRejectsRepeats) {
+  Digraph g(4);
+  const EdgeId a = g.add_edge(0, 1, 0, 0);
+  const EdgeId b = g.add_edge(1, 2, 0, 0);
+  const EdgeId c = g.add_edge(2, 1, 0, 0);
+  const EdgeId d = g.add_edge(1, 3, 0, 0);
+  EXPECT_TRUE(is_simple_path(g, std::vector<EdgeId>{a, b}, 0, 2));
+  // 0->1->2->1->3 repeats vertex 1.
+  EXPECT_FALSE(is_simple_path(g, std::vector<EdgeId>{a, b, c, d}, 0, 3));
+}
+
+}  // namespace
+}  // namespace krsp::graph

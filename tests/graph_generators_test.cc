@@ -1,0 +1,170 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace krsp::gen {
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  util::Rng rng(61);
+  const int n = 40;
+  const double p = 0.2;
+  const auto g = erdos_renyi(rng, n, p);
+  const double expected = p * n * (n - 1);
+  EXPECT_GT(g.num_edges(), expected * 0.7);
+  EXPECT_LT(g.num_edges(), expected * 1.3);
+}
+
+TEST(ErdosRenyi, DeterministicGivenSeed) {
+  util::Rng a(7), b(7);
+  const auto g1 = erdos_renyi(a, 15, 0.3);
+  const auto g2 = erdos_renyi(b, 15, 0.3);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (EdgeId e = 0; e < g1.num_edges(); ++e) {
+    EXPECT_EQ(g1.edge(e).from, g2.edge(e).from);
+    EXPECT_EQ(g1.edge(e).cost, g2.edge(e).cost);
+  }
+}
+
+TEST(ErdosRenyi, WeightsInRange) {
+  util::Rng rng(67);
+  WeightRange w{3, 9, 2, 4};
+  const auto g = erdos_renyi(rng, 20, 0.3, w);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.cost, 3);
+    EXPECT_LE(e.cost, 9);
+    EXPECT_GE(e.delay, 2);
+    EXPECT_LE(e.delay, 4);
+  }
+}
+
+TEST(RandomMEdges, ExactCountNoDuplicates) {
+  util::Rng rng(71);
+  const auto g = random_m_edges(rng, 10, 30);
+  EXPECT_EQ(g.num_edges(), 30);
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const auto& e : g.edges()) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_TRUE(pairs.emplace(e.from, e.to).second);
+  }
+}
+
+TEST(Waxman, DelayTracksDistance) {
+  util::Rng rng(73);
+  WaxmanParams params;
+  params.beta = 0.9;
+  const auto g = waxman(rng, 30, params);
+  ASSERT_GT(g.num_edges(), 0);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.delay, 1);
+    // Max distance in unit square is sqrt(2) -> delay <= ceil(1.415*100).
+    EXPECT_LE(e.delay, 142);
+  }
+}
+
+TEST(Grid, StructureAndDegrees) {
+  util::Rng rng(79);
+  const auto g = grid(rng, 4, 3);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // Bidirectional: horizontal 3*3*2 + vertical 2*4*2 = 34.
+  EXPECT_EQ(g.num_edges(), 34);
+  // Corner vertex 0 has out-degree 2 (right, down).
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(LayeredDag, GuaranteesKDisjointSpines) {
+  util::Rng rng(83);
+  for (const int k : {1, 2, 3}) {
+    const auto g = layered_dag(rng, 4, 5, 0.3, k);
+    EXPECT_TRUE(topological_order(g).has_value());
+    // The spine alone guarantees reachability.
+    EXPECT_TRUE(graph::has_path(g, 0, g.num_vertices() - 1));
+  }
+}
+
+TEST(BarabasiAlbert, EdgeCountAndConnectivity) {
+  util::Rng rng(503);
+  const int n = 30, attach = 2;
+  const auto g = barabasi_albert(rng, n, attach);
+  // Clique on 3 vertices (6 arcs) + 2 bidirectional attachments per new
+  // vertex: 6 + (n - 3) * 2 * 2.
+  EXPECT_EQ(g.num_edges(), 6 + (n - 3) * attach * 2);
+  // Preferential attachment keeps everything connected to the seed clique.
+  for (VertexId v = 1; v < n; ++v) {
+    EXPECT_TRUE(graph::has_path(g, 0, v)) << v;
+    EXPECT_TRUE(graph::has_path(g, v, 0)) << v;
+  }
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  util::Rng rng(509);
+  const auto g = barabasi_albert(rng, 120, 2);
+  int max_deg = 0;
+  long long total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.out_degree(v));
+    total += g.out_degree(v);
+  }
+  const double mean = static_cast<double>(total) / g.num_vertices();
+  EXPECT_GT(max_deg, 3.0 * mean);  // scale-free: hubs far above the mean
+}
+
+TEST(BarabasiAlbert, ParameterValidation) {
+  util::Rng rng(521);
+  EXPECT_THROW(barabasi_albert(rng, 2, 2), util::CheckError);
+  EXPECT_THROW(barabasi_albert(rng, 10, 0), util::CheckError);
+}
+
+TEST(IspLike, ConnectedBothWays) {
+  util::Rng rng(89);
+  const auto g = isp_like(rng);
+  const VertexId a = 8;                  // first region host
+  const VertexId b = g.num_vertices() - 1;  // last region host
+  EXPECT_TRUE(graph::has_path(g, a, b));
+  EXPECT_TRUE(graph::has_path(g, b, a));
+}
+
+TEST(Figure1Gadget, ShapeAndMeasures) {
+  const auto fig = figure1_gadget(/*D=*/4, /*c_opt=*/5);
+  EXPECT_EQ(fig.graph.num_vertices(), 5);
+  EXPECT_EQ(fig.graph.num_edges(), 7);
+  EXPECT_EQ(fig.optimal_cost, 5);
+  EXPECT_EQ(fig.bad_cost, 5 * 5 - 1);
+  EXPECT_EQ(fig.delay_bound, 4);
+  // The cheap two-path system s-a-b-c-t + s-t costs 0 and has delay D+1.
+  // (Verified in detail by integration_figures_test.)
+  graph::Cost zero_cost_total = 0;
+  for (const auto& e : fig.graph.edges())
+    if (e.cost == 0) zero_cost_total += e.delay;
+  EXPECT_EQ(zero_cost_total, 4 + 1);
+}
+
+TEST(Figure1Gadget, ParameterValidation) {
+  EXPECT_THROW(figure1_gadget(0, 5), util::CheckError);
+  EXPECT_THROW(figure1_gadget(4, 1), util::CheckError);
+}
+
+TEST(Figure2Example, PathAndBudget) {
+  const auto fig = figure2_example();
+  EXPECT_EQ(fig.graph.num_vertices(), 5);
+  EXPECT_EQ(fig.current_path.size(), 4u);
+  EXPECT_TRUE(graph::is_simple_path(fig.graph, fig.current_path, fig.s,
+                                    fig.t));
+  EXPECT_EQ(fig.budget, 6);
+}
+
+TEST(TradeoffChains, TwoVariantsPerHop) {
+  util::Rng rng(97);
+  const auto g = tradeoff_chains(rng, 3, 4, 10, 8);
+  // 3 chains x 4 hops x 2 variants.
+  EXPECT_EQ(g.num_edges(), 24);
+  EXPECT_TRUE(graph::has_path(g, 0, 1));
+}
+
+}  // namespace
+}  // namespace krsp::gen

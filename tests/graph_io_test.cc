@@ -1,0 +1,86 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::graph {
+namespace {
+
+TEST(GraphIo, RoundTripSmall) {
+  Digraph g(3);
+  g.add_edge(0, 1, 5, 7);
+  g.add_edge(1, 2, 0, 3);
+  g.add_edge(2, 0, 9, 1);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Digraph h = read_graph(ss);
+  ASSERT_EQ(h.num_vertices(), 3);
+  ASSERT_EQ(h.num_edges(), 3);
+  for (EdgeId e = 0; e < 3; ++e) {
+    EXPECT_EQ(h.edge(e).from, g.edge(e).from);
+    EXPECT_EQ(h.edge(e).to, g.edge(e).to);
+    EXPECT_EQ(h.edge(e).cost, g.edge(e).cost);
+    EXPECT_EQ(h.edge(e).delay, g.edge(e).delay);
+  }
+}
+
+TEST(GraphIo, RoundTripRandomProperty) {
+  util::Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 20, 0.2);
+    std::stringstream ss;
+    write_graph(ss, g);
+    const Digraph h = read_graph(ss);
+    ASSERT_EQ(h.num_vertices(), g.num_vertices());
+    ASSERT_EQ(h.num_edges(), g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_EQ(h.edge(e).from, g.edge(e).from);
+      EXPECT_EQ(h.edge(e).cost, g.edge(e).cost);
+      EXPECT_EQ(h.edge(e).delay, g.edge(e).delay);
+    }
+  }
+}
+
+TEST(GraphIo, CommentsIgnored) {
+  std::stringstream ss("c a comment\np krsp 2 1\nc another\na 0 1 4 5\n");
+  const Digraph g = read_graph(ss);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(0).cost, 4);
+}
+
+TEST(GraphIo, MissingHeaderThrows) {
+  std::stringstream ss("a 0 1 4 5\n");
+  EXPECT_THROW(read_graph(ss), util::CheckError);
+}
+
+TEST(GraphIo, EdgeCountMismatchThrows) {
+  std::stringstream ss("p krsp 2 2\na 0 1 4 5\n");
+  EXPECT_THROW(read_graph(ss), util::CheckError);
+}
+
+TEST(GraphIo, MalformedArcThrows) {
+  std::stringstream ss("p krsp 2 1\na 0 1 nonsense\n");
+  EXPECT_THROW(read_graph(ss), util::CheckError);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  util::Rng rng(59);
+  const auto g = gen::grid(rng, 3, 3);
+  const std::string path = testing::TempDir() + "/krsp_io_test.gr";
+  write_graph_file(path, g);
+  const Digraph h = read_graph_file(path);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(GraphIo, UnreadableFileThrows) {
+  EXPECT_THROW(read_graph_file("/nonexistent/nope.gr"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::graph

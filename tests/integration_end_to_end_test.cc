@@ -1,0 +1,153 @@
+// End-to-end integration: the full pipeline on every workload generator,
+// larger instances than unit tests, and cross-mode consistency.
+#include <gtest/gtest.h>
+
+#include "baselines/flow_only.h"
+#include "baselines/larac_k.h"
+#include "core/solver.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace krsp {
+namespace {
+
+using core::Instance;
+using core::KrspSolver;
+using core::SolverOptions;
+using core::SolveStatus;
+
+struct GeneratorCase {
+  const char* name;
+  std::function<graph::Digraph(util::Rng&)> draw;
+};
+
+class GeneratorSweep : public testing::TestWithParam<int> {};
+
+std::vector<GeneratorCase> generator_cases() {
+  std::vector<GeneratorCase> cases;
+  cases.push_back({"erdos_renyi", [](util::Rng& rng) {
+                     return gen::erdos_renyi(rng, 14, 0.25);
+                   }});
+  cases.push_back({"waxman", [](util::Rng& rng) {
+                     gen::WaxmanParams p;
+                     p.beta = 0.8;
+                     p.delay_scale = 20;
+                     return gen::waxman(rng, 14, p);
+                   }});
+  cases.push_back({"grid", [](util::Rng& rng) {
+                     return gen::grid(rng, 4, 3);
+                   }});
+  cases.push_back({"layered_dag", [](util::Rng& rng) {
+                     return gen::layered_dag(rng, 3, 4, 0.4, 2);
+                   }});
+  cases.push_back({"tradeoff_chains", [](util::Rng& rng) {
+                     return gen::tradeoff_chains(rng, 3, 3, 6, 5);
+                   }});
+  return cases;
+}
+
+TEST_P(GeneratorSweep, SolverProducesValidBoundedSolutions) {
+  const auto cases = generator_cases();
+  const auto& gen_case = cases[GetParam()];
+  util::Rng rng(337 + GetParam());
+  int solved = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    core::RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.3;
+    auto inst = core::make_random_instance(rng, opt, [&](util::Rng& r) {
+      auto g = gen_case.draw(r);
+      return g;
+    });
+    if (!inst) continue;
+    // tradeoff_chains uses t = 1; fix terminals for that generator.
+    const auto s = KrspSolver().solve(*inst);
+    ASSERT_TRUE(s.has_paths() || s.status == SolveStatus::kInfeasible)
+        << gen_case.name << ": " << inst->summary();
+    if (!s.has_paths()) continue;
+    ++solved;
+    EXPECT_TRUE(s.paths.is_valid(*inst)) << gen_case.name;
+    EXPECT_LE(static_cast<double>(s.delay),
+              1.25 * static_cast<double>(inst->delay_bound) + 1e-9)
+        << gen_case.name;
+  }
+  EXPECT_GT(solved, 2) << gen_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorSweep,
+                         testing::Range(0, 5), [](const auto& param_info) {
+                           return std::string(
+                               generator_cases()[param_info.param].name);
+                         });
+
+TEST(EndToEnd, IspScenarioRoundTripThroughIo) {
+  // Generate an ISP topology, persist it, reload, solve — the full user
+  // workflow from the README.
+  util::Rng rng(347);
+  const auto g = gen::isp_like(rng);
+  const std::string path = testing::TempDir() + "/krsp_isp.gr";
+  graph::write_graph_file(path, g);
+
+  Instance inst;
+  inst.graph = graph::read_graph_file(path);
+  inst.s = 8;  // first region host
+  inst.t = static_cast<graph::VertexId>(inst.graph.num_vertices() - 1);
+  inst.k = 2;
+  const auto min_delay = core::min_possible_delay(inst);
+  ASSERT_TRUE(min_delay.has_value());
+  inst.delay_bound = *min_delay + 10;
+
+  const auto s = KrspSolver().solve(inst);
+  ASSERT_TRUE(s.has_paths());
+  EXPECT_TRUE(s.paths.is_valid(inst));
+  EXPECT_LE(s.delay, inst.delay_bound * 5 / 4 + 1);
+}
+
+TEST(EndToEnd, ExactVsScaledConsistencyOnModerateWeights) {
+  util::Rng rng(349);
+  gen::WeightRange w;
+  w.cost_max = 30;
+  w.delay_max = 30;
+  int compared = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    core::RandomInstanceOptions opt;
+    opt.k = 2;
+    opt.delay_slack = 0.3;
+    const auto inst = core::random_er_instance(rng, 11, 0.3, opt, w);
+    if (!inst) continue;
+    SolverOptions exact_opt;
+    exact_opt.mode = SolverOptions::Mode::kExactWeights;
+    const auto exact = KrspSolver(exact_opt).solve(*inst);
+    SolverOptions scaled_opt;
+    scaled_opt.mode = SolverOptions::Mode::kScaled;
+    scaled_opt.eps1 = scaled_opt.eps2 = 0.25;
+    const auto scaled = KrspSolver(scaled_opt).solve(*inst);
+    ASSERT_EQ(exact.has_paths(), scaled.has_paths());
+    if (!exact.has_paths()) continue;
+    ++compared;
+    // Scaled may be worse, but by bounded factors only.
+    EXPECT_LE(static_cast<double>(scaled.cost),
+              1.8 * static_cast<double>(exact.cost) + 4.0);
+  }
+  EXPECT_GT(compared, 2);
+}
+
+TEST(EndToEnd, LargerInstanceCompletesQuickly) {
+  util::Rng rng(353);
+  core::RandomInstanceOptions opt;
+  opt.k = 3;
+  opt.delay_slack = 0.3;
+  gen::WeightRange w;
+  w.cost_max = 8;
+  w.delay_max = 8;
+  const auto inst = core::random_er_instance(rng, 24, 0.2, opt, w);
+  ASSERT_TRUE(inst.has_value());
+  const auto s = KrspSolver().solve(*inst);
+  ASSERT_TRUE(s.has_paths());
+  EXPECT_TRUE(s.paths.is_valid(*inst));
+  EXPECT_LT(s.telemetry.wall_seconds, 30.0);
+}
+
+}  // namespace
+}  // namespace krsp

@@ -1,0 +1,156 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace krsp::lp {
+namespace {
+
+TEST(Simplex, TwoVariableTextbook) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj -36.
+  LpModel m;
+  const int x = m.add_variable(-3.0);
+  const int y = m.add_variable(-5.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEq, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEq, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0);
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 5, x - y = 1 -> (3, 2), obj 7.
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEq, 1.0);
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqAndNegativeRhs) {
+  // min x s.t. x >= 3 (written as -x <= -3).
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, -1.0}}, Relation::kLessEq, -3.0);
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEq, 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEq, 2.0);
+  EXPECT_EQ(SimplexSolver().solve(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LpModel m;
+  const int x = m.add_variable(-1.0);
+  m.add_constraint({{x, -1.0}}, Relation::kLessEq, 0.0);  // x >= 0 only
+  EXPECT_EQ(SimplexSolver().solve(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, UpperBoundsHonored) {
+  LpModel m;
+  const int x = m.add_variable(-1.0, 0.0, 2.5);
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.5, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints intersecting at the optimum — a classic
+  // cycling risk that Bland's rule must survive.
+  LpModel m;
+  const int x = m.add_variable(-1.0);
+  const int y = m.add_variable(-1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 1.0);
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kLessEq, 2.0);
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kEq, 2.0);
+  m.add_constraint({{x, 2.0}}, Relation::kEq, 4.0);  // same hyperplane
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+}
+
+// Property: on random bounded-variable LPs with <= constraints, the simplex
+// optimum matches exhaustive search over a fine grid (2 variables).
+TEST(Simplex, PropertyMatchesGridSearch2D) {
+  util::Rng rng(173);
+  for (int trial = 0; trial < 25; ++trial) {
+    LpModel m;
+    const double c0 = rng.uniform_real(-5, 5);
+    const double c1 = rng.uniform_real(-5, 5);
+    const int x = m.add_variable(c0, 0.0, 4.0);
+    const int y = m.add_variable(c1, 0.0, 4.0);
+    struct Row {
+      double a, b, rhs;
+    };
+    std::vector<Row> rows;
+    for (int i = 0; i < 3; ++i) {
+      rows.push_back({rng.uniform_real(0, 3), rng.uniform_real(0, 3),
+                      rng.uniform_real(2, 10)});
+      m.add_constraint({{x, rows.back().a}, {y, rows.back().b}},
+                       Relation::kLessEq, rows.back().rhs);
+    }
+    const auto s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, LpStatus::kOptimal);
+    double best = 1e100;
+    const int grid = 200;
+    for (int i = 0; i <= grid; ++i) {
+      for (int j = 0; j <= grid; ++j) {
+        const double vx = 4.0 * i / grid, vy = 4.0 * j / grid;
+        bool ok = true;
+        for (const auto& r : rows)
+          if (r.a * vx + r.b * vy > r.rhs + 1e-12) ok = false;
+        if (ok) best = std::min(best, c0 * vx + c1 * vy);
+      }
+    }
+    // Grid search is approximate: allow a grid-cell of slack.
+    EXPECT_LE(s.objective, best + 1e-6);
+    EXPECT_GE(s.objective, best - 0.15 * (std::abs(c0) + std::abs(c1)));
+  }
+}
+
+// Property: a circulation LP (the LP (6) shape) returns zero flow when the
+// delay constraint is slack and nontrivial flow when it forces circulation.
+TEST(Simplex, CirculationLpShape) {
+  // Triangle with one negative-delay arc; conservation at 3 vertices.
+  // Variables: x01, x12, x20.
+  LpModel m;
+  const int x01 = m.add_variable(1.0, 0.0, 1.0);
+  const int x12 = m.add_variable(1.0, 0.0, 1.0);
+  const int x20 = m.add_variable(1.0, 0.0, 1.0);
+  m.add_constraint({{x01, 1.0}, {x20, -1.0}}, Relation::kEq, 0.0);
+  m.add_constraint({{x12, 1.0}, {x01, -1.0}}, Relation::kEq, 0.0);
+  m.add_constraint({{x20, 1.0}, {x12, -1.0}}, Relation::kEq, 0.0);
+  // Delays: 2, 1, -5 -> cycle delay -2 per unit.
+  m.add_constraint({{x01, 2.0}, {x12, 1.0}, {x20, -5.0}}, Relation::kLessEq,
+                   -1.0);
+  const auto s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x01], 0.5, 1e-9);  // half a lap reaches delay -1 cheapest
+}
+
+}  // namespace
+}  // namespace krsp::lp

@@ -1,0 +1,101 @@
+#include "paths/bellman_ford.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/cycles.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::paths {
+namespace {
+
+using graph::Digraph;
+using graph::EdgeId;
+
+TEST(BellmanFord, HandlesNegativeEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1, 5, 0);
+  g.add_edge(1, 2, -3, 0);
+  g.add_edge(0, 2, 4, 0);
+  g.add_edge(2, 3, 1, 0);
+  const auto r = bellman_ford(g, 0, EdgeWeight::cost());
+  ASSERT_FALSE(r.negative_cycle.has_value());
+  EXPECT_EQ(r.tree.dist[2], 2);
+  EXPECT_EQ(r.tree.dist[3], 3);
+}
+
+TEST(BellmanFord, DetectsNegativeCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1, 0);
+  g.add_edge(1, 2, -4, 0);
+  g.add_edge(2, 1, 2, 0);
+  const auto r = bellman_ford(g, 0, EdgeWeight::cost());
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  EXPECT_TRUE(graph::is_simple_cycle(g, *r.negative_cycle));
+  EXPECT_LT(graph::path_cost(g, *r.negative_cycle), 0);
+}
+
+TEST(BellmanFord, IgnoresNegativeCycleUnreachableFromSource) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 0);
+  // Negative cycle on {2, 3}, not reachable from 0.
+  g.add_edge(2, 3, -4, 0);
+  g.add_edge(3, 2, 2, 0);
+  const auto r = bellman_ford(g, 0, EdgeWeight::cost());
+  EXPECT_FALSE(r.negative_cycle.has_value());
+  EXPECT_EQ(r.tree.dist[1], 1);
+}
+
+TEST(BellmanFordAllSources, FindsCycleAnywhere) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 0);
+  g.add_edge(2, 3, -4, 0);
+  g.add_edge(3, 2, 2, 0);
+  const auto r = bellman_ford_all_sources(g, EdgeWeight::cost());
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  EXPECT_LT(graph::path_cost(g, *r.negative_cycle), 0);
+}
+
+TEST(BellmanFordAllSources, NoFalsePositive) {
+  util::Rng rng(103);
+  const auto g = gen::erdos_renyi(rng, 12, 0.3);  // non-negative weights
+  const auto r = bellman_ford_all_sources(g, EdgeWeight::cost());
+  EXPECT_FALSE(r.negative_cycle.has_value());
+}
+
+// Property: on random graphs with mixed-sign weights, if a negative cycle
+// is reported it really is one; if none is reported, distances satisfy the
+// triangle inequality on every edge.
+TEST(BellmanFord, PropertySoundness) {
+  util::Rng rng(107);
+  for (int trial = 0; trial < 40; ++trial) {
+    gen::WeightRange w;
+    w.cost_min = -4;
+    w.cost_max = 10;
+    const auto g = gen::erdos_renyi(rng, 10, 0.25, w);
+    const auto r = bellman_ford_all_sources(g, EdgeWeight::cost());
+    if (r.negative_cycle) {
+      EXPECT_TRUE(graph::is_simple_cycle(g, *r.negative_cycle));
+      EXPECT_LT(graph::path_cost(g, *r.negative_cycle), 0);
+    } else {
+      for (const auto& e : g.edges()) {
+        ASSERT_NE(r.tree.dist[e.from], kUnreachable);
+        EXPECT_LE(r.tree.dist[e.to], r.tree.dist[e.from] + e.cost);
+      }
+    }
+  }
+}
+
+TEST(BellmanFord, DelayWeightOnResidualStyleGraph) {
+  // Negated delays as in residual graphs.
+  Digraph g(3);
+  g.add_edge(0, 1, 0, 5);
+  g.add_edge(1, 2, 0, -9);
+  g.add_edge(2, 0, 0, 1);
+  const auto r = bellman_ford_all_sources(g, EdgeWeight::delay());
+  ASSERT_TRUE(r.negative_cycle.has_value());
+  EXPECT_EQ(graph::path_delay(g, *r.negative_cycle), -3);
+}
+
+}  // namespace
+}  // namespace krsp::paths

@@ -1,0 +1,108 @@
+#include "paths/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "paths/bellman_ford.h"
+#include "util/rng.h"
+
+namespace krsp::paths {
+namespace {
+
+using graph::Digraph;
+using graph::EdgeId;
+using graph::VertexId;
+
+TEST(EdgeWeight, Factories) {
+  const graph::Edge e{0, 1, 5, 7};
+  EXPECT_EQ(EdgeWeight::cost()(e), 5);
+  EXPECT_EQ(EdgeWeight::delay()(e), 7);
+  EXPECT_EQ(EdgeWeight::combined(2, 3)(e), 31);
+}
+
+TEST(Dijkstra, LinearChain) {
+  Digraph g(4);
+  g.add_edge(0, 1, 2, 0);
+  g.add_edge(1, 2, 3, 0);
+  g.add_edge(2, 3, 4, 0);
+  const auto tree = dijkstra(g, 0, EdgeWeight::cost());
+  EXPECT_EQ(tree.dist[3], 9);
+  EXPECT_EQ(tree.path_to(g, 3).size(), 3u);
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  Digraph g(3);
+  g.add_edge(0, 2, 10, 1);
+  g.add_edge(0, 1, 3, 5);
+  g.add_edge(1, 2, 3, 5);
+  EXPECT_EQ(dijkstra(g, 0, EdgeWeight::cost()).dist[2], 6);
+  EXPECT_EQ(dijkstra(g, 0, EdgeWeight::delay()).dist[2], 1);
+}
+
+TEST(Dijkstra, UnreachableMarked) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1, 1);
+  const auto tree = dijkstra(g, 0, EdgeWeight::cost());
+  EXPECT_FALSE(tree.reached(2));
+  EXPECT_THROW(tree.path_to(g, 2), util::CheckError);
+}
+
+TEST(Dijkstra, NegativeWeightThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1, -1, 0);
+  EXPECT_THROW(dijkstra(g, 0, EdgeWeight::cost()), util::CheckError);
+}
+
+TEST(Dijkstra, ParallelEdgesPickMin) {
+  Digraph g(2);
+  g.add_edge(0, 1, 9, 0);
+  g.add_edge(0, 1, 4, 0);
+  EXPECT_EQ(dijkstra(g, 0, EdgeWeight::cost()).dist[1], 4);
+}
+
+// Property: Dijkstra == Bellman-Ford on random non-negative graphs, for
+// pure and combined weights.
+TEST(Dijkstra, PropertyAgreesWithBellmanFord) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 15, 0.25);
+    for (const auto& w :
+         {EdgeWeight::cost(), EdgeWeight::delay(), EdgeWeight::combined(3, 2)}) {
+      const auto dj = dijkstra(g, 0, w);
+      const auto bf = bellman_ford(g, 0, w);
+      ASSERT_FALSE(bf.negative_cycle.has_value());
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        EXPECT_EQ(dj.dist[v], bf.tree.dist[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(DijkstraWithPotentials, JohnsonReweighting) {
+  // Graph with a negative edge made non-negative by valid potentials.
+  Digraph g(3);
+  g.add_edge(0, 1, 4, 0);
+  g.add_edge(1, 2, -2, 0);
+  // potentials: pi[0]=0, pi[1]=4, pi[2]=2 -> reduced costs 0 and 0.
+  const std::vector<std::int64_t> pot{0, 4, 2};
+  const auto tree = dijkstra_with_potentials(g, 0, EdgeWeight::cost(), pot);
+  // Reduced distance + pi[t] - pi[s] = true distance.
+  EXPECT_EQ(tree.dist[2] + pot[2] - pot[0], 2);
+}
+
+TEST(DijkstraWithPotentials, InvalidPotentialsThrow) {
+  Digraph g(2);
+  g.add_edge(0, 1, -5, 0);
+  const std::vector<std::int64_t> pot{0, 0};
+  EXPECT_THROW(dijkstra_with_potentials(g, 0, EdgeWeight::cost(), pot),
+               util::CheckError);
+}
+
+TEST(ShortestPathTree, PathToSourceIsEmpty) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 1);
+  const auto tree = dijkstra(g, 0, EdgeWeight::cost());
+  EXPECT_TRUE(tree.path_to(g, 0).empty());
+}
+
+}  // namespace
+}  // namespace krsp::paths

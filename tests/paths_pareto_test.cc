@@ -1,0 +1,112 @@
+#include "paths/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "paths/rsp.h"
+#include "util/rng.h"
+
+namespace krsp::paths {
+namespace {
+
+using graph::Digraph;
+
+TEST(Pareto, ThreeRouteFrontier) {
+  Digraph g(4);
+  g.add_edge(0, 3, 9, 1);   // fast, pricey
+  g.add_edge(0, 1, 2, 4);
+  g.add_edge(1, 3, 2, 4);   // balanced: (4, 8)
+  g.add_edge(0, 2, 1, 8);
+  g.add_edge(2, 3, 1, 8);   // cheap, slow: (2, 16)
+  const auto frontier = pareto_frontier(g, 0, 3);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].cost, 2);
+  EXPECT_EQ(frontier[0].delay, 16);
+  EXPECT_EQ(frontier[1].cost, 4);
+  EXPECT_EQ(frontier[1].delay, 8);
+  EXPECT_EQ(frontier[2].cost, 9);
+  EXPECT_EQ(frontier[2].delay, 1);
+}
+
+TEST(Pareto, DominatedRouteExcluded) {
+  Digraph g(3);
+  g.add_edge(0, 2, 3, 3);
+  g.add_edge(0, 1, 2, 1);
+  g.add_edge(1, 2, 2, 1);  // (4, 2): neither dominates (3, 3)... both stay
+  const auto f1 = pareto_frontier(g, 0, 2);
+  EXPECT_EQ(f1.size(), 2u);
+  Digraph h(3);
+  h.add_edge(0, 2, 3, 3);
+  h.add_edge(0, 1, 1, 1);
+  h.add_edge(1, 2, 1, 1);  // (2, 2) dominates (3, 3)
+  const auto f2 = pareto_frontier(h, 0, 2);
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_EQ(f2[0].cost, 2);
+}
+
+TEST(Pareto, UnreachableGivesEmpty) {
+  Digraph g(2);
+  EXPECT_TRUE(pareto_frontier(g, 0, 1).empty());
+}
+
+TEST(Pareto, PathsReconstructCorrectly) {
+  util::Rng rng(373);
+  const auto g = gen::erdos_renyi(rng, 10, 0.3);
+  for (const auto& p : pareto_frontier(g, 0, 9)) {
+    EXPECT_TRUE(graph::is_simple_path(g, p.edges, 0, 9));
+    EXPECT_EQ(graph::path_cost(g, p.edges), p.cost);
+    EXPECT_EQ(graph::path_delay(g, p.edges), p.delay);
+  }
+}
+
+TEST(Pareto, FrontierIsMutuallyNonDominated) {
+  util::Rng rng(379);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 9, 0.35);
+    const auto frontier = pareto_frontier(g, 0, 8);
+    for (std::size_t i = 0; i < frontier.size(); ++i)
+      for (std::size_t j = 0; j < frontier.size(); ++j) {
+        if (i == j) continue;
+        const bool dominates = frontier[i].cost <= frontier[j].cost &&
+                               frontier[i].delay <= frontier[j].delay;
+        EXPECT_FALSE(dominates) << "frontier point " << j << " dominated";
+      }
+  }
+}
+
+// Property: rsp_via_frontier agrees exactly with the RSP delay DP.
+TEST(Pareto, PropertyRspAgreement) {
+  util::Rng rng(383);
+  int compared = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 9, 0.3);
+    for (const graph::Delay D : {3, 10, 25}) {
+      const auto a = rsp_via_frontier(g, 0, 8, D);
+      const auto b = rsp_exact(g, 0, 8, D);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) {
+        EXPECT_EQ(a->cost, b->cost) << "D=" << D;
+        EXPECT_LE(a->delay, D);
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(Pareto, LabelBudgetEnforced) {
+  util::Rng rng(389);
+  const auto g = gen::erdos_renyi(rng, 12, 0.6);
+  ParetoOptions opt;
+  opt.max_labels = 10;
+  EXPECT_THROW(pareto_frontier(g, 0, 11, opt), util::CheckError);
+}
+
+TEST(Pareto, NegativeWeightsRejected) {
+  Digraph g(2);
+  g.add_edge(0, 1, -1, 1);
+  EXPECT_THROW(pareto_frontier(g, 0, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::paths

@@ -1,0 +1,151 @@
+#include "paths/rsp.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::paths {
+namespace {
+
+using graph::Delay;
+using graph::Digraph;
+using graph::EdgeId;
+using graph::VertexId;
+
+// Brute-force RSP oracle: enumerate all simple paths.
+std::optional<graph::Cost> rsp_brute(const Digraph& g, VertexId s, VertexId t,
+                                     Delay D) {
+  std::optional<graph::Cost> best;
+  std::vector<bool> on(g.num_vertices(), false);
+  const std::function<void(VertexId, graph::Cost, Delay)> dfs =
+      [&](VertexId v, graph::Cost cost, Delay delay) {
+        if (delay > D) return;
+        if (v == t) {
+          if (!best || cost < *best) best = cost;
+          return;
+        }
+        on[v] = true;
+        for (const EdgeId e : g.out_edges(v)) {
+          const auto& edge = g.edge(e);
+          if (!on[edge.to])
+            dfs(edge.to, cost + edge.cost, delay + edge.delay);
+        }
+        on[v] = false;
+      };
+  dfs(s, 0, 0);
+  return best;
+}
+
+TEST(RspExact, PrefersCheapFeasiblePath) {
+  Digraph g(3);
+  g.add_edge(0, 2, 10, 1);  // expensive, fast
+  g.add_edge(0, 1, 1, 3);
+  g.add_edge(1, 2, 1, 3);   // cheap, slow (delay 6)
+  const auto tight = rsp_exact(g, 0, 2, 1);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_EQ(tight->cost, 10);
+  const auto loose = rsp_exact(g, 0, 2, 6);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_EQ(loose->cost, 2);
+}
+
+TEST(RspExact, InfeasibleReturnsNullopt) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 5);
+  EXPECT_FALSE(rsp_exact(g, 0, 1, 4).has_value());
+}
+
+TEST(RspExact, ZeroDelayBudgetUsesZeroDelaySubgraph) {
+  Digraph g(3);
+  g.add_edge(0, 1, 3, 0);
+  g.add_edge(1, 2, 4, 0);
+  g.add_edge(0, 2, 1, 1);
+  const auto r = rsp_exact(g, 0, 2, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 7);
+  EXPECT_EQ(r->delay, 0);
+}
+
+TEST(RspExact, PathMeasuresConsistent) {
+  util::Rng rng(109);
+  const auto g = gen::erdos_renyi(rng, 12, 0.3);
+  const auto r = rsp_exact(g, 0, 11, 25);
+  if (r) {
+    EXPECT_EQ(graph::path_cost(g, r->path), r->cost);
+    EXPECT_EQ(graph::path_delay(g, r->path), r->delay);
+    EXPECT_LE(r->delay, 25);
+    EXPECT_TRUE(graph::is_simple_path(g, r->path, 0, 11));
+  }
+}
+
+// Property: exact DP matches the brute-force oracle across random graphs
+// and budgets.
+TEST(RspExact, PropertyMatchesBruteForce) {
+  util::Rng rng(113);
+  int compared = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 9, 0.3);
+    for (const Delay D : {0, 3, 8, 15, 40}) {
+      const auto exact = rsp_exact(g, 0, 8, D);
+      const auto brute = rsp_brute(g, 0, 8, D);
+      ASSERT_EQ(exact.has_value(), brute.has_value()) << "D=" << D;
+      if (exact) {
+        EXPECT_EQ(exact->cost, *brute);
+        EXPECT_LE(exact->delay, D);
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 20);  // the sweep actually exercised feasible cases
+}
+
+// Property: FPTAS stays within (1+eps) of the exact optimum and within the
+// delay bound.
+TEST(RspFptas, PropertyApproximationRatio) {
+  util::Rng rng(127);
+  for (const double eps : {1.0, 0.5, 0.1}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      gen::WeightRange w;
+      w.cost_max = 50;
+      const auto g = gen::erdos_renyi(rng, 10, 0.3, w);
+      const Delay D = 12;
+      const auto exact = rsp_exact(g, 0, 9, D);
+      const auto approx = rsp_fptas(g, 0, 9, D, eps);
+      ASSERT_EQ(exact.has_value(), approx.has_value());
+      if (exact) {
+        EXPECT_LE(approx->delay, D);
+        EXPECT_LE(static_cast<double>(approx->cost),
+                  (1.0 + eps) * static_cast<double>(exact->cost) + 1e-9)
+            << "eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(RspFptas, ZeroCostOptimum) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0, 2);
+  g.add_edge(1, 2, 0, 2);
+  g.add_edge(0, 2, 5, 1);
+  const auto r = rsp_fptas(g, 0, 2, 4, 0.5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 0);
+}
+
+TEST(RspFptas, InfeasibleDetected) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 10);
+  EXPECT_FALSE(rsp_fptas(g, 0, 1, 9, 0.5).has_value());
+}
+
+TEST(RspFptas, InvalidEpsThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 1);
+  EXPECT_THROW(rsp_fptas(g, 0, 1, 5, 0.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::paths

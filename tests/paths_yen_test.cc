@@ -1,0 +1,100 @@
+#include "paths/yen.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::paths {
+namespace {
+
+using graph::Digraph;
+using graph::EdgeId;
+using graph::VertexId;
+
+TEST(Yen, FirstPathIsShortest) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1, 0);
+  g.add_edge(1, 3, 1, 0);
+  g.add_edge(0, 2, 2, 0);
+  g.add_edge(2, 3, 2, 0);
+  const auto paths = yen_k_shortest(g, 0, 3, 2, EdgeWeight::cost());
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].weight, 2);
+  EXPECT_EQ(paths[1].weight, 4);
+}
+
+TEST(Yen, WeightsNonDecreasing) {
+  util::Rng rng(131);
+  const auto g = gen::erdos_renyi(rng, 12, 0.3);
+  const auto paths = yen_k_shortest(g, 0, 11, 8, EdgeWeight::cost());
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i].weight, paths[i - 1].weight);
+}
+
+TEST(Yen, PathsAreDistinctSimplePaths) {
+  util::Rng rng(137);
+  const auto g = gen::erdos_renyi(rng, 10, 0.35);
+  const auto paths = yen_k_shortest(g, 0, 9, 10, EdgeWeight::cost());
+  std::set<std::vector<EdgeId>> seen;
+  for (const auto& p : paths) {
+    EXPECT_TRUE(graph::is_simple_path(g, p.edges, 0, 9));
+    EXPECT_TRUE(seen.insert(p.edges).second) << "duplicate path";
+  }
+}
+
+TEST(Yen, FewerPathsThanRequested) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1, 0);
+  g.add_edge(1, 2, 1, 0);
+  const auto paths = yen_k_shortest(g, 0, 2, 5, EdgeWeight::cost());
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Yen, UnreachableGivesEmpty) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1, 0);
+  EXPECT_TRUE(yen_k_shortest(g, 0, 2, 3, EdgeWeight::cost()).empty());
+}
+
+TEST(Yen, KZeroGivesEmpty) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 0);
+  EXPECT_TRUE(yen_k_shortest(g, 0, 1, 0, EdgeWeight::cost()).empty());
+}
+
+// Property: Yen's output equals the K cheapest simple paths found by
+// exhaustive enumeration.
+TEST(Yen, PropertyMatchesExhaustiveEnumeration) {
+  util::Rng rng(139);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 8, 0.35);
+    const VertexId s = 0, t = 7;
+    // Enumerate all simple path weights.
+    std::vector<std::int64_t> all;
+    std::vector<bool> on(g.num_vertices(), false);
+    const std::function<void(VertexId, std::int64_t)> dfs =
+        [&](VertexId v, std::int64_t wsum) {
+          if (v == t) {
+            all.push_back(wsum);
+            return;
+          }
+          on[v] = true;
+          for (const EdgeId e : g.out_edges(v))
+            if (!on[g.edge(e).to]) dfs(g.edge(e).to, wsum + g.edge(e).cost);
+          on[v] = false;
+        };
+    dfs(s, 0);
+    std::sort(all.begin(), all.end());
+    const int K = std::min<int>(6, static_cast<int>(all.size()));
+    const auto paths = yen_k_shortest(g, s, t, K, EdgeWeight::cost());
+    ASSERT_EQ(static_cast<int>(paths.size()), K);
+    for (int i = 0; i < K; ++i) EXPECT_EQ(paths[i].weight, all[i]);
+  }
+}
+
+}  // namespace
+}  // namespace krsp::paths

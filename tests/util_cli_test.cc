@@ -1,0 +1,58 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace krsp::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto cli = make({"--n=32", "--eps=0.5", "--name=waxman"});
+  EXPECT_EQ(cli.get_int("n", 0), 32);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.0), 0.5);
+  EXPECT_EQ(cli.get_string("name", ""), "waxman");
+}
+
+TEST(Cli, SpaceSyntax) {
+  const auto cli = make({"--n", "32", "--name", "grid"});
+  EXPECT_EQ(cli.get_int("n", 0), 32);
+  EXPECT_EQ(cli.get_string("name", ""), "grid");
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, DefaultsUsedWhenAbsent) {
+  const auto cli = make({});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_EQ(cli.get_string("x", "d"), "d");
+  EXPECT_FALSE(cli.get_bool("flag", false));
+}
+
+TEST(Cli, RejectUnknownFlags) {
+  const auto cli = make({"--oops=1"});
+  EXPECT_THROW(cli.reject_unknown(), CheckError);
+}
+
+TEST(Cli, RejectUnknownPassesWhenAllTouched) {
+  const auto cli = make({"--n=1"});
+  (void)cli.get_int("n", 0);
+  EXPECT_NO_THROW(cli.reject_unknown());
+}
+
+TEST(Cli, NonFlagArgumentThrows) {
+  std::vector<const char*> argv{"prog", "positional"};
+  EXPECT_THROW(Cli(2, argv.data()), CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::util

@@ -1,0 +1,86 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace krsp::util {
+namespace {
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(4, -6);
+  EXPECT_EQ(r.num(), -2);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  const Rational r(0, -17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), CheckError);
+}
+
+TEST(Rational, ComparisonAgreesWithCrossMultiplication) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, ArithmeticBasics) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), CheckError);
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+// Property: field axioms hold on random small rationals (exact arithmetic).
+TEST(Rational, PropertyFieldLaws) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const Rational a(rng.uniform_int(-50, 50), rng.uniform_int(1, 20));
+    const Rational b(rng.uniform_int(-50, 50), rng.uniform_int(1, 20));
+    const Rational c(rng.uniform_int(-50, 50), rng.uniform_int(1, 20));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+  }
+}
+
+// Property: ordering is total and consistent with doubles (no ties broken
+// differently) on random inputs far from double precision limits.
+TEST(Rational, PropertyOrderMatchesDouble) {
+  Rng rng(37);
+  for (int i = 0; i < 2000; ++i) {
+    const Rational a(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 999));
+    const Rational b(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 999));
+    if (a.to_double() < b.to_double() - 1e-9) EXPECT_LT(a, b);
+    if (a.to_double() > b.to_double() + 1e-9) EXPECT_GT(a, b);
+  }
+}
+
+TEST(Rational, LargeValueReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must reduce exactly to 1.
+  const Rational big(1LL << 40, 3);
+  const Rational inv(3, 1LL << 40);
+  EXPECT_EQ(big * inv, Rational(1));
+}
+
+}  // namespace
+}  // namespace krsp::util

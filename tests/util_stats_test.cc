@@ -1,0 +1,62 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace krsp::util {
+namespace {
+
+TEST(Stats, EmptyIsSafe) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.1380899352993947, 1e-12);  // sample stddev
+}
+
+TEST(Stats, PercentileNearestRank) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(Stats, MedianOfSingle) {
+  Stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+TEST(Stats, SumMatchesMeanTimesCount) {
+  Stats s;
+  Rng rng(41);
+  double expected = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_real(-10, 10);
+    expected += x;
+    s.add(x);
+  }
+  EXPECT_NEAR(s.sum(), expected, 1e-9);
+}
+
+TEST(Stats, WithoutSamplesPercentileThrows) {
+  Stats s(/*keep_samples=*/false);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(50), CheckError);
+}
+
+}  // namespace
+}  // namespace krsp::util

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace krsp::util {
+namespace {
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"name", "v"});
+  t.row().cell("a").cell(1);
+  t.row().cell("long-name").cell(22);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has equal length (alignment).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+}
+
+TEST(Table, FixedPointFormatting) {
+  Table t({"x"});
+  t.row().cell_fp(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell(1), CheckError);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.row().cell(1);  // only one of three cells
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_NE(os.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, MarkdownPipes) {
+  Table t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("| h |", 0), 0u);  // markdown-style table
+  EXPECT_NE(out.find("|---|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krsp::util

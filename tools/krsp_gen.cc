@@ -1,0 +1,59 @@
+// Command-line instance generator: writes a kRSP instance file (see
+// core/io.h for the format) drawn from any of the library's workload
+// families.
+//
+//   $ krsp_gen --family=waxman --n=30 --k=2 --slack=0.3 --seed=7
+//              --out=instance.kri
+//
+// Families: er, waxman, grid, layered, isp, chains.
+#include <cmath>
+#include <iostream>
+
+#include "core/io.h"
+#include "graph/generators.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace krsp;
+  const util::Cli cli(argc, argv);
+  const std::string family = cli.get_string("family", "er");
+  const int n = static_cast<int>(cli.get_int("n", 20));
+  const int k = static_cast<int>(cli.get_int("k", 2));
+  const double slack = cli.get_double("slack", 0.3);
+  const std::string out = cli.get_string("out", "instance.kri");
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  cli.reject_unknown();
+
+  core::RandomInstanceOptions opt;
+  opt.k = k;
+  opt.delay_slack = slack;
+  opt.max_attempts = 256;
+
+  const auto draw = [&](util::Rng& r) -> graph::Digraph {
+    if (family == "er") return gen::erdos_renyi(r, n, std::min(0.9, 5.0 / n));
+    if (family == "waxman") {
+      gen::WaxmanParams p;
+      p.beta = 0.7;
+      return gen::waxman(r, n, p);
+    }
+    if (family == "grid") {
+      const int side = std::max(2, static_cast<int>(std::sqrt(n)));
+      return gen::grid(r, side, side);
+    }
+    if (family == "layered")
+      return gen::layered_dag(r, std::max(2, n / 6), 5, 0.4, k);
+    if (family == "isp") return gen::isp_like(r);
+    if (family == "chains") return gen::tradeoff_chains(r, k, 4, 8, 6);
+    KRSP_CHECK_MSG(false, "unknown family: " << family);
+  };
+
+  const auto inst = core::make_random_instance(rng, opt, draw);
+  if (!inst) {
+    std::cerr << "could not draw a feasible instance (family=" << family
+              << ", n=" << n << ", k=" << k << ")\n";
+    return 1;
+  }
+  core::write_instance_file(out, *inst);
+  std::cout << "wrote " << out << ": " << inst->summary() << "\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Command-line kRSP solver: reads an instance file (core/io.h format),
+// solves it with the selected mode, prints a human-readable summary, and
+// optionally writes the path set.
+//
+//   $ krsp_solve --instance=instance.kri [--mode=scaled|exact|phase1]
+//                [--eps=0.25] [--out=solution.krp] [--verbose]
+#include <fstream>
+#include <iostream>
+
+#include "core/io.h"
+#include "core/solver.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace krsp;
+  const util::Cli cli(argc, argv);
+  const std::string path = cli.get_string("instance", "");
+  const std::string mode = cli.get_string("mode", "scaled");
+  const double eps = cli.get_double("eps", 0.25);
+  const std::string out = cli.get_string("out", "");
+  const bool verbose = cli.get_bool("verbose", false);
+  cli.reject_unknown();
+
+  if (path.empty()) {
+    std::cerr << "usage: krsp_solve --instance=<file> [--mode=scaled|exact|"
+                 "phase1] [--eps=0.25] [--out=<file>] [--verbose]\n";
+    return 2;
+  }
+
+  const auto inst = core::read_instance_file(path);
+  std::cout << "instance: " << inst.summary() << "\n";
+
+  core::SolverOptions options;
+  options.eps1 = options.eps2 = eps;
+  if (mode == "scaled") {
+    options.mode = core::SolverOptions::Mode::kScaled;
+  } else if (mode == "exact") {
+    options.mode = core::SolverOptions::Mode::kExactWeights;
+  } else if (mode == "phase1") {
+    options.mode = core::SolverOptions::Mode::kPhase1Only;
+  } else {
+    std::cerr << "unknown --mode: " << mode << "\n";
+    return 2;
+  }
+
+  const auto s = core::KrspSolver(options).solve(inst);
+  switch (s.status) {
+    case core::SolveStatus::kOptimal:
+      std::cout << "status: optimal\n";
+      break;
+    case core::SolveStatus::kApprox:
+      std::cout << "status: approx (guarantee of mode '" << mode << "')\n";
+      break;
+    case core::SolveStatus::kApproxDelayOver:
+      std::cout << "status: approx, delay over budget (phase-1 mode)\n";
+      break;
+    case core::SolveStatus::kInfeasible:
+      std::cout << "status: infeasible (no k disjoint paths meet D)\n";
+      return 1;
+    case core::SolveStatus::kNoKDisjointPaths:
+      std::cout << "status: fewer than k disjoint s-t paths exist\n";
+      return 1;
+    case core::SolveStatus::kFailed:
+      std::cout << "status: failed\n";
+      return 1;
+  }
+
+  std::cout << "cost: " << s.cost << "\ndelay: " << s.delay << " (budget "
+            << inst.delay_bound << ")\n";
+  for (std::size_t i = 0; i < s.paths.paths().size(); ++i) {
+    const auto& p = s.paths.paths()[i];
+    std::cout << "path " << i + 1 << " (cost "
+              << graph::path_cost(inst.graph, p) << ", delay "
+              << graph::path_delay(inst.graph, p) << "): " << inst.s;
+    for (const graph::EdgeId e : p) std::cout << "->" << inst.graph.edge(e).to;
+    std::cout << "\n";
+  }
+  if (verbose) {
+    std::cout << "telemetry: wall " << s.telemetry.wall_seconds * 1e3
+              << " ms, mcmf calls " << s.telemetry.phase1_mcmf_calls
+              << ", lambda* " << s.telemetry.lambda << ", C_LP "
+              << s.telemetry.cost_lower_bound << ", cap guess "
+              << s.telemetry.cost_guess_used << ", cancellation iters "
+              << s.telemetry.cancel.iterations << "\n";
+  }
+  if (!out.empty()) {
+    std::ofstream os(out);
+    KRSP_CHECK_MSG(os.good(), "cannot open for write: " << out);
+    core::write_paths(os, s.paths);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}

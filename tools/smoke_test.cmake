@@ -1,0 +1,23 @@
+# End-to-end CLI smoke test: krsp_gen -> krsp_solve in all three modes.
+set(instance "${WORK_DIR}/smoke.kri")
+set(solution "${WORK_DIR}/smoke.krp")
+
+execute_process(
+  COMMAND ${KRSP_GEN} --family=er --n=14 --k=2 --seed=5 --out=${instance}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "krsp_gen failed (${rc}): ${out}${err}")
+endif()
+
+foreach(mode scaled exact phase1)
+  execute_process(
+    COMMAND ${KRSP_SOLVE} --instance=${instance} --mode=${mode}
+            --out=${solution} --verbose
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "krsp_solve --mode=${mode} failed (${rc}): ${out}${err}")
+  endif()
+  if(NOT out MATCHES "status: (optimal|approx)")
+    message(FATAL_ERROR "unexpected solver output for ${mode}: ${out}")
+  endif()
+endforeach()
