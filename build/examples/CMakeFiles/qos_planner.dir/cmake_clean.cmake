@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_planner.dir/qos_planner.cpp.o"
+  "CMakeFiles/qos_planner.dir/qos_planner.cpp.o.d"
+  "qos_planner"
+  "qos_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

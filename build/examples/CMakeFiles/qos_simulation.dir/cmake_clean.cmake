@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_simulation.dir/qos_simulation.cpp.o"
+  "CMakeFiles/qos_simulation.dir/qos_simulation.cpp.o.d"
+  "qos_simulation"
+  "qos_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

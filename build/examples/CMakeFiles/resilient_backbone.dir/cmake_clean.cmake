@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_backbone.dir/resilient_backbone.cpp.o"
+  "CMakeFiles/resilient_backbone.dir/resilient_backbone.cpp.o.d"
+  "resilient_backbone"
+  "resilient_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

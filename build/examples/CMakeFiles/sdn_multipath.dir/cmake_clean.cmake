@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_multipath.dir/sdn_multipath.cpp.o"
+  "CMakeFiles/sdn_multipath.dir/sdn_multipath.cpp.o.d"
+  "sdn_multipath"
+  "sdn_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;krsp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sdn_multipath]=] "/root/repo/build/examples/sdn_multipath")
+set_tests_properties([=[example_sdn_multipath]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;krsp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_video_streaming]=] "/root/repo/build/examples/video_streaming")
+set_tests_properties([=[example_video_streaming]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;krsp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_resilient_backbone]=] "/root/repo/build/examples/resilient_backbone")
+set_tests_properties([=[example_resilient_backbone]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;krsp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_qos_planner]=] "/root/repo/build/examples/qos_planner")
+set_tests_properties([=[example_qos_planner]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;krsp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_qos_simulation]=] "/root/repo/build/examples/qos_simulation")
+set_tests_properties([=[example_qos_simulation]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;krsp_add_example;/root/repo/examples/CMakeLists.txt;0;")

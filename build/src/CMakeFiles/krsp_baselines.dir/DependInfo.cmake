@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bnb.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/bnb.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/bnb.cc.o.d"
+  "/root/repo/src/baselines/brute_force.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/brute_force.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/brute_force.cc.o.d"
+  "/root/repo/src/baselines/flow_only.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/flow_only.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/flow_only.cc.o.d"
+  "/root/repo/src/baselines/larac_k.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/larac_k.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/larac_k.cc.o.d"
+  "/root/repo/src/baselines/min_max.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/min_max.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/min_max.cc.o.d"
+  "/root/repo/src/baselines/os_cycle_cancel.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/os_cycle_cancel.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/os_cycle_cancel.cc.o.d"
+  "/root/repo/src/baselines/unsafe_cc.cc" "src/CMakeFiles/krsp_baselines.dir/baselines/unsafe_cc.cc.o" "gcc" "src/CMakeFiles/krsp_baselines.dir/baselines/unsafe_cc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

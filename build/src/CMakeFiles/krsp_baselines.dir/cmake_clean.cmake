@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_baselines.dir/baselines/bnb.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/bnb.cc.o.d"
+  "CMakeFiles/krsp_baselines.dir/baselines/brute_force.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/brute_force.cc.o.d"
+  "CMakeFiles/krsp_baselines.dir/baselines/flow_only.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/flow_only.cc.o.d"
+  "CMakeFiles/krsp_baselines.dir/baselines/larac_k.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/larac_k.cc.o.d"
+  "CMakeFiles/krsp_baselines.dir/baselines/min_max.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/min_max.cc.o.d"
+  "CMakeFiles/krsp_baselines.dir/baselines/os_cycle_cancel.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/os_cycle_cancel.cc.o.d"
+  "CMakeFiles/krsp_baselines.dir/baselines/unsafe_cc.cc.o"
+  "CMakeFiles/krsp_baselines.dir/baselines/unsafe_cc.cc.o.d"
+  "libkrsp_baselines.a"
+  "libkrsp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

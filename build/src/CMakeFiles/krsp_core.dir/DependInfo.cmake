@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aux_graph.cc" "src/CMakeFiles/krsp_core.dir/core/aux_graph.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/aux_graph.cc.o.d"
+  "/root/repo/src/core/bicameral.cc" "src/CMakeFiles/krsp_core.dir/core/bicameral.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/bicameral.cc.o.d"
+  "/root/repo/src/core/cycle_cancel.cc" "src/CMakeFiles/krsp_core.dir/core/cycle_cancel.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/cycle_cancel.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/krsp_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/io.cc" "src/CMakeFiles/krsp_core.dir/core/io.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/io.cc.o.d"
+  "/root/repo/src/core/kbcp.cc" "src/CMakeFiles/krsp_core.dir/core/kbcp.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/kbcp.cc.o.d"
+  "/root/repo/src/core/lp_cycle_finder.cc" "src/CMakeFiles/krsp_core.dir/core/lp_cycle_finder.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/lp_cycle_finder.cc.o.d"
+  "/root/repo/src/core/path_set.cc" "src/CMakeFiles/krsp_core.dir/core/path_set.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/path_set.cc.o.d"
+  "/root/repo/src/core/per_path.cc" "src/CMakeFiles/krsp_core.dir/core/per_path.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/per_path.cc.o.d"
+  "/root/repo/src/core/phase1.cc" "src/CMakeFiles/krsp_core.dir/core/phase1.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/phase1.cc.o.d"
+  "/root/repo/src/core/priority_routing.cc" "src/CMakeFiles/krsp_core.dir/core/priority_routing.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/priority_routing.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/CMakeFiles/krsp_core.dir/core/repair.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/repair.cc.o.d"
+  "/root/repo/src/core/residual.cc" "src/CMakeFiles/krsp_core.dir/core/residual.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/residual.cc.o.d"
+  "/root/repo/src/core/scaling.cc" "src/CMakeFiles/krsp_core.dir/core/scaling.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/scaling.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/krsp_core.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/solver.cc.o.d"
+  "/root/repo/src/core/vertex_disjoint.cc" "src/CMakeFiles/krsp_core.dir/core/vertex_disjoint.cc.o" "gcc" "src/CMakeFiles/krsp_core.dir/core/vertex_disjoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/decompose.cc" "src/CMakeFiles/krsp_flow.dir/flow/decompose.cc.o" "gcc" "src/CMakeFiles/krsp_flow.dir/flow/decompose.cc.o.d"
+  "/root/repo/src/flow/dinic.cc" "src/CMakeFiles/krsp_flow.dir/flow/dinic.cc.o" "gcc" "src/CMakeFiles/krsp_flow.dir/flow/dinic.cc.o.d"
+  "/root/repo/src/flow/disjoint.cc" "src/CMakeFiles/krsp_flow.dir/flow/disjoint.cc.o" "gcc" "src/CMakeFiles/krsp_flow.dir/flow/disjoint.cc.o.d"
+  "/root/repo/src/flow/min_cost_flow.cc" "src/CMakeFiles/krsp_flow.dir/flow/min_cost_flow.cc.o" "gcc" "src/CMakeFiles/krsp_flow.dir/flow/min_cost_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krsp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_paths.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_flow.dir/flow/decompose.cc.o"
+  "CMakeFiles/krsp_flow.dir/flow/decompose.cc.o.d"
+  "CMakeFiles/krsp_flow.dir/flow/dinic.cc.o"
+  "CMakeFiles/krsp_flow.dir/flow/dinic.cc.o.d"
+  "CMakeFiles/krsp_flow.dir/flow/disjoint.cc.o"
+  "CMakeFiles/krsp_flow.dir/flow/disjoint.cc.o.d"
+  "CMakeFiles/krsp_flow.dir/flow/min_cost_flow.cc.o"
+  "CMakeFiles/krsp_flow.dir/flow/min_cost_flow.cc.o.d"
+  "libkrsp_flow.a"
+  "libkrsp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/krsp_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/krsp_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/cycles.cc" "src/CMakeFiles/krsp_graph.dir/graph/cycles.cc.o" "gcc" "src/CMakeFiles/krsp_graph.dir/graph/cycles.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/krsp_graph.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/krsp_graph.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/krsp_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/krsp_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/krsp_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/krsp_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/transform.cc" "src/CMakeFiles/krsp_graph.dir/graph/transform.cc.o" "gcc" "src/CMakeFiles/krsp_graph.dir/graph/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

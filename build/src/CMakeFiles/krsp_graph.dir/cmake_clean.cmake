@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/krsp_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/krsp_graph.dir/graph/cycles.cc.o"
+  "CMakeFiles/krsp_graph.dir/graph/cycles.cc.o.d"
+  "CMakeFiles/krsp_graph.dir/graph/digraph.cc.o"
+  "CMakeFiles/krsp_graph.dir/graph/digraph.cc.o.d"
+  "CMakeFiles/krsp_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/krsp_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/krsp_graph.dir/graph/io.cc.o"
+  "CMakeFiles/krsp_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/krsp_graph.dir/graph/transform.cc.o"
+  "CMakeFiles/krsp_graph.dir/graph/transform.cc.o.d"
+  "libkrsp_graph.a"
+  "libkrsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_lp.dir/lp/model.cc.o"
+  "CMakeFiles/krsp_lp.dir/lp/model.cc.o.d"
+  "CMakeFiles/krsp_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/krsp_lp.dir/lp/simplex.cc.o.d"
+  "libkrsp_lp.a"
+  "libkrsp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

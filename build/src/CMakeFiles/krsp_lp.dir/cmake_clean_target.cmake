@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkrsp_lp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paths/bellman_ford.cc" "src/CMakeFiles/krsp_paths.dir/paths/bellman_ford.cc.o" "gcc" "src/CMakeFiles/krsp_paths.dir/paths/bellman_ford.cc.o.d"
+  "/root/repo/src/paths/dijkstra.cc" "src/CMakeFiles/krsp_paths.dir/paths/dijkstra.cc.o" "gcc" "src/CMakeFiles/krsp_paths.dir/paths/dijkstra.cc.o.d"
+  "/root/repo/src/paths/pareto.cc" "src/CMakeFiles/krsp_paths.dir/paths/pareto.cc.o" "gcc" "src/CMakeFiles/krsp_paths.dir/paths/pareto.cc.o.d"
+  "/root/repo/src/paths/rsp.cc" "src/CMakeFiles/krsp_paths.dir/paths/rsp.cc.o" "gcc" "src/CMakeFiles/krsp_paths.dir/paths/rsp.cc.o.d"
+  "/root/repo/src/paths/yen.cc" "src/CMakeFiles/krsp_paths.dir/paths/yen.cc.o" "gcc" "src/CMakeFiles/krsp_paths.dir/paths/yen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krsp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_paths.dir/paths/bellman_ford.cc.o"
+  "CMakeFiles/krsp_paths.dir/paths/bellman_ford.cc.o.d"
+  "CMakeFiles/krsp_paths.dir/paths/dijkstra.cc.o"
+  "CMakeFiles/krsp_paths.dir/paths/dijkstra.cc.o.d"
+  "CMakeFiles/krsp_paths.dir/paths/pareto.cc.o"
+  "CMakeFiles/krsp_paths.dir/paths/pareto.cc.o.d"
+  "CMakeFiles/krsp_paths.dir/paths/rsp.cc.o"
+  "CMakeFiles/krsp_paths.dir/paths/rsp.cc.o.d"
+  "CMakeFiles/krsp_paths.dir/paths/yen.cc.o"
+  "CMakeFiles/krsp_paths.dir/paths/yen.cc.o.d"
+  "libkrsp_paths.a"
+  "libkrsp_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

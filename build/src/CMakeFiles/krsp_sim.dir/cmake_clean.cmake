@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_sim.dir/sim/network_sim.cc.o"
+  "CMakeFiles/krsp_sim.dir/sim/network_sim.cc.o.d"
+  "libkrsp_sim.a"
+  "libkrsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

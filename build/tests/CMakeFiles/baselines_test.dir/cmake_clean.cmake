@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines_bnb_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines_bnb_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines_brute_force_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines_brute_force_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines_comparative_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines_comparative_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines_min_max_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines_min_max_test.cc.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+  "baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_aux_graph_test.cc" "tests/CMakeFiles/core_test.dir/core_aux_graph_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_aux_graph_test.cc.o.d"
+  "/root/repo/tests/core_bicameral_test.cc" "tests/CMakeFiles/core_test.dir/core_bicameral_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_bicameral_test.cc.o.d"
+  "/root/repo/tests/core_cycle_cancel_test.cc" "tests/CMakeFiles/core_test.dir/core_cycle_cancel_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_cycle_cancel_test.cc.o.d"
+  "/root/repo/tests/core_failure_injection_test.cc" "tests/CMakeFiles/core_test.dir/core_failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_failure_injection_test.cc.o.d"
+  "/root/repo/tests/core_instance_test.cc" "tests/CMakeFiles/core_test.dir/core_instance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_instance_test.cc.o.d"
+  "/root/repo/tests/core_io_test.cc" "tests/CMakeFiles/core_test.dir/core_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_io_test.cc.o.d"
+  "/root/repo/tests/core_k1_oracle_test.cc" "tests/CMakeFiles/core_test.dir/core_k1_oracle_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_k1_oracle_test.cc.o.d"
+  "/root/repo/tests/core_kbcp_test.cc" "tests/CMakeFiles/core_test.dir/core_kbcp_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_kbcp_test.cc.o.d"
+  "/root/repo/tests/core_per_path_test.cc" "tests/CMakeFiles/core_test.dir/core_per_path_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_per_path_test.cc.o.d"
+  "/root/repo/tests/core_phase1_test.cc" "tests/CMakeFiles/core_test.dir/core_phase1_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_phase1_test.cc.o.d"
+  "/root/repo/tests/core_priority_routing_test.cc" "tests/CMakeFiles/core_test.dir/core_priority_routing_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_priority_routing_test.cc.o.d"
+  "/root/repo/tests/core_repair_test.cc" "tests/CMakeFiles/core_test.dir/core_repair_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_repair_test.cc.o.d"
+  "/root/repo/tests/core_residual_test.cc" "tests/CMakeFiles/core_test.dir/core_residual_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_residual_test.cc.o.d"
+  "/root/repo/tests/core_scaling_test.cc" "tests/CMakeFiles/core_test.dir/core_scaling_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_scaling_test.cc.o.d"
+  "/root/repo/tests/core_solver_test.cc" "tests/CMakeFiles/core_test.dir/core_solver_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_solver_test.cc.o.d"
+  "/root/repo/tests/core_vertex_disjoint_test.cc" "tests/CMakeFiles/core_test.dir/core_vertex_disjoint_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_vertex_disjoint_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krsp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

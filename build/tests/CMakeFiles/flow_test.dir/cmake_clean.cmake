@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_test.dir/flow_decompose_test.cc.o"
+  "CMakeFiles/flow_test.dir/flow_decompose_test.cc.o.d"
+  "CMakeFiles/flow_test.dir/flow_dinic_test.cc.o"
+  "CMakeFiles/flow_test.dir/flow_dinic_test.cc.o.d"
+  "CMakeFiles/flow_test.dir/flow_disjoint_test.cc.o"
+  "CMakeFiles/flow_test.dir/flow_disjoint_test.cc.o.d"
+  "CMakeFiles/flow_test.dir/flow_min_cost_flow_test.cc.o"
+  "CMakeFiles/flow_test.dir/flow_min_cost_flow_test.cc.o.d"
+  "flow_test"
+  "flow_test.pdb"
+  "flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph_algorithms_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_algorithms_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_csr_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_csr_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_cycles_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_cycles_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_digraph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_digraph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_generators_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_generators_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_io_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_io_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_transform_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_transform_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paths_test.dir/paths_bellman_ford_test.cc.o"
+  "CMakeFiles/paths_test.dir/paths_bellman_ford_test.cc.o.d"
+  "CMakeFiles/paths_test.dir/paths_dijkstra_test.cc.o"
+  "CMakeFiles/paths_test.dir/paths_dijkstra_test.cc.o.d"
+  "CMakeFiles/paths_test.dir/paths_pareto_test.cc.o"
+  "CMakeFiles/paths_test.dir/paths_pareto_test.cc.o.d"
+  "CMakeFiles/paths_test.dir/paths_rsp_test.cc.o"
+  "CMakeFiles/paths_test.dir/paths_rsp_test.cc.o.d"
+  "CMakeFiles/paths_test.dir/paths_yen_test.cc.o"
+  "CMakeFiles/paths_test.dir/paths_yen_test.cc.o.d"
+  "paths_test"
+  "paths_test.pdb"
+  "paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

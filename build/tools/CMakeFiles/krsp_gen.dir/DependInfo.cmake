@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/krsp_gen.cc" "tools/CMakeFiles/krsp_gen.dir/krsp_gen.cc.o" "gcc" "tools/CMakeFiles/krsp_gen.dir/krsp_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krsp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krsp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_gen.dir/krsp_gen.cc.o"
+  "CMakeFiles/krsp_gen.dir/krsp_gen.cc.o.d"
+  "krsp_gen"
+  "krsp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

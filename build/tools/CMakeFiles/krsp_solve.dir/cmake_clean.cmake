@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krsp_solve.dir/krsp_solve.cc.o"
+  "CMakeFiles/krsp_solve.dir/krsp_solve.cc.o.d"
+  "krsp_solve"
+  "krsp_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krsp_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[tools_smoke]=] "/usr/bin/cmake" "-DKRSP_GEN=/root/repo/build/tools/krsp_gen" "-DKRSP_SOLVE=/root/repo/build/tools/krsp_solve" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/smoke_test.cmake")
+set_tests_properties([=[tools_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
