@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Rebuilds the project and regenerates every experiment table from
-# DESIGN.md §4 (F1-F2, E1-E9) plus the microbenchmarks, teeing the raw
+# DESIGN.md §4 (F1-F2, E1-E11) plus the microbenchmarks, teeing the raw
 # output next to this script's repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# Reuse an already-configured build tree as-is (whatever generator it was
+# set up with); otherwise configure fresh with the default generator, or
+# honor an explicit KRSP_GENERATOR=Ninja/"Unix Makefiles"/... override.
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build ${KRSP_GENERATOR:+-G "$KRSP_GENERATOR"}
+fi
+cmake --build build --parallel
+ctest --test-dir build --output-on-failure --timeout 600
 
 {
   for b in build/bench/*; do

@@ -32,6 +32,10 @@ CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
       out.status = CancelStatus::kIterationLimit;
       return out;
     }
+    if (options.deadline.expired()) {
+      out.status = CancelStatus::kDeadlineExpired;
+      return out;
+    }
 
     BicameralQuery query;
     query.cap = cost_guess;

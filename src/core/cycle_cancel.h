@@ -15,6 +15,7 @@
 #include "core/bicameral.h"
 #include "core/instance.h"
 #include "core/path_set.h"
+#include "util/deadline.h"
 #include "util/rational.h"
 
 namespace krsp::core {
@@ -23,6 +24,7 @@ enum class CancelStatus {
   kSuccess,           // delay bound met
   kNoBicameralCycle,  // no qualifying cycle (infeasible, or guess Ĉ < C_OPT)
   kIterationLimit,    // safety valve tripped
+  kDeadlineExpired,   // wall-clock budget ran out mid-cancellation
 };
 
 struct CycleCancelOptions {
@@ -32,6 +34,11 @@ struct CycleCancelOptions {
   /// Ablation: drop the Definition-10 cost cap and ratio test and greedily
   /// take the best-ratio delay-reducing cycle (the Figure-1 pathology).
   bool unsafe_no_cap = false;
+  /// Wall-clock budget, checked before each cancellation round. On expiry
+  /// the driver returns kDeadlineExpired with the current (valid, possibly
+  /// still delay-infeasible) paths — an anytime intermediate, never an
+  /// invalid set. Unbounded by default.
+  util::Deadline deadline;
 };
 
 struct CycleCancelTelemetry {

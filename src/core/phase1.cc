@@ -19,7 +19,8 @@ struct Candidate {
 
 }  // namespace
 
-Phase1Result phase1_lagrangian(const Instance& inst) {
+Phase1Result phase1_lagrangian(const Instance& inst,
+                               const util::Deadline& deadline) {
   inst.validate();
   Phase1Result out;
 
@@ -68,6 +69,10 @@ Phase1Result phase1_lagrangian(const Instance& inst) {
   constexpr int kMaxIterations = 500;
   for (int iter = 0;; ++iter) {
     KRSP_CHECK_MSG(iter < kMaxIterations, "LARAC failed to converge");
+    if (deadline.expired()) {
+      out.deadline_hit = true;
+      break;
+    }
     KRSP_CHECK(f_lo.delay() > f_hi.delay());
     lambda = Rational(f_hi.cost() - f_lo.cost(), f_lo.delay() - f_hi.delay());
     KRSP_CHECK(lambda >= Rational(0));

@@ -18,6 +18,7 @@
 
 #include "core/instance.h"
 #include "core/path_set.h"
+#include "util/deadline.h"
 #include "util/rational.h"
 
 namespace krsp::core {
@@ -42,10 +43,20 @@ struct Phase1Result {
   /// from a feasible point; equals `paths` when that one was selected.
   std::optional<PathSet> feasible_alternative;
   int mcmf_calls = 0;
+  /// The deadline expired mid-LARAC: the bracket (F_lo, F_hi) and the dual
+  /// bound from the last λ are returned instead of the breakpoint λ*. The
+  /// result is still a valid Lemma-5-style answer — any λ >= 0 yields a
+  /// correct lower bound — just with a looser C_LP.
+  bool deadline_hit = false;
 };
 
 /// Runs phase 1. Never returns paths violating structural validity; on
 /// kApprox the returned solution satisfies delay/D + cost/C_LP <= 2.
-Phase1Result phase1_lagrangian(const Instance& inst);
+/// An expired `deadline` cuts the LARAC iteration short (see
+/// Phase1Result::deadline_hit); the two bracketing MCMF calls always run,
+/// so feasibility answers (kOptimal/kInfeasible/kNoKDisjointPaths) are
+/// exact regardless of the budget.
+Phase1Result phase1_lagrangian(const Instance& inst,
+                               const util::Deadline& deadline = {});
 
 }  // namespace krsp::core

@@ -41,6 +41,16 @@ RepairResult repair_after_failures(const Instance& inst,
                                    const PathSet& current,
                                    std::span<const graph::EdgeId> failed,
                                    const SolverOptions& options) {
+  return repair_after_failures(
+      inst, current, failed, options,
+      util::Deadline::after_seconds(options.deadline_seconds));
+}
+
+RepairResult repair_after_failures(const Instance& inst,
+                                   const PathSet& current,
+                                   std::span<const graph::EdgeId> failed,
+                                   const SolverOptions& options,
+                                   const util::Deadline& deadline) {
   inst.validate();
   std::unordered_set<graph::EdgeId> failed_set;
   for (const graph::EdgeId e : failed) {
@@ -99,27 +109,39 @@ RepairResult repair_after_failures(const Instance& inst,
   }
 
   // Full re-solve on the degraded graph.
-  const auto degraded = build_subgraph(inst.graph, failed_set);
+  const auto solution = solve_degraded(inst, failed_set, options, deadline);
+  out.degradation = solution.telemetry.degradation;
+  if (!solution.has_paths()) {
+    out.outcome = RepairOutcome::kInfeasible;
+    return out;
+  }
+  out.paths = solution.paths;
+  KRSP_CHECK(out.paths.is_valid(inst));
+  out.cost = out.paths.total_cost(inst.graph);
+  out.delay = out.paths.total_delay(inst.graph);
+  out.outcome = RepairOutcome::kFullResolve;
+  return out;
+}
+
+Solution solve_degraded(const Instance& inst,
+                        const std::unordered_set<graph::EdgeId>& failed,
+                        const SolverOptions& options,
+                        const util::Deadline& deadline) {
+  const auto degraded = build_subgraph(inst.graph, failed);
   Instance degraded_inst;
   degraded_inst.graph = degraded.graph;
   degraded_inst.s = inst.s;
   degraded_inst.t = inst.t;
   degraded_inst.k = inst.k;
   degraded_inst.delay_bound = inst.delay_bound;
-  const auto solution = KrspSolver(options).solve(degraded_inst);
-  if (!solution.has_paths()) {
-    out.outcome = RepairOutcome::kInfeasible;
-    return out;
+  Solution solution = KrspSolver(options).solve(degraded_inst, deadline);
+  if (solution.has_paths()) {
+    std::vector<std::vector<graph::EdgeId>> mapped;
+    for (const auto& p : solution.paths.paths())
+      mapped.push_back(map_back(degraded, p));
+    solution.paths = PathSet(std::move(mapped));
   }
-  std::vector<std::vector<graph::EdgeId>> mapped;
-  for (const auto& p : solution.paths.paths())
-    mapped.push_back(map_back(degraded, p));
-  out.paths = PathSet(std::move(mapped));
-  KRSP_CHECK(out.paths.is_valid(inst));
-  out.cost = out.paths.total_cost(inst.graph);
-  out.delay = out.paths.total_delay(inst.graph);
-  out.outcome = RepairOutcome::kFullResolve;
-  return out;
+  return solution;
 }
 
 RepairResult repair_after_edge_failure(const Instance& inst,

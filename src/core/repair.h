@@ -18,6 +18,8 @@
 // which level of service was delivered.
 #pragma once
 
+#include <unordered_set>
+
 #include "core/solver.h"
 
 namespace krsp::core {
@@ -34,6 +36,10 @@ struct RepairResult {
   PathSet paths;
   graph::Cost cost = 0;
   graph::Delay delay = 0;
+  /// Anytime ladder step taken by the full re-solve when it ran under a
+  /// deadline; kNone for untouched / local repairs (those are single
+  /// polynomial RSP queries, not deadline-gated).
+  DegradationStep degradation = DegradationStep::kNone;
 };
 
 /// Repairs `current` (a valid solution of `inst`) after the given edges
@@ -48,10 +54,30 @@ RepairResult repair_after_failures(const Instance& inst,
                                    std::span<const graph::EdgeId> failed,
                                    const SolverOptions& options = {});
 
+/// As above, but the fallback re-solve runs against the caller's absolute
+/// `deadline` (shared with whatever other work the caller's event-handling
+/// budget covers) instead of a fresh clock from options.deadline_seconds.
+RepairResult repair_after_failures(const Instance& inst,
+                                   const PathSet& current,
+                                   std::span<const graph::EdgeId> failed,
+                                   const SolverOptions& options,
+                                   const util::Deadline& deadline);
+
 /// Single-failure convenience wrapper.
 RepairResult repair_after_edge_failure(const Instance& inst,
                                        const PathSet& current,
                                        graph::EdgeId failed_edge,
                                        const SolverOptions& options = {});
+
+/// Fresh solve on `inst` with the failed edges removed, path edge ids
+/// mapped back to inst's ids. This is the full re-solve the repair ladder
+/// falls back to, exposed on its own for controllers that re-provision
+/// outside a repair (e.g. opportunistic re-optimization after a link
+/// recovers). The returned solution's paths reference inst's edge ids and
+/// use no failed edge.
+Solution solve_degraded(const Instance& inst,
+                        const std::unordered_set<graph::EdgeId>& failed,
+                        const SolverOptions& options,
+                        const util::Deadline& deadline = {});
 
 }  // namespace krsp::core

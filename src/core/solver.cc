@@ -20,6 +20,7 @@ Solution from_phase1(const Phase1Result& p1) {
   s.telemetry.phase1_mcmf_calls = p1.mcmf_calls;
   s.telemetry.lambda = p1.lambda;
   s.telemetry.cost_lower_bound = p1.cost_lower_bound;
+  s.telemetry.deadline_expired = p1.deadline_hit;
   switch (p1.status) {
     case Phase1Status::kNoKDisjointPaths:
       s.status = SolveStatus::kNoKDisjointPaths;
@@ -41,37 +42,71 @@ Solution from_phase1(const Phase1Result& p1) {
   return s;
 }
 
+/// Phase 1 gets `fraction` of the remaining budget (exact feasibility
+/// answers are cheap; the guess loops are where time goes).
+util::Deadline stage_deadline(const util::Deadline& total, double fraction) {
+  if (!total.bounded()) return total;
+  const double remaining = std::max(0.0, total.remaining_seconds());
+  return total.clipped_after_seconds(remaining * fraction);
+}
+
 }  // namespace
 
+const char* degradation_step_name(DegradationStep step) {
+  switch (step) {
+    case DegradationStep::kNone:
+      return "none";
+    case DegradationStep::kScaledResult:
+      return "scaled-result";
+    case DegradationStep::kExactPartial:
+      return "exact-partial";
+    case DegradationStep::kPhase1Feasible:
+      return "phase1-feasible";
+    case DegradationStep::kReducedK:
+      return "reduced-k";
+    case DegradationStep::kOutage:
+      return "outage";
+  }
+  return "unknown";
+}
+
 Solution KrspSolver::solve(const Instance& inst) const {
+  return solve(inst, util::Deadline::after_seconds(options_.deadline_seconds));
+}
+
+Solution KrspSolver::solve(const Instance& inst,
+                           const util::Deadline& deadline) const {
   inst.validate();
   const util::WallTimer timer;
   Solution s;
   switch (options_.mode) {
     case SolverOptions::Mode::kExactWeights:
-      s = solve_exact_weights(inst);
+      s = solve_exact_weights(inst, deadline);
       break;
     case SolverOptions::Mode::kScaled:
-      s = solve_scaled(inst);
+      s = solve_scaled(inst, deadline);
       break;
     case SolverOptions::Mode::kPhase1Only:
-      s = solve_phase1_only(inst);
+      s = solve_phase1_only(inst, deadline);
       break;
   }
   s.telemetry.wall_seconds = timer.seconds();
   return s;
 }
 
-Solution KrspSolver::solve_phase1_only(const Instance& inst) const {
-  const auto p1 = phase1_lagrangian(inst);
+Solution KrspSolver::solve_phase1_only(const Instance& inst,
+                                       const util::Deadline& deadline) const {
+  const auto p1 = phase1_lagrangian(inst, deadline);
   Solution s = from_phase1(p1);
   if (s.status == SolveStatus::kApprox && s.delay > inst.delay_bound)
     s.status = SolveStatus::kApproxDelayOver;
   return s;
 }
 
-Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
-  const auto p1 = phase1_lagrangian(inst);
+Solution KrspSolver::solve_exact_weights(const Instance& inst,
+                                         const util::Deadline& deadline) const {
+  const auto p1 = phase1_lagrangian(
+      inst, stage_deadline(deadline, options_.phase1_deadline_fraction));
   Solution s = from_phase1(p1);
   if (s.status != SolveStatus::kApprox) return s;  // optimal or no solution
   if (s.delay <= inst.delay_bound) return s;       // Lemma 5 already met D
@@ -87,11 +122,21 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
       std::max<graph::Cost>(1, ceil_of(p1.cost_lower_bound));
   const graph::Cost hi0 = std::max(lo0, c_hi);
 
+  CycleCancelOptions cancel_options = options_.cancel;
+  cancel_options.deadline = deadline;
+
   std::optional<CycleCancelResult> best_run;
   graph::Cost best_guess = 0;
+  bool deadline_cut = false;
   const auto run = [&](graph::Cost guess) -> bool {
+    if (deadline.expired()) {
+      // Abandon the search, serve the best anytime result below.
+      deadline_cut = true;
+      return false;
+    }
     ++s.telemetry.guess_attempts;
-    auto r = cancel_cycles(inst, p1.paths, guess, options_.cancel);
+    auto r = cancel_cycles(inst, p1.paths, guess, cancel_options);
+    if (r.status == CancelStatus::kDeadlineExpired) deadline_cut = true;
     if (r.status != CancelStatus::kSuccess) return false;
     if (!best_run || guess < best_guess) {
       best_run = std::move(r);
@@ -103,7 +148,7 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
   if (options_.guess == SolverOptions::GuessStrategy::kBinarySearch) {
     graph::Cost lo = lo0, hi = hi0;
     if (run(hi)) {
-      while (lo < hi) {
+      while (lo < hi && !deadline_cut) {
         const graph::Cost mid = lo + (hi - lo) / 2;
         if (run(mid))
           hi = mid;
@@ -113,14 +158,19 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
     }
   } else {
     graph::Cost guess = lo0;
-    while (!run(guess) && guess < hi0)
+    while (!run(guess) && guess < hi0 && !deadline_cut)
       guess = std::min<graph::Cost>(hi0, std::max<graph::Cost>(guess * 2, 1));
   }
 
+  if (deadline_cut) s.telemetry.deadline_expired = true;
+
   if (!best_run) {
-    // Theory guarantees success at Ĉ = c_hi >= C_OPT; if an internal limit
-    // tripped anyway, fall back to the feasible phase-1 alternative.
+    // Deadline expiry, or an internal limit tripping where theory
+    // guarantees success at Ĉ = c_hi >= C_OPT: fall back to the certified
+    // delay-feasible phase-1 alternative.
     s.telemetry.used_feasible_fallback = true;
+    if (deadline_cut)
+      s.telemetry.degradation = DegradationStep::kPhase1Feasible;
     s.paths = f_hi;
     s.cost = c_hi;
     s.delay = f_hi.total_delay(inst.graph);
@@ -128,6 +178,9 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
     return s;
   }
 
+  // A cut-short search still certifies cost <= cost(start) + Ĉ† for the
+  // best cap that succeeded — just not minimality of Ĉ†.
+  if (deadline_cut) s.telemetry.degradation = DegradationStep::kExactPartial;
   s.telemetry.cost_guess_used = best_guess;
   s.telemetry.cancel = best_run->telemetry;
   // The phase-1 feasible alternative is itself a valid answer; keep the
@@ -146,10 +199,12 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst) const {
   return s;
 }
 
-Solution KrspSolver::solve_scaled(const Instance& inst) const {
+Solution KrspSolver::solve_scaled(const Instance& inst,
+                                  const util::Deadline& deadline) const {
   // Phase 1 on the *original* weights settles feasibility questions exactly
   // and provides the Ĉ search range.
-  const auto p1 = phase1_lagrangian(inst);
+  const auto p1 = phase1_lagrangian(
+      inst, stage_deadline(deadline, options_.phase1_deadline_fraction));
   Solution s = from_phase1(p1);
   if (s.status != SolveStatus::kApprox) return s;
   if (s.delay <= inst.delay_bound) return s;
@@ -178,10 +233,18 @@ Solution KrspSolver::solve_scaled(const Instance& inst) const {
     graph::Cost guess;
   };
   std::optional<Attempt> best;
+  bool deadline_cut = false;
   const auto run = [&](graph::Cost guess) -> bool {
+    if (deadline.expired()) {
+      deadline_cut = true;
+      return false;
+    }
     ++s.telemetry.guess_attempts;
     const auto scaled = scale_instance(inst, eps1, eps2, guess);
-    Solution inner = inner_solver.solve(scaled.scaled);
+    // The inner solve shares the same absolute deadline, so a slow guess
+    // cannot starve the attempts after it of their own expiry check.
+    Solution inner = inner_solver.solve(scaled.scaled, deadline);
+    if (inner.telemetry.deadline_expired) deadline_cut = true;
     if (!inner.has_paths()) return false;
     // Edge ids are shared between the scaled and original graphs.
     Solution mapped = inner;
@@ -198,7 +261,7 @@ Solution KrspSolver::solve_scaled(const Instance& inst) const {
   if (options_.guess == SolverOptions::GuessStrategy::kBinarySearch) {
     graph::Cost lo = lo0, hi = hi0;
     if (run(hi)) {
-      while (lo < hi) {
+      while (lo < hi && !deadline_cut) {
         const graph::Cost mid = lo + (hi - lo) / 2;
         if (run(mid))
           hi = mid;
@@ -208,12 +271,16 @@ Solution KrspSolver::solve_scaled(const Instance& inst) const {
     }
   } else {
     graph::Cost guess = lo0;
-    while (!run(guess) && guess < hi0)
+    while (!run(guess) && guess < hi0 && !deadline_cut)
       guess = std::min<graph::Cost>(hi0, std::max<graph::Cost>(guess * 2, 1));
   }
 
+  if (deadline_cut) s.telemetry.deadline_expired = true;
+
   if (!best) {
     s.telemetry.used_feasible_fallback = true;
+    if (deadline_cut)
+      s.telemetry.degradation = DegradationStep::kPhase1Feasible;
     s.paths = f_hi;
     s.cost = c_hi;
     s.delay = f_hi.total_delay(inst.graph);
@@ -221,6 +288,7 @@ Solution KrspSolver::solve_scaled(const Instance& inst) const {
     return s;
   }
 
+  if (deadline_cut) s.telemetry.degradation = DegradationStep::kScaledResult;
   s.telemetry.cost_guess_used = best->guess;
   s.telemetry.cancel = best->sol.telemetry.cancel;
   if (c_hi < best->sol.cost) {

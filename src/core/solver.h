@@ -15,6 +15,7 @@
 #include "core/instance.h"
 #include "core/path_set.h"
 #include "core/phase1.h"
+#include "util/deadline.h"
 #include "util/rational.h"
 
 namespace krsp::core {
@@ -40,8 +41,36 @@ struct SolverOptions {
   enum class GuessStrategy { kBinarySearch, kDoubling };
   GuessStrategy guess = GuessStrategy::kBinarySearch;
 
+  /// Wall-clock budget for the whole solve; <= 0 = unbounded. On expiry
+  /// the solver walks the anytime degradation ladder (DegradationStep)
+  /// instead of running to completion: the result is always structurally
+  /// valid and delay-feasible, only the cost guarantee weakens. Expiry is
+  /// honored between pipeline iterations, so the overshoot is bounded by
+  /// one MCMF call / cancellation round.
+  double deadline_seconds = 0.0;
+  /// Fraction of the remaining budget granted to phase 1; the rest funds
+  /// the cancellation/guess loops. Phase 1's feasibility answers stay
+  /// exact regardless (its two bracketing flows always run).
+  double phase1_deadline_fraction = 0.4;
+
   CycleCancelOptions cancel;
 };
+
+/// Anytime degradation ladder recorded when a deadline cuts a solve short.
+/// Steps are ordered best → worst; the solver emits the first four, the
+/// resilience controller the last two (serving fewer paths or none is a
+/// provisioning-level decision, not a solver one).
+enum class DegradationStep {
+  kNone,            // full algorithm completed within budget
+  kScaledResult,    // scaled-mode Ĉ search cut short; best verified attempt
+  kExactPartial,    // exact-weights cap search cut short; best-so-far cap
+  kPhase1Feasible,  // certified-feasible phase-1 fallback F_hi served
+  kReducedK,        // controller serves k' < k surviving paths
+  kOutage,          // controller declares outage (no valid path set)
+};
+
+/// Short stable name for logs and benchmark tables.
+const char* degradation_step_name(DegradationStep step);
 
 struct SolveTelemetry {
   double wall_seconds = 0.0;
@@ -52,6 +81,8 @@ struct SolveTelemetry {
   int guess_attempts = 0;               // cancellation runs across guesses
   bool phase1_was_optimal = false;
   bool used_feasible_fallback = false;  // returned phase-1 F_hi instead
+  bool deadline_expired = false;        // a stage hit its wall-clock budget
+  DegradationStep degradation = DegradationStep::kNone;
   CycleCancelTelemetry cancel;          // from the final successful run
 };
 
@@ -74,12 +105,22 @@ class KrspSolver {
 
   [[nodiscard]] Solution solve(const Instance& inst) const;
 
+  /// Solve against an absolute deadline (overrides options().deadline_
+  /// seconds). Lets callers with an external clock — the scaled wrapper's
+  /// inner solver, the resilience controller mid-event — share one budget
+  /// across nested solves instead of re-anchoring it.
+  [[nodiscard]] Solution solve(const Instance& inst,
+                               const util::Deadline& deadline) const;
+
   [[nodiscard]] const SolverOptions& options() const { return options_; }
 
  private:
-  [[nodiscard]] Solution solve_exact_weights(const Instance& inst) const;
-  [[nodiscard]] Solution solve_scaled(const Instance& inst) const;
-  [[nodiscard]] Solution solve_phase1_only(const Instance& inst) const;
+  [[nodiscard]] Solution solve_exact_weights(
+      const Instance& inst, const util::Deadline& deadline) const;
+  [[nodiscard]] Solution solve_scaled(const Instance& inst,
+                                      const util::Deadline& deadline) const;
+  [[nodiscard]] Solution solve_phase1_only(
+      const Instance& inst, const util::Deadline& deadline) const;
 
   SolverOptions options_;
 };

@@ -80,6 +80,14 @@ class Digraph {
     return edges_[e];
   }
 
+  /// Updates one edge's delay in place (live-network degradation events);
+  /// topology and edge ids stay stable so provisioned paths remain
+  /// addressable.
+  void set_edge_delay(EdgeId e, Delay delay) {
+    KRSP_CHECK(is_edge(e));
+    edges_[e].delay = delay;
+  }
+
   [[nodiscard]] std::span<const EdgeId> out_edges(VertexId v) const {
     KRSP_DCHECK(is_vertex(v));
     return out_[v];

@@ -1,0 +1,47 @@
+// Invariant audit for a provisioned path set under failures.
+//
+// The resilience controller runs this after every event it absorbs; tests
+// and the chaos engine call it directly. A violation is a library bug (the
+// controller must never serve an invalid set), so failures throw
+// util::CheckError like every other broken invariant in the library.
+//
+// Invariants checked:
+//  * every served path is a simple s→t path of the live graph, and the
+//    paths are pairwise edge-disjoint (PathSet::is_valid against k');
+//  * no served path uses a failed edge;
+//  * total delay under the *live* (possibly degraded) delays is within the
+//    audit cap — D for strict modes, (1+ε1)·D when the solver mode is
+//    allowed that slack;
+//  * the caller's cost/delay bookkeeping matches a recomputation.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/instance.h"
+#include "core/path_set.h"
+#include "core/solver.h"
+
+namespace krsp::resilience {
+
+struct AuditReport {
+  int paths_served = 0;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+};
+
+/// The delay the audit holds a solution of `options` to: delay_bound for
+/// kExactWeights, floor((1+eps1)·D) for kScaled, 2·D for kPhase1Only
+/// (Lemma 5's worst case).
+graph::Delay audited_delay_cap(const core::Instance& inst,
+                               const core::SolverOptions& options);
+
+/// Verifies every invariant above; throws util::CheckError on the first
+/// violation, returns the recomputed measures otherwise. `served` may hold
+/// fewer than inst.k paths (degraded service) or none (outage).
+AuditReport audit_served_paths(
+    const core::Instance& live, const core::PathSet& served,
+    const std::unordered_set<graph::EdgeId>& failed_edges,
+    graph::Delay delay_cap, graph::Cost expected_cost,
+    graph::Delay expected_delay);
+
+}  // namespace krsp::resilience

@@ -1,0 +1,178 @@
+#include "resilience/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/network_sim.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace krsp::resilience {
+
+namespace {
+
+/// Edges are partitioned into shared-risk groups by id — a stand-in for
+/// "fibers in the same conduit" that keeps the schedule reproducible.
+int srlg_group_of(graph::EdgeId e, int groups) {
+  return static_cast<int>(e) % std::max(1, groups);
+}
+
+}  // namespace
+
+ChaosReport run_chaos_campaign(const core::Instance& inst,
+                               const core::SolverOptions& solver_options,
+                               const ChaosOptions& options) {
+  ChaosReport report;
+  util::Rng rng(options.seed);
+  ResilienceController controller(inst, solver_options);
+  report.provision_status = controller.provision();
+
+  const int m = inst.graph.num_edges();
+  const auto max_failed = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(
+             options.max_failed_fraction * static_cast<double>(m))));
+
+  // Mirror of the controller's failed set kept as a vector for
+  // deterministic uniform sampling.
+  std::vector<graph::EdgeId> failed_list;
+  std::vector<bool> is_failed(m, false);
+  const auto mark_failed = [&](graph::EdgeId e) {
+    if (is_failed[e]) return;
+    is_failed[e] = true;
+    failed_list.push_back(e);
+  };
+  const auto mark_recovered = [&](graph::EdgeId e) {
+    if (!is_failed[e]) return;
+    is_failed[e] = false;
+    failed_list.erase(std::find(failed_list.begin(), failed_list.end(), e));
+  };
+
+  const auto random_alive_edge = [&]() -> graph::EdgeId {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto e = static_cast<graph::EdgeId>(rng.uniform_int(0, m - 1));
+      if (!is_failed[e]) return e;
+    }
+    return graph::kInvalidEdge;
+  };
+  const auto random_served_edge = [&]() -> graph::EdgeId {
+    const auto& paths = controller.served().paths();
+    if (paths.empty()) return graph::kInvalidEdge;
+    const auto& path = paths[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(paths.size()) - 1))];
+    return path[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(path.size()) - 1))];
+  };
+
+  for (int i = 0; i < options.events; ++i) {
+    NetworkEvent event;
+    const double roll = rng.uniform01();
+    const bool force_recover =
+        static_cast<std::int64_t>(failed_list.size()) >= max_failed;
+    const bool want_recover =
+        force_recover ||
+        roll >= options.p_srlg + options.p_degrade + options.p_fail;
+
+    if (want_recover && !failed_list.empty()) {
+      event.type = EventType::kEdgeRecover;
+      event.edge = failed_list[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(failed_list.size()) - 1))];
+      mark_recovered(event.edge);
+    } else if (!force_recover && roll < options.p_srlg) {
+      event.type = EventType::kSrlgFail;
+      const int g = static_cast<int>(
+          rng.uniform_int(0, std::max(1, options.srlg_groups) - 1));
+      for (graph::EdgeId e = 0; e < m; ++e)
+        if (!is_failed[e] && srlg_group_of(e, options.srlg_groups) == g)
+          event.group.push_back(e);
+      if (event.group.empty()) continue;  // whole group already down
+      for (const graph::EdgeId e : event.group) mark_failed(e);
+    } else if (!force_recover &&
+               roll < options.p_srlg + options.p_degrade) {
+      event.type = EventType::kDelayDegrade;
+      event.edge = random_alive_edge();
+      if (event.edge == graph::kInvalidEdge) continue;
+      const auto base = inst.graph.edge(event.edge).delay;
+      const auto live = controller.live_instance().graph.edge(event.edge).delay;
+      if (rng.bernoulli(0.4)) {
+        event.new_delay = base;  // congestion clears
+      } else {
+        // Degrade from the live value, capped so repeated hits saturate.
+        const double degraded =
+            std::max(1.0, static_cast<double>(live) * options.degrade_factor);
+        event.new_delay = std::min<graph::Delay>(
+            static_cast<graph::Delay>(std::llround(degraded)),
+            std::max<graph::Delay>(1, base * 4));
+      }
+    } else {
+      event.type = EventType::kEdgeFail;
+      event.edge = graph::kInvalidEdge;
+      if (rng.bernoulli(options.target_served_bias))
+        event.edge = random_served_edge();
+      if (event.edge == graph::kInvalidEdge || is_failed[event.edge])
+        event.edge = random_alive_edge();
+      if (event.edge == graph::kInvalidEdge) continue;  // everything down
+      mark_failed(event.edge);
+    }
+
+    const auto outcome = controller.apply(event);
+    ++report.events;
+    report.event_ms.add(outcome.seconds * 1e3);
+    if (outcome.repair.has_value())
+      report.repair_ms.add(outcome.seconds * 1e3);
+    if (outcome.degradation != core::DegradationStep::kNone)
+      ++report.degraded_events;
+    if (outcome.paths_served == inst.k) report.availability_full += 1.0;
+    if (outcome.paths_served > 0) report.availability_any += 1.0;
+
+    if (options.drift_every > 0 && (i + 1) % options.drift_every == 0 &&
+        controller.paths_served() == inst.k) {
+      core::SolverOptions fresh_options = solver_options;
+      fresh_options.deadline_seconds = 0.0;  // the oracle gets all the time
+      const auto fresh =
+          core::KrspSolver(fresh_options).solve(controller.degraded_instance());
+      if (fresh.has_paths() && fresh.cost > 0)
+        report.cost_drift.add(static_cast<double>(controller.served_cost()) /
+                              static_cast<double>(fresh.cost));
+    }
+  }
+
+  if (report.events > 0) {
+    report.availability_full /= report.events;
+    report.availability_any /= report.events;
+  }
+  report.stats = controller.stats();
+
+  if (options.replay_sim && controller.paths_served() > 0) {
+    sim::LinkParams params;
+    params.transmission_time = 1;
+    params.queue_capacity = 128;
+    sim::NetworkSimulator simulator(controller.live_instance().graph, params,
+                                    options.seed);
+    const auto& paths = controller.served().paths();
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      sim::FlowSpec flow;
+      flow.name = "survivor-" + std::to_string(p);
+      flow.route = paths[p];
+      flow.mean_gap = 6.0;
+      flow.poisson = p % 2 == 1;
+      flow.packet_budget = 2000;
+      simulator.add_flow(std::move(flow));
+    }
+    const auto result = simulator.run(options.sim_horizon);
+    std::int64_t sent = 0, delivered = 0;
+    util::Stats p95;
+    for (const auto& f : result.flows) {
+      sent += f.sent;
+      delivered += f.delivered;
+      if (f.latency.count() > 0) p95.add(f.latency.percentile(95));
+    }
+    if (sent > 0)
+      report.sim_delivery_rate =
+          static_cast<double>(delivered) / static_cast<double>(sent);
+    if (p95.count() > 0) report.sim_mean_p95_latency = p95.mean();
+  }
+
+  return report;
+}
+
+}  // namespace krsp::resilience

@@ -1,0 +1,87 @@
+// Deterministic seeded chaos-campaign engine.
+//
+// Generates a failure/recovery/degradation schedule from a single RNG seed
+// and drives a ResilienceController through it, measuring what the paper's
+// resilience story actually delivers under sustained churn: availability,
+// the local-repair vs full-re-solve ratio, time-to-repair, and the cost
+// drift of the served paths against a fresh-solve optimum on the degraded
+// network. Optionally replays the surviving paths through the packet-level
+// simulator (sim::network_sim) to measure delivered QoS during
+// degradation.
+//
+// The schedule is biased toward the interesting cases: failures prefer
+// in-use edges, SRLG events take out whole shared-risk groups (edges are
+// partitioned by id), and a cap on concurrently failed edges forces
+// recovery phases so campaigns exercise the climb-back path too. Every
+// event is audited by the controller; an invariant violation throws
+// util::CheckError and aborts the campaign — a completed campaign is a
+// zero-violation campaign.
+#pragma once
+
+#include "core/solver.h"
+#include "resilience/controller.h"
+#include "util/stats.h"
+
+namespace krsp::resilience {
+
+struct ChaosOptions {
+  int events = 200;
+  std::uint64_t seed = 1;
+  /// Event mix; the remainder of the probability mass goes to recoveries.
+  /// Recoveries outweigh failures so damage is transient — the campaign
+  /// measures the controller riding out churn, not a network that only
+  /// decays.
+  double p_fail = 0.28;
+  double p_srlg = 0.05;
+  double p_degrade = 0.12;
+  int srlg_groups = 6;
+  /// Delay multiplier applied by a degradation (40% of degradations reset
+  /// the link back to its base delay instead — transient congestion).
+  /// Compounding is capped at 4x the base delay.
+  double degrade_factor = 2.5;
+  /// Cap on concurrently failed edges, as a fraction of m. At the cap the
+  /// schedule forces recoveries.
+  double max_failed_fraction = 0.15;
+  /// Probability a failure targets a currently served edge.
+  double target_served_bias = 0.6;
+  /// Every N events, compare the served cost against a fresh deadline-free
+  /// solve on the degraded network (0 = off). Only measured while serving
+  /// full k (a k' < k comparison would be apples to oranges).
+  int drift_every = 20;
+  /// Replay the surviving paths through the packet simulator at the end.
+  bool replay_sim = false;
+  std::int64_t sim_horizon = 20000;
+};
+
+struct ChaosReport {
+  int events = 0;
+  core::SolveStatus provision_status = core::SolveStatus::kFailed;
+  ControllerStats stats;
+  /// Fraction of post-event states serving full k / serving >= 1 path.
+  double availability_full = 0.0;
+  double availability_any = 0.0;
+  /// Wall ms of failure events whose handling ran the repair ladder.
+  util::Stats repair_ms;
+  /// Wall ms of every event.
+  util::Stats event_ms;
+  /// served cost / fresh-solve cost at drift checkpoints. ~1 means the
+  /// incrementally maintained paths match a fresh solve; values below 1
+  /// are possible because the fresh oracle is itself a 2-approximation.
+  util::Stats cost_drift;
+  /// Events on which some solve took an anytime degradation step.
+  std::int64_t degraded_events = 0;
+  /// Packet-sim replay of the final surviving paths (-1 when disabled or
+  /// nothing survived).
+  double sim_delivery_rate = -1.0;
+  double sim_mean_p95_latency = -1.0;
+};
+
+/// Runs one campaign. Deterministic given (inst, solver_options, options) —
+/// wall-clock metrics vary, event schedule and controller decisions do not
+/// (provided solver deadlines are either off or generous enough not to
+/// bind, which is how the deterministic ctest campaign runs).
+ChaosReport run_chaos_campaign(const core::Instance& inst,
+                               const core::SolverOptions& solver_options,
+                               const ChaosOptions& options);
+
+}  // namespace krsp::resilience

@@ -1,0 +1,326 @@
+#include "resilience/controller.h"
+
+#include <algorithm>
+
+#include "resilience/audit.h"
+#include "util/timer.h"
+
+namespace krsp::resilience {
+
+namespace {
+
+/// Worse-of for ladder steps (the enum is ordered best → worst).
+core::DegradationStep worse(core::DegradationStep a, core::DegradationStep b) {
+  return a < b ? b : a;
+}
+
+}  // namespace
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kEdgeFail:
+      return "edge-fail";
+    case EventType::kEdgeRecover:
+      return "edge-recover";
+    case EventType::kDelayDegrade:
+      return "delay-degrade";
+    case EventType::kSrlgFail:
+      return "srlg-fail";
+  }
+  return "unknown";
+}
+
+const char* service_level_name(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kFull:
+      return "full";
+    case ServiceLevel::kDegraded:
+      return "degraded";
+    case ServiceLevel::kReducedK:
+      return "reduced-k";
+    case ServiceLevel::kOutage:
+      return "outage";
+  }
+  return "unknown";
+}
+
+ResilienceController::ResilienceController(core::Instance base,
+                                           core::SolverOptions options)
+    : base_(std::move(base)), live_(base_), options_(options) {
+  base_.validate();
+  delay_cap_ = audited_delay_cap(base_, options_);
+}
+
+core::SolveStatus ResilienceController::provision() {
+  const auto solution = core::KrspSolver(options_).solve(base_);
+  if (solution.has_paths()) {
+    adopt(solution.paths,
+          solution.telemetry.degradation == core::DegradationStep::kNone
+              ? ServiceLevel::kFull
+              : ServiceLevel::kDegraded);
+  } else {
+    enter_outage();
+  }
+  ++stats_.audits;
+  audit();
+  return solution.status;
+}
+
+void ResilienceController::adopt(core::PathSet paths, ServiceLevel level) {
+  served_ = std::move(paths);
+  served_cost_ = served_.total_cost(live_.graph);
+  served_delay_ = served_.total_delay(live_.graph);
+  level_ = served_.size() == 0 ? ServiceLevel::kOutage : level;
+}
+
+void ResilienceController::enter_outage() {
+  served_ = core::PathSet();
+  served_cost_ = 0;
+  served_delay_ = 0;
+  if (level_ != ServiceLevel::kOutage) ++stats_.outages_entered;
+  level_ = ServiceLevel::kOutage;
+}
+
+int ResilienceController::shed_broken_paths() {
+  std::vector<std::vector<graph::EdgeId>> keep;
+  for (const auto& path : served_.paths()) {
+    const bool broken = std::any_of(
+        path.begin(), path.end(),
+        [&](graph::EdgeId e) { return failed_.count(e) > 0; });
+    if (!broken) keep.push_back(path);
+  }
+  const int dropped = served_.size() - static_cast<int>(keep.size());
+  if (dropped == 0) return 0;
+  if (keep.empty()) {
+    enter_outage();
+  } else {
+    adopt(core::PathSet(std::move(keep)), ServiceLevel::kReducedK);
+  }
+  return dropped;
+}
+
+void ResilienceController::shed_slowest_until_feasible() {
+  auto paths = served_.paths();
+  std::sort(paths.begin(), paths.end(),
+            [&](const auto& a, const auto& b) {
+              return graph::path_delay(live_.graph, a) <
+                     graph::path_delay(live_.graph, b);
+            });
+  graph::Delay total = 0;
+  for (const auto& p : paths) total += graph::path_delay(live_.graph, p);
+  while (!paths.empty() && total > delay_cap_) {
+    total -= graph::path_delay(live_.graph, paths.back());
+    paths.pop_back();
+  }
+  if (paths.empty()) {
+    enter_outage();
+  } else {
+    ++stats_.reduced_k_steps;
+    adopt(core::PathSet(std::move(paths)), ServiceLevel::kReducedK);
+  }
+}
+
+bool ResilienceController::try_reprovision(const util::Deadline& deadline,
+                                           bool always,
+                                           EventOutcome& outcome) {
+  ++stats_.reopt_attempts;
+  // Full k first. When climbing back (`always`) keep trying smaller k' so
+  // a network that can no longer carry k disjoint paths still gets partial
+  // service instead of a standing outage; the floor is the first k' that
+  // would improve on the current state (or 1 when the current state is
+  // over the delay cap and must be replaced anyway).
+  const bool over_cap = served_.size() > 0 && served_delay_ > delay_cap_;
+  const int k_floor =
+      !always ? live_.k : (over_cap ? 1 : served_.size() + 1);
+  for (int k = live_.k; k >= k_floor; --k) {
+    core::Instance attempt = live_;
+    attempt.k = k;
+    const auto solution =
+        core::solve_degraded(attempt, failed_, options_, deadline);
+    outcome.degradation =
+        worse(outcome.degradation, solution.telemetry.degradation);
+    if (!solution.has_paths()) continue;
+    const graph::Cost cost = solution.paths.total_cost(live_.graph);
+    const graph::Delay delay = solution.paths.total_delay(live_.graph);
+    if (delay > delay_cap_) continue;  // anytime result outside the cap
+    if (!always && level_ == ServiceLevel::kFull && cost >= served_cost_)
+      return false;  // full service already, and not cheaper
+    adopt(solution.paths,
+          k < live_.k ? ServiceLevel::kReducedK
+          : solution.telemetry.degradation == core::DegradationStep::kNone
+              ? ServiceLevel::kFull
+              : ServiceLevel::kDegraded);
+    ++stats_.reopt_adopted;
+    outcome.reoptimized = true;
+    return true;
+  }
+  return false;
+}
+
+EventOutcome ResilienceController::apply(const NetworkEvent& event) {
+  const util::WallTimer timer;
+  const auto deadline =
+      util::Deadline::after_seconds(options_.deadline_seconds);
+  EventOutcome outcome;
+  outcome.event = event.type;
+  ++stats_.events;
+
+  switch (event.type) {
+    case EventType::kEdgeFail:
+    case EventType::kSrlgFail: {
+      std::vector<graph::EdgeId> newly;
+      const auto add = [&](graph::EdgeId e) {
+        KRSP_CHECK(live_.graph.is_edge(e));
+        if (failed_.insert(e).second) newly.push_back(e);
+      };
+      if (event.type == EventType::kEdgeFail) {
+        add(event.edge);
+      } else {
+        for (const graph::EdgeId e : event.group) add(e);
+      }
+      stats_.edge_failures += static_cast<std::int64_t>(newly.size());
+
+      const bool touches_served = std::any_of(
+          newly.begin(), newly.end(), [&](graph::EdgeId e) {
+            for (const auto& p : served_.paths())
+              if (std::find(p.begin(), p.end(), e) != p.end()) return true;
+            return false;
+          });
+      if (!touches_served) {
+        ++stats_.untouched;
+        break;
+      }
+      if (served_.size() == live_.k) {
+        // Full service: run the repair ladder (local replacement first,
+        // then a deadline-bounded full re-solve).
+        const std::vector<graph::EdgeId> cumulative(failed_.begin(),
+                                                    failed_.end());
+        const auto r = core::repair_after_failures(live_, served_, cumulative,
+                                                   options_, deadline);
+        outcome.repair = r.outcome;
+        outcome.degradation = worse(outcome.degradation, r.degradation);
+        switch (r.outcome) {
+          case core::RepairOutcome::kUntouched:
+            ++stats_.untouched;
+            break;
+          case core::RepairOutcome::kLocalRepair:
+            ++stats_.local_repairs;
+            adopt(r.paths, ServiceLevel::kDegraded);
+            break;
+          case core::RepairOutcome::kFullResolve:
+            ++stats_.full_resolves;
+            adopt(r.paths,
+                  r.degradation == core::DegradationStep::kNone
+                      ? ServiceLevel::kFull
+                      : ServiceLevel::kDegraded);
+            break;
+          case core::RepairOutcome::kInfeasible:
+            // Next rung: serve the surviving k' < k paths (or none).
+            shed_broken_paths();
+            ++stats_.reduced_k_steps;
+            outcome.degradation =
+                worse(outcome.degradation,
+                      served_.size() > 0 ? core::DegradationStep::kReducedK
+                                         : core::DegradationStep::kOutage);
+            break;
+        }
+      } else {
+        // Already below full service: no k-path repair is possible; shed
+        // the broken paths and wait for recoveries.
+        if (shed_broken_paths() > 0) {
+          ++stats_.reduced_k_steps;
+          outcome.degradation =
+              worse(outcome.degradation,
+                    served_.size() > 0 ? core::DegradationStep::kReducedK
+                                       : core::DegradationStep::kOutage);
+        } else {
+          ++stats_.untouched;
+        }
+      }
+      break;
+    }
+
+    case EventType::kEdgeRecover: {
+      KRSP_CHECK(live_.graph.is_edge(event.edge));
+      if (failed_.erase(event.edge) > 0) ++stats_.recoveries;
+      // Recovery restores the nominal link, including its base delay. The
+      // edge may be a live-but-degraded link (a "recover" on an edge that
+      // never failed), so re-measure the served set.
+      live_.graph.set_edge_delay(event.edge,
+                                 base_.graph.edge(event.edge).delay);
+      served_cost_ = served_.total_cost(live_.graph);
+      served_delay_ = served_.total_delay(live_.graph);
+      if (served_.size() > 0 && served_delay_ > delay_cap_) {
+        // Restoring the nominal delay pushed the served set over the cap
+        // (possible when a degradation had *lowered* the delay).
+        if (!try_reprovision(deadline, /*always=*/true, outcome)) {
+          shed_slowest_until_feasible();
+          outcome.degradation =
+              worse(outcome.degradation,
+                    served_.size() > 0 ? core::DegradationStep::kReducedK
+                                       : core::DegradationStep::kOutage);
+        }
+      } else {
+        // Opportunistic re-optimization: mandatory climb-back when below
+        // full service, adopt-if-cheaper otherwise.
+        try_reprovision(deadline, /*always=*/served_.size() < live_.k,
+                        outcome);
+      }
+      break;
+    }
+
+    case EventType::kDelayDegrade: {
+      KRSP_CHECK(live_.graph.is_edge(event.edge));
+      KRSP_CHECK_MSG(event.new_delay >= 0,
+                     "delay degradation to " << event.new_delay);
+      ++stats_.delay_changes;
+      live_.graph.set_edge_delay(event.edge, event.new_delay);
+      // Re-measure the served set under the live delays.
+      served_cost_ = served_.total_cost(live_.graph);
+      served_delay_ = served_.total_delay(live_.graph);
+      if (served_.size() > 0 && served_delay_ > delay_cap_) {
+        // Served set no longer fits the bound: re-provision, else shed the
+        // slowest paths until it does.
+        if (!try_reprovision(deadline, /*always=*/true, outcome)) {
+          shed_slowest_until_feasible();
+          outcome.degradation =
+              worse(outcome.degradation,
+                    served_.size() > 0 ? core::DegradationStep::kReducedK
+                                       : core::DegradationStep::kOutage);
+        }
+      }
+      break;
+    }
+  }
+
+  ++stats_.audits;
+  audit();
+  if (outcome.degradation != core::DegradationStep::kNone)
+    ++stats_.deadline_degradations;
+  outcome.level = level_;
+  outcome.paths_served = served_.size();
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+core::Instance ResilienceController::degraded_instance() const {
+  core::Instance out;
+  out.graph.resize(live_.graph.num_vertices());
+  for (graph::EdgeId e = 0; e < live_.graph.num_edges(); ++e) {
+    if (failed_.count(e)) continue;
+    const auto& edge = live_.graph.edge(e);
+    out.graph.add_edge(edge.from, edge.to, edge.cost, edge.delay);
+  }
+  out.s = live_.s;
+  out.t = live_.t;
+  out.k = live_.k;
+  out.delay_bound = live_.delay_bound;
+  return out;
+}
+
+void ResilienceController::audit() const {
+  audit_served_paths(live_, served_, failed_, delay_cap_, served_cost_,
+                     served_delay_);
+}
+
+}  // namespace krsp::resilience

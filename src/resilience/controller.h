@@ -1,0 +1,161 @@
+// Long-running control loop over a provisioned kRSP path set.
+//
+// The paper's deployment story (§1, and the journal version's framing of
+// the k disjoint paths as protection paths) needs more than one offline
+// solve: an SDN controller holds the k provisioned paths while the network
+// fails and recovers underneath it, and must keep serving the best valid
+// set it can under a wall-clock budget per event. This class composes the
+// existing building blocks into that loop:
+//
+//  * failures (single edge or a whole SRLG group) run the repair ladder —
+//    core::repair_after_failures (local replacement, then deadline-bounded
+//    full re-solve), then serving the k' < k surviving paths, then a
+//    declared outage;
+//  * recoveries trigger an opportunistic deadline-bounded re-optimization,
+//    adopted when it restores full service or beats the served cost;
+//  * delay degradations update the live edge delays and re-provision (or
+//    shed the slowest paths) when the served set no longer fits the bound;
+//  * after *every* event the controller audits its own state
+//    (resilience/audit.h) and throws util::CheckError on any violation.
+//
+// The controller never blocks unboundedly: every solve and repair it
+// issues shares one util::Deadline derived from
+// options.solver.deadline_seconds, and expiry surfaces as a typed
+// core::DegradationStep in the event outcome, never as a hang or an
+// invalid path set.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/repair.h"
+#include "core/solver.h"
+
+namespace krsp::resilience {
+
+enum class EventType {
+  kEdgeFail,      // single link goes down
+  kEdgeRecover,   // failed link comes back (delay reset to base)
+  kDelayDegrade,  // link stays up but its delay changes
+  kSrlgFail,      // shared-risk link group: several links fail at once
+};
+
+const char* event_type_name(EventType type);
+
+struct NetworkEvent {
+  EventType type = EventType::kEdgeFail;
+  graph::EdgeId edge = graph::kInvalidEdge;  // single-edge events
+  std::vector<graph::EdgeId> group;          // kSrlgFail members
+  graph::Delay new_delay = 0;                // kDelayDegrade
+};
+
+/// What the controller currently delivers, best to worst.
+enum class ServiceLevel {
+  kFull,      // k paths with the solver mode's guarantee
+  kDegraded,  // k valid paths, but via local repair / an anytime solve —
+              // no fresh-solve cost guarantee
+  kReducedK,  // 1 <= k' < k paths
+  kOutage,    // no valid paths
+};
+
+const char* service_level_name(ServiceLevel level);
+
+struct EventOutcome {
+  EventType event = EventType::kEdgeFail;
+  ServiceLevel level = ServiceLevel::kOutage;  // after the event
+  int paths_served = 0;
+  /// Repair ladder result when the failure touched served paths.
+  std::optional<core::RepairOutcome> repair;
+  /// Worst anytime step any solve took while handling this event.
+  core::DegradationStep degradation = core::DegradationStep::kNone;
+  bool reoptimized = false;  // a recovery re-solve was adopted
+  double seconds = 0.0;      // wall time spent handling the event
+};
+
+struct ControllerStats {
+  std::int64_t events = 0;
+  std::int64_t edge_failures = 0;  // edges newly failed (SRLG members count)
+  std::int64_t recoveries = 0;
+  std::int64_t delay_changes = 0;
+  std::int64_t untouched = 0;  // failure events not touching served paths
+  std::int64_t local_repairs = 0;
+  std::int64_t full_resolves = 0;
+  std::int64_t reduced_k_steps = 0;  // events that shed at least one path
+  std::int64_t outages_entered = 0;
+  std::int64_t reopt_attempts = 0;
+  std::int64_t reopt_adopted = 0;
+  std::int64_t deadline_degradations = 0;  // events with a non-kNone step
+  std::int64_t audits = 0;
+};
+
+class ResilienceController {
+ public:
+  /// `base` is the intact network; `options` configures every solve the
+  /// controller issues (mode, ε, and the per-event deadline). The audit
+  /// delay cap follows the mode (see audited_delay_cap).
+  explicit ResilienceController(core::Instance base,
+                                core::SolverOptions options = {});
+
+  /// Initial provisioning solve on the intact network. Must be called
+  /// (and succeed) before apply(). Returns the solve status; on anything
+  /// without paths the controller starts in outage.
+  core::SolveStatus provision();
+
+  /// Absorbs one event: updates the live network state, runs the repair /
+  /// re-optimization ladder, audits, and reports what happened.
+  EventOutcome apply(const NetworkEvent& event);
+
+  [[nodiscard]] const core::PathSet& served() const { return served_; }
+  [[nodiscard]] ServiceLevel level() const { return level_; }
+  [[nodiscard]] int paths_served() const { return served_.size(); }
+  [[nodiscard]] graph::Cost served_cost() const { return served_cost_; }
+  [[nodiscard]] graph::Delay served_delay() const { return served_delay_; }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  /// The intact topology the controller was built with.
+  [[nodiscard]] const core::Instance& base_instance() const { return base_; }
+  /// Base topology with the current (possibly degraded) delays; failed
+  /// edges are tracked separately in failed_edges().
+  [[nodiscard]] const core::Instance& live_instance() const { return live_; }
+  [[nodiscard]] const std::unordered_set<graph::EdgeId>& failed_edges() const {
+    return failed_;
+  }
+
+  /// Live instance with the failed edges removed (fresh-solve comparisons;
+  /// edge ids are NOT preserved — use only for cost/feasibility oracles).
+  [[nodiscard]] core::Instance degraded_instance() const;
+
+  /// Re-runs the full invariant audit; throws util::CheckError on any
+  /// violation. Called internally after every event.
+  void audit() const;
+
+ private:
+  void adopt(core::PathSet paths, ServiceLevel level);
+  void enter_outage();
+  /// Drops served paths that use a failed edge; returns how many dropped.
+  int shed_broken_paths();
+  /// Drops the slowest served paths until the delay cap is met again.
+  void shed_slowest_until_feasible();
+  /// Deadline-bounded fresh solve on the degraded network; adopts the
+  /// result when `always` or when it beats the served state. With `always`
+  /// it also retries at smaller k' (down to whatever improves on the
+  /// current state) so climb-back from outage can be partial. Returns
+  /// whether anything was adopted.
+  bool try_reprovision(const util::Deadline& deadline, bool always,
+                       EventOutcome& outcome);
+
+  core::Instance base_;
+  core::Instance live_;  // base topology, current delays
+  core::SolverOptions options_;
+  graph::Delay delay_cap_ = 0;
+
+  core::PathSet served_;
+  graph::Cost served_cost_ = 0;
+  graph::Delay served_delay_ = 0;
+  ServiceLevel level_ = ServiceLevel::kOutage;
+  std::unordered_set<graph::EdgeId> failed_;
+  ControllerStats stats_;
+};
+
+}  // namespace krsp::resilience

@@ -23,6 +23,7 @@ void NetworkSimulator::add_flow(FlowSpec spec) {
   report.name = spec.name;
   specs_.push_back(std::move(spec));
   reports_.push_back(std::move(report));
+  last_latency_.push_back(-1.0);
 }
 
 void NetworkSimulator::inject(int flow_index, Time at) {
@@ -71,9 +72,9 @@ void NetworkSimulator::arrive_at_link(Packet packet, Time at) {
       report.latency.add(latency);
       // FIFO links + fixed routes preserve per-flow ordering, so
       // consecutive deliveries are consecutive packets.
-      if (report.last_latency >= 0.0)
-        report.jitter.add(std::abs(latency - report.last_latency));
-      report.last_latency = latency;
+      if (last_latency_[next.flow] >= 0.0)
+        report.jitter.add(std::abs(latency - last_latency_[next.flow]));
+      last_latency_[next.flow] = latency;
     });
   } else {
     queue_.schedule(arrival,

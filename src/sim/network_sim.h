@@ -54,7 +54,6 @@ struct FlowReport {
   /// consecutively delivered packets — the jitter the paper's abstract
   /// lists among the QoS requirements.
   util::Stats jitter;
-  double last_latency = -1.0;  // internal: previous delivered latency
 };
 
 struct LinkReport {
@@ -105,6 +104,9 @@ class NetworkSimulator {
   EventQueue queue_;
   std::vector<FlowSpec> specs_;
   std::vector<FlowReport> reports_;
+  /// Previous delivered latency per flow (-1 before the first delivery);
+  /// jitter bookkeeping that has no business in the public report.
+  std::vector<double> last_latency_;
   std::vector<Link> links_;
 };
 

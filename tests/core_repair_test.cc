@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "graph/generators.h"
+#include "resilience/audit.h"
 #include "util/rng.h"
 
 namespace krsp::core {
@@ -83,6 +86,61 @@ TEST(Repair, FullResolveWhenLocalBudgetInsufficient) {
   // no other route — falls back to full resolve which needs two routes
   // from {B, C} minus A: B+C delay 12 > 11 -> infeasible.
   EXPECT_EQ(r.outcome, RepairOutcome::kInfeasible);
+}
+
+// Cumulative failure sequence followed by recoveries: each step passes the
+// *whole* outstanding failure set, and the repaired state is audited with
+// the resilience invariant checker after every transition.
+TEST(Repair, CumulativeFailuresThenRecoveries) {
+  const auto inst = triple_route();
+  const auto audit = [&](const PathSet& served,
+                         const std::unordered_set<graph::EdgeId>& failed) {
+    const auto report = resilience::audit_served_paths(
+        inst, served, failed, inst.delay_bound,
+        served.total_cost(inst.graph), served.total_delay(inst.graph));
+    return report.paths_served;
+  };
+
+  PathSet served({{0, 1}, {2, 3}});  // A + B, cost 6
+  std::unordered_set<graph::EdgeId> failed;
+  EXPECT_EQ(audit(served, failed), 2);
+
+  // Failure 1: e0 (A). Local repair swaps in C.
+  failed.insert(0);
+  std::vector<graph::EdgeId> cumulative(failed.begin(), failed.end());
+  auto r = repair_after_failures(inst, served, cumulative, {});
+  ASSERT_EQ(r.outcome, RepairOutcome::kLocalRepair);
+  EXPECT_EQ(r.cost, 14);  // B + C
+  served = r.paths;
+  EXPECT_EQ(audit(served, failed), 2);
+
+  // Failure 2: e3 (B). Only route C is intact — no 2-path repair exists.
+  failed.insert(3);
+  cumulative.assign(failed.begin(), failed.end());
+  r = repair_after_failures(inst, served, cumulative, {});
+  EXPECT_EQ(r.outcome, RepairOutcome::kInfeasible);
+  // A controller sheds the broken path and serves the survivor; that
+  // reduced state still passes the audit.
+  const PathSet survivor({{4, 5}});
+  EXPECT_EQ(audit(survivor, failed), 1);
+
+  // Recovery 1: e0 returns. Repairing the pre-shed set against the smaller
+  // outstanding failure set brings service back to k paths via route A.
+  failed.erase(0);
+  cumulative.assign(failed.begin(), failed.end());
+  r = repair_after_failures(inst, served, cumulative, {});
+  ASSERT_EQ(r.outcome, RepairOutcome::kLocalRepair);
+  EXPECT_EQ(r.cost, 12);  // A + C
+  served = r.paths;
+  EXPECT_EQ(audit(served, failed), 2);
+
+  // Recovery 2: e3 returns. Nothing served is broken anymore.
+  failed.erase(3);
+  cumulative.clear();
+  r = repair_after_failures(inst, served, cumulative, {});
+  EXPECT_EQ(r.outcome, RepairOutcome::kUntouched);
+  EXPECT_EQ(r.cost, 12);
+  EXPECT_EQ(audit(r.paths, failed), 2);
 }
 
 // Property: repair outcomes are always verified-feasible and never worse

@@ -59,7 +59,9 @@ TEST(Rational, PropertyFieldLaws) {
     EXPECT_EQ((a + b) + c, a + (b + c));
     EXPECT_EQ(a * (b + c), a * b + a * c);
     EXPECT_EQ(a - a, Rational(0));
-    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
   }
 }
 
@@ -70,8 +72,12 @@ TEST(Rational, PropertyOrderMatchesDouble) {
   for (int i = 0; i < 2000; ++i) {
     const Rational a(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 999));
     const Rational b(rng.uniform_int(-1000, 1000), rng.uniform_int(1, 999));
-    if (a.to_double() < b.to_double() - 1e-9) EXPECT_LT(a, b);
-    if (a.to_double() > b.to_double() + 1e-9) EXPECT_GT(a, b);
+    if (a.to_double() < b.to_double() - 1e-9) {
+      EXPECT_LT(a, b);
+    }
+    if (a.to_double() > b.to_double() + 1e-9) {
+      EXPECT_GT(a, b);
+    }
   }
 }
 
