@@ -11,8 +11,7 @@
 //   $ ./qos_planner [--n=24] [--k=2] [--seed=21]
 #include <iostream>
 
-#include "core/kbcp.h"
-#include "core/vertex_disjoint.h"
+#include "api/krsp.h"
 #include "graph/generators.h"
 #include "paths/pareto.h"
 #include "util/cli.h"
@@ -30,7 +29,7 @@ int main(int argc, char** argv) {
   params.beta = 0.8;
   params.delay_scale = 30;
   params.cost_max = 15;
-  core::Instance inst;
+  api::Instance inst;
   inst.graph = gen::waxman(rng, n, params);
   inst.s = 0;
   inst.t = static_cast<graph::VertexId>(n - 1);
@@ -53,7 +52,7 @@ int main(int argc, char** argv) {
   tf.print();
 
   // 2. kRSP at a mid-frontier budget: edge- vs vertex-disjoint.
-  const auto min_delay = core::min_possible_delay(inst);
+  const auto min_delay = api::min_possible_delay(inst);
   if (!min_delay) {
     std::cout << "\nfewer than " << k << " disjoint paths exist; stopping\n";
     return 0;
@@ -62,13 +61,15 @@ int main(int argc, char** argv) {
   std::cout << "\n2. " << k << " disjoint paths, total delay budget "
             << inst.delay_bound << ":\n";
   util::Table tk({"disjointness", "status", "total cost", "total delay"});
-  const auto edge_sol = core::KrspSolver().solve(inst);
+  api::SolveRequest request;
+  request.instance = inst;
+  const auto edge_sol = api::Solver::solve(request);
   tk.row()
       .cell("edge (link failures)")
       .cell(edge_sol.has_paths() ? "ok" : "infeasible")
       .cell(edge_sol.has_paths() ? std::to_string(edge_sol.cost) : "-")
       .cell(edge_sol.has_paths() ? std::to_string(edge_sol.delay) : "-");
-  const auto vertex_sol = core::solve_vertex_disjoint(inst);
+  const auto vertex_sol = api::solve_vertex_disjoint(inst);
   tk.row()
       .cell("vertex (router failures)")
       .cell(vertex_sol.has_paths() ? "ok" : "infeasible")
@@ -83,20 +84,20 @@ int main(int argc, char** argv) {
   util::Table tb({"cost budget", "verdict", "cost (factor)",
                   "delay (factor)"});
   for (const auto frac : {50, 80, 100, 150}) {
-    core::KbcpInstance kbcp;
+    api::KbcpInstance kbcp;
     kbcp.graph = inst.graph;
     kbcp.s = inst.s;
     kbcp.t = inst.t;
     kbcp.k = inst.k;
     kbcp.delay_bound = inst.delay_bound;
     kbcp.cost_bound = edge_sol.cost * frac / 100;
-    const auto r = core::solve_kbcp(kbcp);
+    const auto r = api::solve_kbcp(kbcp);
     std::string verdict;
     switch (r.status) {
-      case core::KbcpStatus::kFeasible:
+      case api::KbcpStatus::kFeasible:
         verdict = "both budgets met";
         break;
-      case core::KbcpStatus::kViolates:
+      case api::KbcpStatus::kViolates:
         verdict = "violates (best effort)";
         break;
       default:

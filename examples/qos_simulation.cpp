@@ -13,8 +13,7 @@
 #include <iostream>
 
 #include "baselines/flow_only.h"
-#include "core/priority_routing.h"
-#include "core/solver.h"
+#include "api/krsp.h"
 #include "graph/generators.h"
 #include "sim/network_sim.h"
 #include "util/cli.h"
@@ -30,8 +29,8 @@ struct ClassSpec {
   bool poisson;
 };
 
-void simulate_and_report(const char* title, const core::Instance& inst,
-                         const core::PathSet& paths, sim::Time horizon) {
+void simulate_and_report(const char* title, const api::Instance& inst,
+                         const api::PathSet& paths, sim::Time horizon) {
   // Per-class SLA: per-path share of the budget, doubled down the ladder.
   // SLAs: a per-path share of the static budget plus a forwarding
   // allowance (serialization costs ~1 tick per hop beyond the propagation
@@ -40,13 +39,13 @@ void simulate_and_report(const char* title, const core::Instance& inst,
       static_cast<graph::Delay>(inst.graph.num_vertices() / 2);
   const graph::Delay base_sla =
       inst.delay_bound / std::max(1, static_cast<int>(paths.paths().size()));
-  std::vector<core::TrafficClass> classes = {
+  std::vector<api::TrafficClass> classes = {
       {"voice", base_sla + forwarding_allowance},
       {"video", base_sla * 2 + forwarding_allowance},
       {"bulk", inst.delay_bound + forwarding_allowance},
   };
   classes.resize(std::min(classes.size(), paths.paths().size()));
-  const auto assignment = core::assign_by_urgency(inst.graph, paths, classes);
+  const auto assignment = api::assign_by_urgency(inst.graph, paths, classes);
 
   const ClassSpec traffic[] = {
       {"voice", 8.0, false},   // steady CBR
@@ -100,10 +99,10 @@ int main(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 29)));
   cli.reject_unknown();
 
-  core::RandomInstanceOptions opt;
+  api::RandomInstanceOptions opt;
   opt.k = 3;
   opt.delay_slack = 0.15;
-  const auto inst = core::make_random_instance(rng, opt, [&](util::Rng& r) {
+  const auto inst = api::make_random_instance(rng, opt, [&](util::Rng& r) {
     gen::WaxmanParams p;
     p.beta = 0.8;
     p.delay_scale = 25;
@@ -115,7 +114,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "instance: " << inst->summary() << "\n";
 
-  const auto krsp_solution = core::KrspSolver().solve(*inst);
+  api::SolveRequest request;
+  request.instance = *inst;
+  const auto krsp_solution = api::Solver::solve(request);
   if (!krsp_solution.has_paths()) {
     std::cout << "kRSP provisioning failed\n";
     return 1;

@@ -3,11 +3,11 @@
 //   $ ./quickstart
 //
 // Walks through the whole public API surface in ~60 lines: Digraph
-// construction, Instance setup, KrspSolver modes, and Solution/telemetry
-// inspection.
+// construction, SolveRequest setup via the krsp::api facade, and
+// SolveResult/telemetry inspection.
 #include <iostream>
 
-#include "core/solver.h"
+#include "api/krsp.h"
 
 int main() {
   using namespace krsp;
@@ -30,45 +30,44 @@ int main() {
   g.add_edge(1, 3, 1, 1);   // cross links give the solver room to rewire
   g.add_edge(2, 3, 1, 1);
 
-  core::Instance instance;
-  instance.graph = std::move(g);
-  instance.s = 0;
-  instance.t = 5;
-  instance.k = 2;              // two edge-disjoint paths
-  instance.delay_bound = 14;   // total delay budget over both paths
+  // A request bundles the instance with every knob that affects the answer.
+  // The default mode is the polynomial (1+eps, 2+eps) mode of Theorem 4.
+  api::SolveRequest request;
+  request.instance.graph = std::move(g);
+  request.instance.s = 0;
+  request.instance.t = 5;
+  request.instance.k = 2;             // two edge-disjoint paths
+  request.instance.delay_bound = 14;  // total delay budget over both paths
+  request.mode = api::Mode::kScaled;
+  request.eps1 = request.eps2 = 0.25;
 
-  std::cout << "instance: " << instance.summary() << "\n";
+  std::cout << "instance: " << request.instance.summary() << "\n";
 
-  // The default solver is the polynomial (1+eps, 2+eps) mode of Theorem 4.
-  core::SolverOptions options;
-  options.mode = core::SolverOptions::Mode::kScaled;
-  options.eps1 = options.eps2 = 0.25;
-  const core::KrspSolver solver(options);
-
-  const core::Solution solution = solver.solve(instance);
-  switch (solution.status) {
-    case core::SolveStatus::kOptimal:
+  const api::SolveResult result = api::Solver::solve(request);
+  switch (result.status) {
+    case api::SolveStatus::kOptimal:
       std::cout << "solved to proven optimality\n";
       break;
-    case core::SolveStatus::kApprox:
+    case api::SolveStatus::kApprox:
       std::cout << "solved within the (1+eps, 2+eps) guarantee\n";
       break;
-    case core::SolveStatus::kInfeasible:
+    case api::SolveStatus::kInfeasible:
       std::cout << "no k disjoint paths meet the delay bound\n";
       return 1;
-    case core::SolveStatus::kNoKDisjointPaths:
+    case api::SolveStatus::kNoKDisjointPaths:
       std::cout << "the graph has fewer than k disjoint s-t paths\n";
       return 1;
     default:
-      std::cout << "solver failed\n";
+      std::cout << "solver failed: " << result.error << "\n";
       return 1;
   }
 
-  std::cout << "total cost  = " << solution.cost << "\n"
-            << "total delay = " << solution.delay << " (budget "
+  const auto& instance = request.instance;
+  std::cout << "total cost  = " << result.cost << "\n"
+            << "total delay = " << result.delay << " (budget "
             << instance.delay_bound << ")\n";
-  for (std::size_t i = 0; i < solution.paths.paths().size(); ++i) {
-    const auto& path = solution.paths.paths()[i];
+  for (std::size_t i = 0; i < result.paths.paths().size(); ++i) {
+    const auto& path = result.paths.paths()[i];
     std::cout << "path " << i + 1 << ":";
     graph::VertexId at = instance.s;
     std::cout << " " << at;
@@ -82,10 +81,10 @@ int main() {
   }
 
   std::cout << "\ntelemetry: phase-1 min-cost-flow calls = "
-            << solution.telemetry.phase1_mcmf_calls
+            << result.telemetry.phase1_mcmf_calls
             << ", cancellation iterations = "
-            << solution.telemetry.cancel.iterations
+            << result.telemetry.cancel.iterations
             << ", certified cost lower bound = "
-            << solution.telemetry.cost_lower_bound.to_double() << "\n";
+            << result.telemetry.cost_lower_bound.to_double() << "\n";
   return 0;
 }

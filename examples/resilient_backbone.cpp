@@ -10,8 +10,7 @@
 #include <iostream>
 #include <unordered_set>
 
-#include "core/repair.h"
-#include "core/solver.h"
+#include "api/krsp.h"
 #include "graph/generators.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -26,14 +25,14 @@ int main(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 17)));
   cli.reject_unknown();
 
-  core::Instance inst;
+  api::Instance inst;
   inst.graph = gen::grid(rng, width, height);
   // Corner vertices only have degree 2; pick mid-edge sites so k = 3
   // disjoint paths exist.
   inst.s = static_cast<graph::VertexId>((height / 2) * width);
   inst.t = static_cast<graph::VertexId>((height / 2) * width + width - 1);
   inst.k = 3;
-  const auto min_delay = core::min_possible_delay(inst);
+  const auto min_delay = api::min_possible_delay(inst);
   KRSP_CHECK(min_delay.has_value());
   inst.delay_bound = *min_delay * 3 / 2;
 
@@ -41,7 +40,9 @@ int main(int argc, char** argv) {
             << " grid, k = " << inst.k << ", delay budget "
             << inst.delay_bound << "\n\n";
 
-  const auto provisioned = core::KrspSolver().solve(inst);
+  api::SolveRequest request;
+  request.instance = inst;
+  const auto provisioned = api::Solver::solve(request);
   KRSP_CHECK(provisioned.has_paths());
   std::cout << "provisioned " << inst.k << " disjoint paths: cost "
             << provisioned.cost << ", delay " << provisioned.delay << "\n\n";
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
   std::unordered_set<graph::EdgeId> failed_set;
   int still_up = static_cast<int>(provisioned.paths.paths().size());
   std::unordered_set<int> dead_paths;
-  core::PathSet active = provisioned.paths;  // the installed paths
+  api::PathSet active = provisioned.paths;  // the installed paths
   bool carrying = true;
   for (int f = 1; f <= failures; ++f) {
     // Fail a random not-yet-failed edge.
@@ -79,18 +80,18 @@ int main(int argc, char** argv) {
     std::string status = "network down";
     std::string cost_cell = "-";
     if (carrying) {
-      const auto repair = core::repair_after_failures(inst, active, failed);
+      const auto repair = api::repair_after_failures(inst, active, failed);
       switch (repair.outcome) {
-        case core::RepairOutcome::kUntouched:
+        case api::RepairOutcome::kUntouched:
           status = "untouched";
           break;
-        case core::RepairOutcome::kLocalRepair:
+        case api::RepairOutcome::kLocalRepair:
           status = "local repair (1 path swapped)";
           break;
-        case core::RepairOutcome::kFullResolve:
+        case api::RepairOutcome::kFullResolve:
           status = "full re-provision";
           break;
-        case core::RepairOutcome::kInfeasible:
+        case api::RepairOutcome::kInfeasible:
           status = "infeasible at SLA";
           carrying = false;
           break;

@@ -11,8 +11,7 @@
 #include <iostream>
 
 #include "baselines/larac_k.h"
-#include "core/priority_routing.h"
-#include "core/solver.h"
+#include "api/krsp.h"
 #include "graph/generators.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -30,7 +29,8 @@ int main(int argc, char** argv) {
   params.core_size = 10;
   params.region_count = 5;
   params.region_size = 4;
-  core::Instance instance;
+  api::SolveRequest request;
+  api::Instance& instance = request.instance;
   instance.graph = gen::isp_like(rng, params);
   instance.s = params.core_size;  // a host in region 0
   instance.t =
@@ -39,12 +39,12 @@ int main(int argc, char** argv) {
 
   // Regions are dual-homed, so a region host supports at most 2 disjoint
   // paths; a real controller degrades the request rather than failing.
-  auto min_delay = core::min_possible_delay(instance);
+  auto min_delay = api::min_possible_delay(instance);
   while (!min_delay && instance.k > 1) {
     std::cout << "(k = " << instance.k
               << " unsupported between these sites; degrading)\n";
     --instance.k;
-    min_delay = core::min_possible_delay(instance);
+    min_delay = api::min_possible_delay(instance);
   }
   if (!min_delay) {
     std::cout << "sites are not connected\n";
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
             << instance.delay_bound << " (tightest possible " << *min_delay
             << ")\n\n";
 
-  const auto solution = core::KrspSolver().solve(instance);
+  const auto solution = api::Solver::solve(request);
   if (!solution.has_paths()) {
     std::cout << "provisioning failed (status "
               << static_cast<int>(solution.status) << ")\n";
@@ -71,14 +71,14 @@ int main(int argc, char** argv) {
   // Install paths and map traffic classes onto them by urgency — the
   // deployment step the paper uses to justify the total-delay relaxation
   // (core/priority_routing.h).
-  std::vector<core::TrafficClass> classes = {
+  std::vector<api::TrafficClass> classes = {
       {"urgent (voice)", instance.delay_bound / instance.k},
       {"interactive (video)", instance.delay_bound * 2 / instance.k},
       {"bulk (backup)", instance.delay_bound},
   };
   classes.resize(std::min<std::size_t>(classes.size(), solution.paths.paths().size()));
   const auto report =
-      core::assign_by_urgency(instance.graph, solution.paths, classes);
+      api::assign_by_urgency(instance.graph, solution.paths, classes);
 
   util::Table table({"priority class", "SLA (per-path delay)",
                      "path (vertices)", "cost", "delay", "SLA met"});

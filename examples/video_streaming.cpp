@@ -4,12 +4,14 @@
 // A streaming source needs aggregate bandwidth that no single path
 // provides, so the stream is striped over k disjoint paths on a Waxman
 // random geometric network (delay = propagation distance). The example
-// sweeps k and shows the cost/delay frontier the operator chooses from.
+// builds one SolveRequest per stripe count and solves them as a single
+// batch on the concurrent engine, then shows the cost/delay frontier the
+// operator chooses from.
 //
 //   $ ./video_streaming [--n=40] [--seed=13]
 #include <iostream>
 
-#include "core/solver.h"
+#include "api/krsp.h"
 #include "flow/dinic.h"
 #include "graph/generators.h"
 #include "util/cli.h"
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
   params.beta = 0.7;
   params.delay_scale = 50;
   params.cost_max = 10;
-  core::Instance base;
+  api::Instance base;
   base.graph = gen::waxman(rng, n, params);
   base.s = 0;
   base.t = static_cast<graph::VertexId>(n - 1);
@@ -38,33 +40,44 @@ int main(int argc, char** argv) {
             << " disjoint paths\n\n";
   if (max_k < 1) return 1;
 
+  // One request per stripe count; the whole sweep is a single batch.
+  std::vector<api::SolveRequest> sweep;
+  for (int k = 1; k <= std::min(max_k, 4); ++k) {
+    api::SolveRequest req;
+    req.instance = base;
+    req.instance.k = k;
+    const auto min_delay = api::min_possible_delay(req.instance);
+    if (!min_delay) continue;
+    req.instance.delay_bound = *min_delay * 4 / 3;
+    req.tag = std::to_string(k);
+    sweep.push_back(std::move(req));
+  }
+  api::Engine engine;
+  const auto results = engine.solve_batch(sweep);
+
   // Per-path stream chunk needs ~2.5 Mbps; sweep how many stripes we buy.
   util::Table table({"k (stripes)", "aggregate bandwidth", "delay budget",
                      "status", "total cost", "total delay",
                      "worst path delay"});
-  for (int k = 1; k <= std::min(max_k, 4); ++k) {
-    core::Instance inst = base;
-    inst.k = k;
-    const auto min_delay = core::min_possible_delay(inst);
-    if (!min_delay) continue;
-    inst.delay_bound = *min_delay * 4 / 3;
-
-    const auto s = core::KrspSolver().solve(inst);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& inst = sweep[i].instance;
+    const auto& res = results[i];
+    const int k = inst.k;
     graph::Delay worst = 0;
-    if (s.has_paths())
-      for (const auto& p : s.paths.paths())
+    if (res.has_paths())
+      for (const auto& p : res.paths.paths())
         worst = std::max(worst, graph::path_delay(inst.graph, p));
     table.row()
         .cell(k)
         .cell(std::to_string(k * 25 / 10) + "." + std::to_string(k * 25 % 10) +
               " Mbps")
         .cell(inst.delay_bound)
-        .cell(s.status == core::SolveStatus::kOptimal ? "optimal"
-              : s.has_paths()                         ? "approx"
-                                                      : "infeasible")
-        .cell(s.has_paths() ? std::to_string(s.cost) : "-")
-        .cell(s.has_paths() ? std::to_string(s.delay) : "-")
-        .cell(s.has_paths() ? std::to_string(worst) : "-");
+        .cell(res.status == api::SolveStatus::kOptimal ? "optimal"
+              : res.has_paths()                        ? "approx"
+                                                       : "infeasible")
+        .cell(res.has_paths() ? std::to_string(res.cost) : "-")
+        .cell(res.has_paths() ? std::to_string(res.delay) : "-")
+        .cell(res.has_paths() ? std::to_string(worst) : "-");
   }
   table.print();
   std::cout << "\nHigher k buys bandwidth and resilience at higher total "

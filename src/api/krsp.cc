@@ -1,0 +1,95 @@
+#include "api/krsp.h"
+
+#include "engine/batch_engine.h"
+#include "util/deadline.h"
+
+namespace krsp::api {
+
+core::SolverOptions to_solver_options(const SolveRequest& request) {
+  core::SolverOptions options;
+  switch (request.mode) {
+    case Mode::kScaled:
+      options.mode = core::SolverOptions::Mode::kScaled;
+      break;
+    case Mode::kExactWeights:
+      options.mode = core::SolverOptions::Mode::kExactWeights;
+      break;
+    case Mode::kPhase1Only:
+      options.mode = core::SolverOptions::Mode::kPhase1Only;
+      break;
+  }
+  options.eps1 = request.eps1;
+  options.eps2 = request.eps2;
+  options.guess = request.guess == GuessStrategy::kBinarySearch
+                      ? core::SolverOptions::GuessStrategy::kBinarySearch
+                      : core::SolverOptions::GuessStrategy::kDoubling;
+  options.deadline_seconds = request.deadline_seconds;
+  return options;
+}
+
+const char* status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kApprox:
+      return "approx";
+    case SolveStatus::kApproxDelayOver:
+      return "approx-delay-over";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kNoKDisjointPaths:
+      return "no-k-disjoint-paths";
+    case SolveStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SolveResult solve_request(const SolveRequest& request,
+                          core::SolveWorkspace* ws) {
+  SolveResult out;
+  out.tag = request.tag;
+  try {
+    const core::KrspSolver solver(to_solver_options(request));
+    // The request deadline anchors here — at execution start, not enqueue.
+    const auto deadline =
+        util::Deadline::after_seconds(request.deadline_seconds);
+    core::Solution sol = solver.solve(request.instance, deadline, ws);
+    out.status = sol.status;
+    out.paths = std::move(sol.paths);
+    out.cost = sol.cost;
+    out.delay = sol.delay;
+    out.telemetry = sol.telemetry;
+  } catch (const std::exception& e) {
+    out.status = SolveStatus::kFailed;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+SolveResult Solver::solve(const SolveRequest& request) {
+  return solve_request(request, nullptr);
+}
+
+SolveResult Solver::solve(const SolveRequest& request,
+                          SolveWorkspace& workspace) {
+  return solve_request(request, &workspace);
+}
+
+Engine::Engine(EngineOptions options)
+    : impl_(std::make_unique<engine::BatchEngine>(options)) {}
+
+Engine::~Engine() = default;
+
+int Engine::num_threads() const { return impl_->num_threads(); }
+
+std::vector<SolveResult> Engine::solve_batch(
+    const std::vector<SolveRequest>& requests) {
+  return impl_->solve_batch(requests);
+}
+
+}  // namespace krsp::api

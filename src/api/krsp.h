@@ -1,0 +1,183 @@
+// krsp::api — the stable public facade.
+//
+// This header is the supported entry point to the library: build an
+// Instance, describe the solve as a SolveRequest, and hand it to
+// Solver::solve (one-off) or Engine::solve_batch (throughput). Everything
+// underneath — core::KrspSolver, the phase-1/cancellation internals, the
+// workspace machinery — is implementation detail and may change between
+// releases; this surface will not. docs/API.md documents the full
+// request/result contract, thread-safety guarantees, and the migration
+// table from the legacy core:: call sites.
+//
+// Error contract: solve entry points do not throw for per-request problems.
+// Invalid instances, internal invariant trips, anything that would abort a
+// solve is captured as SolveStatus::kFailed with SolveResult::error set, so
+// one bad request cannot take down a batch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/io.h"
+#include "core/kbcp.h"
+#include "core/path_set.h"
+#include "core/priority_routing.h"
+#include "core/repair.h"
+#include "core/solver.h"
+#include "core/vertex_disjoint.h"
+#include "core/workspace.h"
+
+namespace krsp::engine {
+class BatchEngine;
+}
+
+namespace krsp::api {
+
+// Re-exported problem/solution vocabulary. These are the library's own
+// types; the aliases pin them into the stable namespace.
+using core::DegradationStep;
+using core::Instance;
+using core::PathSet;
+using core::SolveStatus;
+using core::SolveTelemetry;
+using core::SolveWorkspace;
+
+// Instance construction and persistence, so callers never need a core::
+// include next to this header.
+using core::has_k_disjoint_paths;
+using core::make_random_instance;
+using core::min_possible_delay;
+using core::random_er_instance;
+using core::RandomInstanceOptions;
+using core::read_instance;
+using core::read_instance_file;
+using core::write_instance;
+using core::write_instance_file;
+using core::write_paths;
+
+// Scenario extensions that ride on a solved PathSet or reuse the Instance
+// vocabulary: urgency-based traffic assignment, vertex-disjoint and kBCP
+// variants, and incremental repair after link failures. Re-exported so
+// application code needs no core:: include next to this header.
+using core::assign_by_urgency;
+using core::KbcpInstance;
+using core::KbcpStatus;
+using core::repair_after_failures;
+using core::RepairOutcome;
+using core::solve_kbcp;
+using core::solve_vertex_disjoint;
+using core::TrafficClass;
+
+/// Which of the paper's algorithms to run (see README "Solver modes").
+enum class Mode {
+  kScaled,        // Theorem 4: (1+eps1, 2+eps2), polynomial — the default
+  kExactWeights,  // Lemma 3: (1, 2), pseudo-polynomial
+  kPhase1Only,    // Lemma 5: delay/D + cost/C_OPT <= 2, delay may exceed D
+};
+
+/// Ĉ search strategy for the cancellation cost cap.
+enum class GuessStrategy {
+  kBinarySearch,  // certifies the 2·(C_OPT+1) bound
+  kDoubling,      // <= 2× looser cap, fewer cancellation runs
+};
+
+/// One solve, self-contained: the instance plus every knob that affects
+/// the answer. Requests are value types — copy or move them freely; a
+/// batch may repeat the same instance under different parameters.
+struct SolveRequest {
+  Instance instance;
+  Mode mode = Mode::kScaled;
+  double eps1 = 0.25;  // delay slack (Theorem 4; kScaled only)
+  double eps2 = 0.25;  // cost slack (Theorem 4; kScaled only)
+  GuessStrategy guess = GuessStrategy::kBinarySearch;
+  /// Wall-clock budget for this request; <= 0 = unbounded. The clock
+  /// starts when the solve starts *executing* (queueing time in a batch is
+  /// not charged). On expiry the solver returns the best result of the
+  /// anytime degradation ladder; SolveResult::degradation() names the step.
+  double deadline_seconds = 0.0;
+  /// Caller correlation id, echoed verbatim in the result.
+  std::string tag;
+};
+
+struct SolveResult {
+  std::string tag;
+  SolveStatus status = SolveStatus::kFailed;
+  PathSet paths;
+  graph::Cost cost = 0;
+  graph::Delay delay = 0;
+  SolveTelemetry telemetry;
+  /// Diagnostic for status == kFailed (invariant trip, invalid instance).
+  std::string error;
+
+  [[nodiscard]] bool has_paths() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kApprox ||
+           status == SolveStatus::kApproxDelayOver;
+  }
+  /// Which anytime step served this result (kNone = full algorithm).
+  [[nodiscard]] DegradationStep degradation() const {
+    return telemetry.degradation;
+  }
+};
+
+/// Stateless single-solve entry point. Thread-safe: concurrent solve()
+/// calls are independent (hand each thread its own workspace, or none).
+class Solver {
+ public:
+  [[nodiscard]] static SolveResult solve(const SolveRequest& request);
+
+  /// Same, reusing per-thread scratch across calls (identical results,
+  /// fewer allocations — see core/workspace.h).
+  [[nodiscard]] static SolveResult solve(const SolveRequest& request,
+                                         SolveWorkspace& workspace);
+};
+
+struct EngineOptions {
+  /// Worker threads in the pool; 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Keep one SolveWorkspace per worker alive across solves (the intended
+  /// configuration). false = fresh workspace per request; exists as the
+  /// E12 ablation knob and changes no results.
+  bool reuse_workspaces = true;
+};
+
+/// Fixed-size worker pool executing batches of solve requests.
+///
+/// Determinism: each request is solved independently by exactly one worker
+/// using the same serial algorithm regardless of pool size or scheduling,
+/// so for requests without deadlines the batch results are bit-identical
+/// across thread counts (engine_test asserts this at 1/2/8 threads).
+/// Deadline-bounded requests are anytime by design — their degradation
+/// step may legitimately differ run to run.
+///
+/// Thread-safety: solve_batch handles one batch at a time; serialize calls
+/// to the same Engine. Distinct Engine instances are fully independent.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] int num_threads() const;
+
+  /// Solves every request on the worker pool and returns results in
+  /// request order. Blocks until the batch completes; per-request failures
+  /// come back as status kFailed (never an exception).
+  [[nodiscard]] std::vector<SolveResult> solve_batch(
+      const std::vector<SolveRequest>& requests);
+
+ private:
+  std::unique_ptr<engine::BatchEngine> impl_;
+};
+
+/// Lowering of a request onto the internal solver configuration. Exposed
+/// so tools migrating from core:: call sites can verify 1:1 parity.
+[[nodiscard]] core::SolverOptions to_solver_options(
+    const SolveRequest& request);
+
+/// Short stable identifier for a status ("optimal", "approx", ...).
+[[nodiscard]] const char* status_name(SolveStatus status);
+
+}  // namespace krsp::api

@@ -31,17 +31,35 @@ struct StateSpace {
 };
 
 // Per-anchor scratch: the j-edges Bellman–Ford tables over the product
-// states, reused across anchors within one thread.
+// states, reused across anchors within one thread (and, via
+// BicameralWorkspace, across find() calls).
 struct Scratch {
   std::vector<std::vector<std::int64_t>> dist;
   std::vector<std::vector<int>> parent_state;
   std::vector<std::vector<graph::EdgeId>> parent_edge;
+  // Per-anchor working buffers (see scan_anchor), kept here so they reuse
+  // their storage too.
+  std::vector<std::int64_t> best_seen;
+  std::vector<graph::EdgeId> walk;
 
-  void resize(int rounds, int num_states) {
-    dist.assign(rounds + 1, std::vector<std::int64_t>(num_states, kInf));
-    parent_state.assign(rounds + 1, std::vector<int>(num_states, -1));
-    parent_edge.assign(
-        rounds + 1, std::vector<graph::EdgeId>(num_states, graph::kInvalidEdge));
+  int rounds = -1;
+  int num_states = -1;
+
+  /// Ensures the tables cover (rounds, num_states) and clears dist. Parent
+  /// entries are never read unless the matching dist entry was written in
+  /// the current scan, so they need no clearing.
+  void resize(int new_rounds, int new_num_states) {
+    if (new_rounds != rounds || new_num_states != num_states) {
+      dist.assign(new_rounds + 1,
+                  std::vector<std::int64_t>(new_num_states, kInf));
+      parent_state.assign(new_rounds + 1, std::vector<int>(new_num_states, -1));
+      parent_edge.assign(new_rounds + 1, std::vector<graph::EdgeId>(
+                                             new_num_states,
+                                             graph::kInvalidEdge));
+      rounds = new_rounds;
+      num_states = new_num_states;
+    }
+    // Matching dimensions need no work: scan_anchor resets dist per anchor.
   }
 
   void reset() {
@@ -125,11 +143,13 @@ void scan_anchor(const ResidualGraph& residual, const graph::CsrView& csr,
 
   // Best walk delay seen per anchor layer (so each improvement is
   // reconstructed at most once).
-  std::vector<std::int64_t> best_seen(ss.budget + 1, kInf);
+  auto& best_seen = scratch.best_seen;
+  best_seen.assign(ss.budget + 1, kInf);
 
   const auto harvest = [&](int j, graph::Cost l) {
     ++stats.walks;
-    std::vector<graph::EdgeId> walk;
+    auto& walk = scratch.walk;
+    walk.clear();
     int state = ss.state(anchor, l);
     for (int step = j; step > 0; --step) {
       const graph::EdgeId e = scratch.parent_edge[step][state];
@@ -193,6 +213,17 @@ void scan_anchor(const ResidualGraph& residual, const graph::CsrView& csr,
 
 }  // namespace
 
+struct BicameralWorkspace::Impl {
+  Scratch scratch;
+};
+
+BicameralWorkspace::BicameralWorkspace() : impl_(std::make_unique<Impl>()) {}
+BicameralWorkspace::~BicameralWorkspace() = default;
+BicameralWorkspace::BicameralWorkspace(BicameralWorkspace&&) noexcept =
+    default;
+BicameralWorkspace& BicameralWorkspace::operator=(
+    BicameralWorkspace&&) noexcept = default;
+
 std::optional<CycleType> BicameralCycleFinder::classify(
     graph::Cost c, graph::Delay d, graph::Cost cap,
     const util::Rational& ratio, bool enforce_cap) {
@@ -214,7 +245,7 @@ std::optional<CycleType> BicameralCycleFinder::classify(
 
 std::optional<FoundCycle> BicameralCycleFinder::find(
     const ResidualGraph& residual, const BicameralQuery& query,
-    BicameralStats* stats) const {
+    BicameralStats* stats, BicameralWorkspace* ws) const {
   const graph::Digraph& rg = residual.digraph();
   const int n = rg.num_vertices();
   const int rounds =
@@ -240,38 +271,58 @@ std::optional<FoundCycle> BicameralCycleFinder::find(
       const graph::Cost start_layer = sign == 0 ? 0 : budget;
       // Anchors are independent: scan them in parallel with per-thread
       // scratch, then merge per-anchor trackers in anchor order so the
-      // outcome is identical to the serial scan.
-      std::vector<Tracker> per_anchor(n);
-      std::vector<AnchorStats> per_stats(n);
+      // outcome is identical to the serial scan. A caller-supplied
+      // workspace selects the serial scan outright (the batch engine
+      // parallelizes across solves) and keeps the tables alive across
+      // find() calls.
+      if (ws != nullptr) {
+        Scratch& scratch = ws->impl().scratch;
+        scratch.resize(rounds, ss.num_states());
+        for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+          Tracker tracker;
+          AnchorStats anchor_stats;
+          scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
+                      query.enforce_cap, scratch, tracker, anchor_stats);
+          global.merge(std::move(tracker));
+          if (stats != nullptr) {
+            ++stats->anchors_scanned;
+            stats->walks_examined += anchor_stats.walks;
+            stats->cycles_classified += anchor_stats.cycles;
+          }
+        }
+      } else {
+        std::vector<Tracker> per_anchor(n);
+        std::vector<AnchorStats> per_stats(n);
 #ifdef _OPENMP
 #pragma omp parallel if (n >= 16)
-      {
-        Scratch scratch;
-        scratch.resize(rounds, ss.num_states());
+        {
+          Scratch scratch;
+          scratch.resize(rounds, ss.num_states());
 #pragma omp for schedule(dynamic)
-        for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
-          scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
-                      query.enforce_cap, scratch, per_anchor[anchor],
-                      per_stats[anchor]);
+          for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+            scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
+                        query.enforce_cap, scratch, per_anchor[anchor],
+                        per_stats[anchor]);
+          }
         }
-      }
 #else
-      {
-        Scratch scratch;
-        scratch.resize(rounds, ss.num_states());
-        for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
-          scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
-                      query.enforce_cap, scratch, per_anchor[anchor],
-                      per_stats[anchor]);
+        {
+          Scratch scratch;
+          scratch.resize(rounds, ss.num_states());
+          for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+            scan_anchor(residual, csr, ss, anchor, start_layer, rounds, query,
+                        query.enforce_cap, scratch, per_anchor[anchor],
+                        per_stats[anchor]);
+          }
         }
-      }
 #endif
-      for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
-        global.merge(std::move(per_anchor[anchor]));
-        if (stats != nullptr) {
-          ++stats->anchors_scanned;
-          stats->walks_examined += per_stats[anchor].walks;
-          stats->cycles_classified += per_stats[anchor].cycles;
+        for (graph::VertexId anchor = 0; anchor < n; ++anchor) {
+          global.merge(std::move(per_anchor[anchor]));
+          if (stats != nullptr) {
+            ++stats->anchors_scanned;
+            stats->walks_examined += per_stats[anchor].walks;
+            stats->cycles_classified += per_stats[anchor].cycles;
+          }
         }
       }
       if (global.type0) return global.type0;  // free improvement: take it

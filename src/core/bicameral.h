@@ -29,6 +29,7 @@
 // document the discrepancy here and in DESIGN.md.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/residual.h"
@@ -63,6 +64,32 @@ struct BicameralStats {
   std::int64_t budgets_tried = 0;
 };
 
+/// Reusable scratch for BicameralCycleFinder::find: the layered Bellman–
+/// Ford tables over the (vertex, cost-layer) product states, which dominate
+/// the finder's allocations. Handing the same workspace to successive find
+/// calls (the cancellation loop, repeat solves in the batch engine) keeps
+/// the tables' storage alive across calls; dimensions are re-checked and
+/// grown on demand, so any residual graph is safe. A workspace also pins
+/// the scan to the serial anchor order (no OpenMP team) — the batch engine
+/// parallelizes across solves, not inside one, and the serial scan returns
+/// the same cycle as the parallel one by the tracker-merge-order argument
+/// in bicameral.cc. Not thread-safe; use one per thread.
+class BicameralWorkspace {
+ public:
+  BicameralWorkspace();
+  ~BicameralWorkspace();
+  BicameralWorkspace(BicameralWorkspace&&) noexcept;
+  BicameralWorkspace& operator=(BicameralWorkspace&&) noexcept;
+  BicameralWorkspace(const BicameralWorkspace&) = delete;
+  BicameralWorkspace& operator=(const BicameralWorkspace&) = delete;
+
+  struct Impl;  // defined in bicameral.cc
+  [[nodiscard]] Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 class BicameralCycleFinder {
  public:
   struct Options {
@@ -77,10 +104,13 @@ class BicameralCycleFinder {
   explicit BicameralCycleFinder(Options options) : options_(options) {}
 
   /// Finds a bicameral cycle in `residual` per `query`, or nullopt if none
-  /// exists (at any budget up to the cap / total-cost bound).
+  /// exists (at any budget up to the cap / total-cost bound). `ws`
+  /// (optional) reuses the DP tables across calls and selects the serial
+  /// scan — same result, no allocation churn, no nested parallelism under
+  /// the batch engine.
   [[nodiscard]] std::optional<FoundCycle> find(
       const ResidualGraph& residual, const BicameralQuery& query,
-      BicameralStats* stats = nullptr) const;
+      BicameralStats* stats = nullptr, BicameralWorkspace* ws = nullptr) const;
 
   /// Classification per Definition 10 (exposed for tests and the LP
   /// reference finder).

@@ -8,7 +8,8 @@ namespace krsp::core {
 
 CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
                                 graph::Cost cost_guess,
-                                const CycleCancelOptions& options) {
+                                const CycleCancelOptions& options,
+                                BicameralWorkspace* finder_ws) {
   inst.validate();
   std::string why;
   KRSP_CHECK_MSG(start.is_valid(inst, &why), "cancel_cycles start: " << why);
@@ -27,6 +28,9 @@ CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
   }
 
   const BicameralCycleFinder finder(options.finder);
+  // One residual graph rebuilt in place per round: the digraph's adjacency
+  // storage survives across iterations (same shape every time).
+  std::optional<ResidualGraph> residual;
   while (out.delay > inst.delay_bound) {
     if (out.telemetry.iterations >= max_iterations) {
       out.status = CancelStatus::kIterationLimit;
@@ -61,9 +65,13 @@ CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
         out.telemetry.ratio_monotone = false;
     }
 
-    const ResidualGraph residual(inst.graph, out.paths.all_edges());
+    if (!residual) {
+      residual.emplace(inst.graph, out.paths.all_edges());
+    } else {
+      residual->rebuild(out.paths.all_edges());
+    }
     const auto cycle =
-        finder.find(residual, query, &out.telemetry.finder_stats);
+        finder.find(*residual, query, &out.telemetry.finder_stats, finder_ws);
     if (!cycle) {
       out.status = CancelStatus::kNoBicameralCycle;
       return out;
@@ -71,7 +79,7 @@ CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
     ++out.telemetry.type_counts[static_cast<int>(cycle->type)];
     ++out.telemetry.iterations;
 
-    const auto new_edges = residual.apply_cycle(cycle->edges);
+    const auto new_edges = residual->apply_cycle(cycle->edges);
     auto decomposition =
         flow::decompose_unit_flow(inst.graph, new_edges, inst.s, inst.t,
                                   inst.k);

@@ -60,9 +60,12 @@ struct CycleCancelResult {
 /// Runs Algorithm 1 from `start` (k disjoint paths, possibly delay-
 /// infeasible) with cost cap `cost_guess`. On kSuccess the returned paths
 /// satisfy the delay bound and cost <= start-cost-path + Ĉ (Lemma 11 gives
-/// <= 2·Ĉ when start comes from phase 1 and Ĉ >= C_OPT).
+/// <= 2·Ĉ when start comes from phase 1 and Ĉ >= C_OPT). `finder_ws`
+/// (optional) reuses the bicameral finder's DP tables across rounds and
+/// across solves; results are identical with or without it.
 CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
                                 graph::Cost cost_guess,
-                                const CycleCancelOptions& options = {});
+                                const CycleCancelOptions& options = {},
+                                BicameralWorkspace* finder_ws = nullptr);
 
 }  // namespace krsp::core

@@ -20,7 +20,8 @@ struct Candidate {
 }  // namespace
 
 Phase1Result phase1_lagrangian(const Instance& inst,
-                               const util::Deadline& deadline) {
+                               const util::Deadline& deadline,
+                               flow::McfWorkspace* ws) {
   inst.validate();
   Phase1Result out;
 
@@ -28,7 +29,7 @@ Phase1Result phase1_lagrangian(const Instance& inst,
                          std::int64_t w_delay) -> std::optional<Candidate> {
     ++out.mcmf_calls;
     auto f = flow::min_weight_disjoint_paths(inst.graph, inst.s, inst.t,
-                                             inst.k, w_cost, w_delay);
+                                             inst.k, w_cost, w_delay, ws);
     if (!f) return std::nullopt;
     return Candidate{std::move(*f)};
   };

@@ -21,6 +21,10 @@
 #include "util/deadline.h"
 #include "util/rational.h"
 
+namespace krsp::flow {
+class McfWorkspace;
+}
+
 namespace krsp::core {
 
 enum class Phase1Status {
@@ -55,8 +59,11 @@ struct Phase1Result {
 /// An expired `deadline` cuts the LARAC iteration short (see
 /// Phase1Result::deadline_hit); the two bracketing MCMF calls always run,
 /// so feasibility answers (kOptimal/kInfeasible/kNoKDisjointPaths) are
-/// exact regardless of the budget.
+/// exact regardless of the budget. `ws` (optional) reuses one min-cost-flow
+/// network across all LARAC iterations and across solves; results are
+/// identical with or without it.
 Phase1Result phase1_lagrangian(const Instance& inst,
-                               const util::Deadline& deadline = {});
+                               const util::Deadline& deadline = {},
+                               flow::McfWorkspace* ws = nullptr);
 
 }  // namespace krsp::core

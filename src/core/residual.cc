@@ -8,10 +8,20 @@ namespace krsp::core {
 
 ResidualGraph::ResidualGraph(const graph::Digraph& g,
                              const std::vector<graph::EdgeId>& flow_edges)
-    : original_(g), flow_(flow_edges.begin(), flow_edges.end()) {
+    : original_(g) {
+  rebuild(flow_edges);
+}
+
+void ResidualGraph::rebuild(const std::vector<graph::EdgeId>& flow_edges) {
+  const graph::Digraph& g = original_;
+  flow_.clear();
+  flow_.insert(flow_edges.begin(), flow_edges.end());
   KRSP_CHECK_MSG(flow_.size() == flow_edges.size(),
                  "duplicate edges in flow set");
+  residual_.clear_edges();
   residual_.resize(g.num_vertices());
+  tags_.clear();
+  tags_.reserve(g.num_edges());
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& edge = g.edge(e);
     if (flow_.count(e) != 0) {

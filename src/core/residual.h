@@ -26,6 +26,12 @@ class ResidualGraph {
   ResidualGraph(const graph::Digraph& g,
                 const std::vector<graph::EdgeId>& flow_edges);
 
+  /// Rebuilds G̃ in place for a new flow edge set of the same original
+  /// graph, reusing the residual digraph's storage. The cancellation driver
+  /// calls this once per iteration instead of constructing a fresh
+  /// ResidualGraph.
+  void rebuild(const std::vector<graph::EdgeId>& flow_edges);
+
   [[nodiscard]] const graph::Digraph& digraph() const { return residual_; }
 
   /// Original edge behind residual edge `re`.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/scaling.h"
+#include "core/workspace.h"
 #include "util/timer.h"
 
 namespace krsp::core {
@@ -76,18 +77,24 @@ Solution KrspSolver::solve(const Instance& inst) const {
 
 Solution KrspSolver::solve(const Instance& inst,
                            const util::Deadline& deadline) const {
+  return solve(inst, deadline, nullptr);
+}
+
+Solution KrspSolver::solve(const Instance& inst, const util::Deadline& deadline,
+                           SolveWorkspace* ws) const {
   inst.validate();
+  if (ws != nullptr) ++ws->solves_started;
   const util::WallTimer timer;
   Solution s;
   switch (options_.mode) {
     case SolverOptions::Mode::kExactWeights:
-      s = solve_exact_weights(inst, deadline);
+      s = solve_exact_weights(inst, deadline, ws);
       break;
     case SolverOptions::Mode::kScaled:
-      s = solve_scaled(inst, deadline);
+      s = solve_scaled(inst, deadline, ws);
       break;
     case SolverOptions::Mode::kPhase1Only:
-      s = solve_phase1_only(inst, deadline);
+      s = solve_phase1_only(inst, deadline, ws);
       break;
   }
   s.telemetry.wall_seconds = timer.seconds();
@@ -95,8 +102,10 @@ Solution KrspSolver::solve(const Instance& inst,
 }
 
 Solution KrspSolver::solve_phase1_only(const Instance& inst,
-                                       const util::Deadline& deadline) const {
-  const auto p1 = phase1_lagrangian(inst, deadline);
+                                       const util::Deadline& deadline,
+                                       SolveWorkspace* ws) const {
+  const auto p1 =
+      phase1_lagrangian(inst, deadline, ws != nullptr ? &ws->mcmf : nullptr);
   Solution s = from_phase1(p1);
   if (s.status == SolveStatus::kApprox && s.delay > inst.delay_bound)
     s.status = SolveStatus::kApproxDelayOver;
@@ -104,9 +113,11 @@ Solution KrspSolver::solve_phase1_only(const Instance& inst,
 }
 
 Solution KrspSolver::solve_exact_weights(const Instance& inst,
-                                         const util::Deadline& deadline) const {
+                                         const util::Deadline& deadline,
+                                         SolveWorkspace* ws) const {
   const auto p1 = phase1_lagrangian(
-      inst, stage_deadline(deadline, options_.phase1_deadline_fraction));
+      inst, stage_deadline(deadline, options_.phase1_deadline_fraction),
+      ws != nullptr ? &ws->mcmf : nullptr);
   Solution s = from_phase1(p1);
   if (s.status != SolveStatus::kApprox) return s;  // optimal or no solution
   if (s.delay <= inst.delay_bound) return s;       // Lemma 5 already met D
@@ -135,7 +146,8 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst,
       return false;
     }
     ++s.telemetry.guess_attempts;
-    auto r = cancel_cycles(inst, p1.paths, guess, cancel_options);
+    auto r = cancel_cycles(inst, p1.paths, guess, cancel_options,
+                           ws != nullptr ? &ws->finder : nullptr);
     if (r.status == CancelStatus::kDeadlineExpired) deadline_cut = true;
     if (r.status != CancelStatus::kSuccess) return false;
     if (!best_run || guess < best_guess) {
@@ -200,11 +212,13 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst,
 }
 
 Solution KrspSolver::solve_scaled(const Instance& inst,
-                                  const util::Deadline& deadline) const {
+                                  const util::Deadline& deadline,
+                                  SolveWorkspace* ws) const {
   // Phase 1 on the *original* weights settles feasibility questions exactly
   // and provides the Ĉ search range.
   const auto p1 = phase1_lagrangian(
-      inst, stage_deadline(deadline, options_.phase1_deadline_fraction));
+      inst, stage_deadline(deadline, options_.phase1_deadline_fraction),
+      ws != nullptr ? &ws->mcmf : nullptr);
   Solution s = from_phase1(p1);
   if (s.status != SolveStatus::kApprox) return s;
   if (s.delay <= inst.delay_bound) return s;
@@ -242,8 +256,11 @@ Solution KrspSolver::solve_scaled(const Instance& inst,
     ++s.telemetry.guess_attempts;
     const auto scaled = scale_instance(inst, eps1, eps2, guess);
     // The inner solve shares the same absolute deadline, so a slow guess
-    // cannot starve the attempts after it of their own expiry check.
-    Solution inner = inner_solver.solve(scaled.scaled, deadline);
+    // cannot starve the attempts after it of their own expiry check. It
+    // also shares the workspace: the scaled graph differs per guess, but
+    // the workspace re-keys itself by topology, and within one inner solve
+    // the LARAC iterations still hit the cache.
+    Solution inner = inner_solver.solve(scaled.scaled, deadline, ws);
     if (inner.telemetry.deadline_expired) deadline_cut = true;
     if (!inner.has_paths()) return false;
     // Edge ids are shared between the scaled and original graphs.

@@ -99,6 +99,8 @@ struct Solution {
   }
 };
 
+struct SolveWorkspace;
+
 class KrspSolver {
  public:
   explicit KrspSolver(SolverOptions options = {}) : options_(options) {}
@@ -112,15 +114,24 @@ class KrspSolver {
   [[nodiscard]] Solution solve(const Instance& inst,
                                const util::Deadline& deadline) const;
 
+  /// Solve reusing per-thread scratch (core/workspace.h): allocation-free
+  /// hot paths on repeat solves, identical results. `ws` may be nullptr.
+  [[nodiscard]] Solution solve(const Instance& inst,
+                               const util::Deadline& deadline,
+                               SolveWorkspace* ws) const;
+
   [[nodiscard]] const SolverOptions& options() const { return options_; }
 
  private:
-  [[nodiscard]] Solution solve_exact_weights(
-      const Instance& inst, const util::Deadline& deadline) const;
+  [[nodiscard]] Solution solve_exact_weights(const Instance& inst,
+                                             const util::Deadline& deadline,
+                                             SolveWorkspace* ws) const;
   [[nodiscard]] Solution solve_scaled(const Instance& inst,
-                                      const util::Deadline& deadline) const;
-  [[nodiscard]] Solution solve_phase1_only(
-      const Instance& inst, const util::Deadline& deadline) const;
+                                      const util::Deadline& deadline,
+                                      SolveWorkspace* ws) const;
+  [[nodiscard]] Solution solve_phase1_only(const Instance& inst,
+                                           const util::Deadline& deadline,
+                                           SolveWorkspace* ws) const;
 
   SolverOptions options_;
 };

@@ -1,0 +1,84 @@
+#include "engine/batch_engine.h"
+
+#include <algorithm>
+
+namespace krsp::engine {
+
+namespace {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(api::EngineOptions options) : options_(options) {
+  const int n = resolve_thread_count(options_.num_threads);
+  workspaces_.resize(n);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+BatchEngine::~BatchEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::vector<api::SolveResult> BatchEngine::solve_batch(
+    const std::vector<api::SolveRequest>& requests) {
+  std::vector<api::SolveResult> results(requests.size());
+  if (requests.empty()) return results;
+  std::unique_lock<std::mutex> lock(mu_);
+  KRSP_CHECK_MSG(batch_ == nullptr,
+                 "BatchEngine::solve_batch is not reentrant: one batch at a "
+                 "time per engine");
+  batch_ = &requests;
+  results_ = &results;
+  next_ = 0;
+  completed_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return completed_ == requests.size(); });
+  batch_ = nullptr;
+  results_ = nullptr;
+  return results;
+}
+
+void BatchEngine::worker_loop(int worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (batch_ != nullptr && generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+
+    while (batch_ != nullptr && next_ < batch_->size()) {
+      const std::size_t i = next_++;
+      const api::SolveRequest& request = (*batch_)[i];
+      auto* result_slot = &(*results_)[i];
+      lock.unlock();
+      // Solve outside the lock. The slot is exclusively ours (disjoint
+      // indices); publication to the caller happens via the completed_
+      // handshake below.
+      if (options_.reuse_workspaces) {
+        *result_slot = api::Solver::solve(request, workspaces_[worker_index]);
+      } else {
+        core::SolveWorkspace fresh;
+        *result_slot = api::Solver::solve(request, fresh);
+      }
+      lock.lock();
+      if (++completed_ == batch_->size()) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace krsp::engine

@@ -1,0 +1,70 @@
+// Concurrent batch solve engine (implementation behind api::Engine).
+//
+// A fixed-size pool of worker threads drains a batch of SolveRequests from
+// a shared index counter. Each worker owns one core::SolveWorkspace for its
+// whole lifetime, so consecutive solves on a worker reuse the MCMF network,
+// the bicameral DP tables, and the residual-graph storage instead of
+// reallocating them (the workspace-reuse ablation of experiment E12 flips
+// EngineOptions::reuse_workspaces off to measure exactly this effect).
+//
+// Scheduling never affects results: a request is solved by exactly one
+// worker running the same serial algorithm any worker would run, and
+// workspaces rebuild themselves on topology changes, so which worker picks
+// which request is unobservable in the output (engine_test asserts
+// bit-identical batches at 1/2/8 threads). Workers never run OpenMP teams:
+// a workspace pins the bicameral finder to its serial scan, keeping the
+// pool's parallelism strictly across requests.
+//
+// Synchronization: one mutex guards the batch pointer, the claim index,
+// and the completion count; workers park on a condition variable between
+// batches. Result slots are disjoint per request index, and the completion
+// handshake publishes them to the caller (TSan-clean by construction; CI
+// runs the engine tests under -fsanitize=thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/krsp.h"
+#include "core/workspace.h"
+
+namespace krsp::engine {
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(api::EngineOptions options);
+  ~BatchEngine();
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Runs one batch to completion; results in request order. One batch at
+  /// a time per engine (api::Engine documents the contract).
+  [[nodiscard]] std::vector<api::SolveResult> solve_batch(
+      const std::vector<api::SolveRequest>& requests);
+
+ private:
+  void worker_loop(int worker_index);
+
+  const api::EngineOptions options_;
+  std::vector<core::SolveWorkspace> workspaces_;  // one per worker, stable
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a batch / shutdown
+  std::condition_variable done_cv_;  // solve_batch waits for completion
+  const std::vector<api::SolveRequest>* batch_ = nullptr;
+  std::vector<api::SolveResult>* results_ = nullptr;
+  std::size_t next_ = 0;       // next unclaimed request index
+  std::size_t completed_ = 0;  // requests finished in the current batch
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace krsp::engine

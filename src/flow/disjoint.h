@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "flow/min_cost_flow.h"
 #include "graph/digraph.h"
 
 namespace krsp::flow {
@@ -20,9 +21,11 @@ struct DisjointPaths {
 
 /// k edge-disjoint s→t paths minimizing w_cost·Σcost + w_delay·Σdelay, or
 /// nullopt if fewer than k edge-disjoint paths exist. Weights must be
-/// non-negative multipliers.
+/// non-negative multipliers. `ws` (optional) caches the flow network across
+/// calls on the same topology — the LARAC iteration and the batch engine's
+/// repeat solves become allocation-free on the MCMF side.
 std::optional<DisjointPaths> min_weight_disjoint_paths(
     const graph::Digraph& g, graph::VertexId s, graph::VertexId t, int k,
-    std::int64_t w_cost, std::int64_t w_delay);
+    std::int64_t w_cost, std::int64_t w_delay, McfWorkspace* ws = nullptr);
 
 }  // namespace krsp::flow

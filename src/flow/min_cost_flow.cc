@@ -7,8 +7,28 @@
 namespace krsp::flow {
 
 namespace {
+
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// Structural fingerprint of a digraph (FNV-1a over sizes + endpoints).
+/// Weights are excluded on purpose: min_weight_unit_flow re-prices every
+/// arc per call, so only the topology must match for reuse to be sound.
+std::uint64_t topology_fingerprint(const graph::Digraph& g) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(g.num_vertices()));
+  mix(static_cast<std::uint64_t>(g.num_edges()));
+  for (const auto& e : g.edges()) {
+    mix(static_cast<std::uint64_t>(e.from));
+    mix(static_cast<std::uint64_t>(e.to));
+  }
+  return h;
 }
+
+}  // namespace
 
 MinCostFlow::MinCostFlow(int num_vertices)
     : arcs_(num_vertices), first_out_(num_vertices) {
@@ -30,15 +50,38 @@ int MinCostFlow::add_arc(graph::VertexId from, graph::VertexId to,
   return static_cast<int>(handles_.size()) - 1;
 }
 
+void MinCostFlow::reset_flow() {
+  for (std::size_t a = 0; a < handles_.size(); ++a) {
+    const auto& [from, idx] = handles_[a];
+    InternalArc& fwd = arcs_[from][idx];
+    fwd.cap = original_cap_[a];
+    arcs_[fwd.to][fwd.rev].cap = 0;
+  }
+}
+
+void MinCostFlow::set_arc_cost(int arc, std::int64_t cost) {
+  KRSP_CHECK(arc >= 0 && arc < static_cast<int>(handles_.size()));
+  KRSP_CHECK_MSG(cost >= 0, "MinCostFlow requires non-negative arc costs");
+  const auto& [from, idx] = handles_[arc];
+  InternalArc& fwd = arcs_[from][idx];
+  KRSP_CHECK_MSG(fwd.cap == original_cap_[arc],
+                 "set_arc_cost on an arc carrying flow");
+  fwd.cost = cost;
+  arcs_[fwd.to][fwd.rev].cost = -cost;
+}
+
 std::optional<std::int64_t> MinCostFlow::solve(graph::VertexId s,
                                                graph::VertexId t,
                                                std::int64_t amount) {
   KRSP_CHECK(s >= 0 && s < num_vertices() && t >= 0 && t < num_vertices());
   KRSP_CHECK(s != t && amount >= 0);
   const int n = num_vertices();
-  std::vector<std::int64_t> potential(n, 0);
-  std::vector<std::int64_t> dist(n);
-  std::vector<std::pair<graph::VertexId, int>> parent(n);  // (vertex, arc idx)
+  potential_.assign(n, 0);
+  dist_.resize(n);
+  parent_.resize(n);
+  auto& potential = potential_;
+  auto& dist = dist_;
+  auto& parent = parent_;
   std::int64_t remaining = amount;
   std::int64_t total_cost = 0;
 
@@ -104,22 +147,58 @@ std::optional<UnitFlowResult> min_weight_unit_flow(const graph::Digraph& g,
                                                    graph::VertexId s,
                                                    graph::VertexId t, int k,
                                                    std::int64_t w_cost,
-                                                   std::int64_t w_delay) {
+                                                   std::int64_t w_delay,
+                                                   McfWorkspace* ws) {
   KRSP_CHECK(k >= 1);
-  MinCostFlow mcf(g.num_vertices());
-  std::vector<int> handle(g.num_edges());
-  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto& edge = g.edge(e);
-    handle[e] =
-        mcf.add_arc(edge.from, edge.to, 1,
-                    w_cost * edge.cost + w_delay * edge.delay);
+  const auto arc_weight = [&](const graph::Edge& e) {
+    return w_cost * e.cost + w_delay * e.delay;
+  };
+
+  MinCostFlow* mcf = nullptr;
+  const std::vector<int>* handle = nullptr;
+  std::optional<MinCostFlow> local_mcf;
+  std::vector<int> local_handle;
+  if (ws != nullptr) {
+    const std::uint64_t fp = topology_fingerprint(g);
+    if (ws->mcf_ && ws->fingerprint_ == fp &&
+        ws->mcf_->num_vertices() == g.num_vertices() &&
+        static_cast<int>(ws->handles_.size()) == g.num_edges()) {
+      // Same topology as the cached network: drain flow and re-price.
+      ws->mcf_->reset_flow();
+      for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+        ws->mcf_->set_arc_cost(ws->handles_[e], arc_weight(g.edge(e)));
+      ++ws->reuse_hits_;
+    } else {
+      ws->mcf_.emplace(g.num_vertices());
+      ws->handles_.assign(g.num_edges(), 0);
+      for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto& edge = g.edge(e);
+        ws->handles_[e] =
+            ws->mcf_->add_arc(edge.from, edge.to, 1, arc_weight(edge));
+      }
+      ws->fingerprint_ = fp;
+      ++ws->rebuilds_;
+    }
+    mcf = &*ws->mcf_;
+    handle = &ws->handles_;
+  } else {
+    local_mcf.emplace(g.num_vertices());
+    local_handle.resize(g.num_edges());
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& edge = g.edge(e);
+      local_handle[e] =
+          local_mcf->add_arc(edge.from, edge.to, 1, arc_weight(edge));
+    }
+    mcf = &*local_mcf;
+    handle = &local_handle;
   }
-  const auto cost = mcf.solve(s, t, k);
+
+  const auto cost = mcf->solve(s, t, k);
   if (!cost) return std::nullopt;
   UnitFlowResult result;
   result.weight = *cost;
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
-    if (mcf.flow_on(handle[e]) > 0) result.edges.push_back(e);
+    if (mcf->flow_on((*handle)[e]) > 0) result.edges.push_back(e);
   return result;
 }
 

@@ -4,6 +4,12 @@
 // Lagrangian weight q·cost + p·delay are integral and computed exactly in
 // 64-bit integer arithmetic. Arc costs must be non-negative (all phase-1
 // weights are; residual negativity is handled by the potentials).
+//
+// A MinCostFlow instance is reusable: reset_flow() restores all capacities
+// and set_arc_cost() retargets the objective, so a caller that solves the
+// same network repeatedly under different weights (the LARAC iteration, the
+// batch engine's repeat solves) pays for the arc structure once.
+// McfWorkspace packages that reuse pattern for min_weight_unit_flow.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +30,18 @@ class MinCostFlow {
 
   /// Sends exactly `amount` units s→t at minimum cost. Returns the total
   /// cost, or nullopt if the max flow is smaller than `amount`.
-  /// Callable once per instance.
+  /// Call reset_flow() before solving the same network again.
   std::optional<std::int64_t> solve(graph::VertexId s, graph::VertexId t,
                                     std::int64_t amount);
+
+  /// Restores every arc to its original capacity (drains all flow), making
+  /// the instance solvable again without rebuilding the arc structure.
+  void reset_flow();
+
+  /// Re-prices arc `arc` (a handle from add_arc). cost must be >= 0.
+  /// Call only on a drained network (construction time or after
+  /// reset_flow()) so residual reverse arcs never carry stale prices.
+  void set_arc_cost(int arc, std::int64_t cost);
 
   [[nodiscard]] std::int64_t flow_on(int arc) const;
 
@@ -46,6 +61,10 @@ class MinCostFlow {
   std::vector<std::pair<graph::VertexId, int>> handles_;
   std::vector<std::int64_t> original_cap_;
   std::vector<int> first_out_;  // sized to n (bookkeeping only)
+  // Dijkstra scratch reused across solve() calls.
+  std::vector<std::int64_t> potential_;
+  std::vector<std::int64_t> dist_;
+  std::vector<std::pair<graph::VertexId, int>> parent_;
 };
 
 /// Convenience: minimum-(linear weight) k edge-disjoint flow on a Digraph.
@@ -56,10 +75,43 @@ struct UnitFlowResult {
   std::vector<graph::EdgeId> edges;  // edges carrying one unit each
   std::int64_t weight = 0;           // total combined weight
 };
+
+/// Reusable network for min_weight_unit_flow: caches the MinCostFlow arc
+/// structure of the last topology solved, keyed by a structural fingerprint
+/// (vertex/edge counts + endpoints), so repeat solves on the same graph —
+/// different weights, different (s, t, k) — only reset capacities and
+/// re-price arcs instead of reallocating. Safe to hand a different graph:
+/// the fingerprint mismatch triggers a rebuild. Not thread-safe; intended
+/// as per-thread state (core::SolveWorkspace).
+class McfWorkspace {
+ public:
+  /// Number of solves that hit the cached arc structure (telemetry).
+  [[nodiscard]] std::uint64_t reuse_hits() const { return reuse_hits_; }
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  friend std::optional<UnitFlowResult> min_weight_unit_flow(
+      const graph::Digraph& g, graph::VertexId s, graph::VertexId t, int k,
+      std::int64_t w_cost, std::int64_t w_delay, McfWorkspace* ws);
+
+  std::optional<MinCostFlow> mcf_;
+  std::vector<int> handles_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t reuse_hits_ = 0;
+  std::uint64_t rebuilds_ = 0;
+};
+
 std::optional<UnitFlowResult> min_weight_unit_flow(const graph::Digraph& g,
                                                    graph::VertexId s,
                                                    graph::VertexId t, int k,
                                                    std::int64_t w_cost,
-                                                   std::int64_t w_delay);
+                                                   std::int64_t w_delay,
+                                                   McfWorkspace* ws);
+
+inline std::optional<UnitFlowResult> min_weight_unit_flow(
+    const graph::Digraph& g, graph::VertexId s, graph::VertexId t, int k,
+    std::int64_t w_cost, std::int64_t w_delay) {
+  return min_weight_unit_flow(g, s, t, k, w_cost, w_delay, nullptr);
+}
 
 }  // namespace krsp::flow

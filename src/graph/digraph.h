@@ -80,6 +80,16 @@ class Digraph {
     return edges_[e];
   }
 
+  /// Removes every edge but keeps the vertex set and — crucially — the
+  /// allocated adjacency storage, so a graph rebuilt in place with the same
+  /// shape (residual graphs across cancellation iterations) reuses its
+  /// buffers instead of reallocating.
+  void clear_edges() {
+    edges_.clear();
+    for (auto& v : out_) v.clear();
+    for (auto& v : in_) v.clear();
+  }
+
   /// Updates one edge's delay in place (live-network degradation events);
   /// topology and edge ids stay stable so provisioned paths remain
   /// addressable.

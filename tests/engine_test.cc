@@ -1,0 +1,184 @@
+// Concurrency and workspace-reuse guarantees of the batch engine and the
+// krsp::api facade:
+//  * batches are bit-identical across pool sizes (1, 2, 8 threads) and
+//    across the workspace-reuse ablation — scheduling is unobservable;
+//  * a SolveWorkspace reused across 50 randomized instances matches a
+//    fresh solve on every one;
+//  * per-request failures surface as kFailed results, never exceptions,
+//    and never disturb their batch neighbors;
+//  * deadline-bounded requests return structurally valid anytime results.
+#include "api/krsp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace krsp::api {
+namespace {
+
+/// Randomized ER instance with a tight-ish delay bound so a good share of
+/// solves engage the cancellation machinery, not just phase 1.
+Instance random_instance(std::uint64_t seed, int n = 14, int k = 2,
+                         double slack = 0.25) {
+  util::Rng rng(seed);
+  RandomInstanceOptions opt;
+  opt.k = k;
+  opt.delay_slack = slack;
+  const auto inst = random_er_instance(rng, n, 0.35, opt);
+  KRSP_CHECK_MSG(inst.has_value(), "seed " << seed << " drew no instance");
+  return *inst;
+}
+
+std::vector<SolveRequest> mixed_batch(int size) {
+  std::vector<SolveRequest> batch;
+  batch.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    SolveRequest req;
+    req.instance = random_instance(100 + i, 12 + i % 5, 2 + i % 2);
+    req.mode = i % 3 == 0   ? Mode::kExactWeights
+               : i % 3 == 1 ? Mode::kScaled
+                            : Mode::kPhase1Only;
+    req.eps1 = req.eps2 = i % 2 == 0 ? 0.25 : 0.5;
+    req.guess =
+        i % 4 == 0 ? GuessStrategy::kDoubling : GuessStrategy::kBinarySearch;
+    req.tag = "req-" + std::to_string(i);
+    batch.push_back(std::move(req));
+  }
+  return batch;
+}
+
+void expect_identical(const SolveResult& a, const SolveResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.tag, b.tag) << context;
+  EXPECT_EQ(a.status, b.status) << context;
+  EXPECT_EQ(a.cost, b.cost) << context;
+  EXPECT_EQ(a.delay, b.delay) << context;
+  EXPECT_EQ(a.paths.paths(), b.paths.paths()) << context;
+  EXPECT_EQ(a.telemetry.guess_attempts, b.telemetry.guess_attempts) << context;
+  EXPECT_EQ(a.telemetry.phase1_mcmf_calls, b.telemetry.phase1_mcmf_calls)
+      << context;
+  EXPECT_EQ(a.telemetry.cost_guess_used, b.telemetry.cost_guess_used)
+      << context;
+}
+
+TEST(Engine, BatchBitIdenticalAcrossThreadCounts) {
+  const auto batch = mixed_batch(18);
+  std::vector<std::vector<SolveResult>> runs;
+  for (const int threads : {1, 2, 8}) {
+    Engine engine(EngineOptions{.num_threads = threads});
+    ASSERT_EQ(engine.num_threads(), threads);
+    runs.push_back(engine.solve_batch(batch));
+    ASSERT_EQ(runs.back().size(), batch.size());
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r)
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      expect_identical(runs[0][i], runs[r][i],
+                       "run " + std::to_string(r) + " request " +
+                           std::to_string(i));
+  // Sanity: the batch exercised real solves, not a wall of failures.
+  int with_paths = 0;
+  for (const auto& res : runs[0]) with_paths += res.has_paths() ? 1 : 0;
+  EXPECT_GT(with_paths, static_cast<int>(batch.size()) / 2);
+}
+
+TEST(Engine, WorkspaceReuseAblationChangesNothing) {
+  const auto batch = mixed_batch(12);
+  Engine reusing(EngineOptions{.num_threads = 4, .reuse_workspaces = true});
+  Engine fresh(EngineOptions{.num_threads = 4, .reuse_workspaces = false});
+  const auto with_reuse = reusing.solve_batch(batch);
+  const auto without = fresh.solve_batch(batch);
+  ASSERT_EQ(with_reuse.size(), without.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    expect_identical(with_reuse[i], without[i],
+                     "request " + std::to_string(i));
+}
+
+TEST(Engine, ReusedWorkspaceMatchesFreshOn50RandomInstances) {
+  SolveWorkspace reused;
+  int cancellation_engaged = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    SolveRequest req;
+    req.instance = random_instance(3000 + trial, 12 + trial % 7, 2);
+    req.mode = trial % 2 == 0 ? Mode::kExactWeights : Mode::kScaled;
+    req.tag = "trial-" + std::to_string(trial);
+    const auto with_ws = Solver::solve(req, reused);
+    const auto without_ws = Solver::solve(req);
+    expect_identical(with_ws, without_ws, "trial " + std::to_string(trial));
+    if (with_ws.telemetry.cancel.iterations > 0) ++cancellation_engaged;
+  }
+  // The reuse claim is empty if no solve ever touched the finder tables.
+  EXPECT_GT(cancellation_engaged, 0);
+  EXPECT_GT(reused.mcmf.reuse_hits(), 0u);
+  // Scaled-mode requests nest an inner exact-weights solve per cap guess on
+  // the same workspace, so the count is at least one per trial.
+  EXPECT_GE(reused.solves_started, 50u);
+}
+
+TEST(Engine, PerRequestFailureIsIsolated) {
+  auto batch = mixed_batch(4);
+  SolveRequest bad;
+  // s == t violates Instance::validate — must come back kFailed, not throw.
+  bad.instance.graph.resize(2);
+  bad.instance.graph.add_edge(0, 1, 1, 1);
+  bad.instance.s = 0;
+  bad.instance.t = 0;
+  bad.instance.k = 1;
+  bad.instance.delay_bound = 5;
+  bad.tag = "bad";
+  batch.insert(batch.begin() + 2, bad);
+
+  Engine engine(EngineOptions{.num_threads = 2});
+  const auto results = engine.solve_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(results[2].status, SolveStatus::kFailed);
+  EXPECT_EQ(results[2].tag, "bad");
+  EXPECT_FALSE(results[2].error.empty());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_NE(results[i].status, SolveStatus::kFailed) << i;
+    EXPECT_TRUE(results[i].error.empty()) << i;
+  }
+}
+
+TEST(Engine, DeadlineRequestsReturnValidAnytimeResults) {
+  std::vector<SolveRequest> batch;
+  for (int i = 0; i < 6; ++i) {
+    SolveRequest req;
+    req.instance = random_instance(7000 + i, 16, 2, 0.15);
+    req.mode = Mode::kExactWeights;
+    req.deadline_seconds = 1e-6;  // expires essentially immediately
+    req.tag = "deadline-" + std::to_string(i);
+    batch.push_back(std::move(req));
+  }
+  Engine engine(EngineOptions{.num_threads = 2});
+  const auto results = engine.solve_batch(batch);
+  for (const auto& res : results) {
+    ASSERT_NE(res.status, SolveStatus::kFailed) << res.error;
+    if (res.has_paths()) {
+      // Anytime ladder: whatever step served it, the paths are structurally
+      // valid and delay-feasible in exact mode.
+      std::string why;
+      const auto& req = batch[&res - results.data()];
+      EXPECT_TRUE(res.paths.is_valid(req.instance, &why)) << why;
+      EXPECT_LE(res.delay, req.instance.delay_bound);
+    }
+  }
+}
+
+TEST(Engine, EmptyBatchAndRepeatedBatches) {
+  Engine engine(EngineOptions{.num_threads = 3});
+  EXPECT_TRUE(engine.solve_batch({}).empty());
+  const auto batch = mixed_batch(5);
+  const auto first = engine.solve_batch(batch);
+  const auto second = engine.solve_batch(batch);  // pool + workspaces reused
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    expect_identical(first[i], second[i], "repeat " + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace krsp::api

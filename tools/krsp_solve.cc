@@ -1,14 +1,17 @@
-// Command-line kRSP solver: reads an instance file (core/io.h format),
-// solves it with the selected mode, prints a human-readable summary, and
-// optionally writes the path set.
+// Command-line kRSP solver: reads an instance file (api re-export of the
+// core/io.h format), solves it through the krsp::api facade, prints a
+// human-readable summary, and optionally writes the path set.
 //
 //   $ krsp_solve --instance=instance.kri [--mode=scaled|exact|phase1]
-//                [--eps=0.25] [--out=solution.krp] [--verbose]
+//                [--eps1=0.25] [--eps2=0.25] [--deadline=0.5]
+//                [--guess=binary|doubling] [--out=solution.krp] [--verbose]
+//
+// --eps remains as a back-compat alias that sets both eps1 and eps2;
+// explicit --eps1/--eps2 win over it.
 #include <fstream>
 #include <iostream>
 
-#include "core/io.h"
-#include "core/solver.h"
+#include "api/krsp.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -16,59 +19,80 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const std::string path = cli.get_string("instance", "");
   const std::string mode = cli.get_string("mode", "scaled");
-  const double eps = cli.get_double("eps", 0.25);
+  const double eps = cli.get_double("eps", 0.25);  // back-compat alias
+  const double eps1 = cli.get_double("eps1", eps);
+  const double eps2 = cli.get_double("eps2", eps);
+  const double deadline = cli.get_double("deadline", 0.0);
+  const std::string guess = cli.get_string("guess", "binary");
   const std::string out = cli.get_string("out", "");
   const bool verbose = cli.get_bool("verbose", false);
   cli.reject_unknown();
 
   if (path.empty()) {
     std::cerr << "usage: krsp_solve --instance=<file> [--mode=scaled|exact|"
-                 "phase1] [--eps=0.25] [--out=<file>] [--verbose]\n";
+                 "phase1] [--eps1=0.25] [--eps2=0.25] [--eps=0.25] "
+                 "[--deadline=<seconds>] [--guess=binary|doubling] "
+                 "[--out=<file>] [--verbose]\n";
     return 2;
   }
 
-  const auto inst = core::read_instance_file(path);
-  std::cout << "instance: " << inst.summary() << "\n";
+  api::SolveRequest request;
+  request.instance = api::read_instance_file(path);
+  std::cout << "instance: " << request.instance.summary() << "\n";
 
-  core::SolverOptions options;
-  options.eps1 = options.eps2 = eps;
   if (mode == "scaled") {
-    options.mode = core::SolverOptions::Mode::kScaled;
+    request.mode = api::Mode::kScaled;
   } else if (mode == "exact") {
-    options.mode = core::SolverOptions::Mode::kExactWeights;
+    request.mode = api::Mode::kExactWeights;
   } else if (mode == "phase1") {
-    options.mode = core::SolverOptions::Mode::kPhase1Only;
+    request.mode = api::Mode::kPhase1Only;
   } else {
     std::cerr << "unknown --mode: " << mode << "\n";
     return 2;
   }
-
-  const auto s = core::KrspSolver(options).solve(inst);
-  switch (s.status) {
-    case core::SolveStatus::kOptimal:
-      std::cout << "status: optimal\n";
-      break;
-    case core::SolveStatus::kApprox:
-      std::cout << "status: approx (guarantee of mode '" << mode << "')\n";
-      break;
-    case core::SolveStatus::kApproxDelayOver:
-      std::cout << "status: approx, delay over budget (phase-1 mode)\n";
-      break;
-    case core::SolveStatus::kInfeasible:
-      std::cout << "status: infeasible (no k disjoint paths meet D)\n";
-      return 1;
-    case core::SolveStatus::kNoKDisjointPaths:
-      std::cout << "status: fewer than k disjoint s-t paths exist\n";
-      return 1;
-    case core::SolveStatus::kFailed:
-      std::cout << "status: failed\n";
-      return 1;
+  request.eps1 = eps1;
+  request.eps2 = eps2;
+  request.deadline_seconds = deadline;
+  if (guess == "binary") {
+    request.guess = api::GuessStrategy::kBinarySearch;
+  } else if (guess == "doubling") {
+    request.guess = api::GuessStrategy::kDoubling;
+  } else {
+    std::cerr << "unknown --guess: " << guess << "\n";
+    return 2;
   }
 
-  std::cout << "cost: " << s.cost << "\ndelay: " << s.delay << " (budget "
-            << inst.delay_bound << ")\n";
-  for (std::size_t i = 0; i < s.paths.paths().size(); ++i) {
-    const auto& p = s.paths.paths()[i];
+  const auto result = api::Solver::solve(request);
+  switch (result.status) {
+    case api::SolveStatus::kOptimal:
+      std::cout << "status: optimal\n";
+      break;
+    case api::SolveStatus::kApprox:
+      std::cout << "status: approx (guarantee of mode '" << mode << "')\n";
+      break;
+    case api::SolveStatus::kApproxDelayOver:
+      std::cout << "status: approx, delay over budget (phase-1 mode)\n";
+      break;
+    case api::SolveStatus::kInfeasible:
+      std::cout << "status: infeasible (no k disjoint paths meet D)\n";
+      return 1;
+    case api::SolveStatus::kNoKDisjointPaths:
+      std::cout << "status: fewer than k disjoint s-t paths exist\n";
+      return 1;
+    case api::SolveStatus::kFailed:
+      std::cout << "status: failed (" << result.error << ")\n";
+      return 1;
+  }
+  if (result.degradation() != api::DegradationStep::kNone)
+    std::cout << "degradation: "
+              << core::degradation_step_name(result.degradation())
+              << " (deadline " << deadline << "s expired)\n";
+
+  const auto& inst = request.instance;
+  std::cout << "cost: " << result.cost << "\ndelay: " << result.delay
+            << " (budget " << inst.delay_bound << ")\n";
+  for (std::size_t i = 0; i < result.paths.paths().size(); ++i) {
+    const auto& p = result.paths.paths()[i];
     std::cout << "path " << i + 1 << " (cost "
               << graph::path_cost(inst.graph, p) << ", delay "
               << graph::path_delay(inst.graph, p) << "): " << inst.s;
@@ -76,17 +100,17 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
   if (verbose) {
-    std::cout << "telemetry: wall " << s.telemetry.wall_seconds * 1e3
-              << " ms, mcmf calls " << s.telemetry.phase1_mcmf_calls
-              << ", lambda* " << s.telemetry.lambda << ", C_LP "
-              << s.telemetry.cost_lower_bound << ", cap guess "
-              << s.telemetry.cost_guess_used << ", cancellation iters "
-              << s.telemetry.cancel.iterations << "\n";
+    std::cout << "telemetry: wall " << result.telemetry.wall_seconds * 1e3
+              << " ms, mcmf calls " << result.telemetry.phase1_mcmf_calls
+              << ", lambda* " << result.telemetry.lambda << ", C_LP "
+              << result.telemetry.cost_lower_bound << ", cap guess "
+              << result.telemetry.cost_guess_used << ", cancellation iters "
+              << result.telemetry.cancel.iterations << "\n";
   }
   if (!out.empty()) {
     std::ofstream os(out);
     KRSP_CHECK_MSG(os.good(), "cannot open for write: " << out);
-    core::write_paths(os, s.paths);
+    api::write_paths(os, result.paths);
     std::cout << "wrote " << out << "\n";
   }
   return 0;

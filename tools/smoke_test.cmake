@@ -21,3 +21,29 @@ foreach(mode scaled exact phase1)
     message(FATAL_ERROR "unexpected solver output for ${mode}: ${out}")
   endif()
 endforeach()
+
+# Back-compat: --eps must still be accepted, and the split knobs alongside.
+execute_process(
+  COMMAND ${KRSP_SOLVE} --instance=${instance} --eps=0.5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "krsp_solve --eps alias failed (${rc}): ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${KRSP_SOLVE} --instance=${instance} --eps1=0.5 --eps2=0.1
+          --guess=doubling --deadline=30
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "krsp_solve split-eps flags failed (${rc}): ${out}${err}")
+endif()
+
+# Batch engine round trip: same instance, several repeats, two workers.
+execute_process(
+  COMMAND ${KRSP_BATCH} --instances=${instance} --repeat=4 --threads=2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "krsp_batch failed (${rc}): ${out}${err}")
+endif()
+if(NOT out MATCHES "throughput: ")
+  message(FATAL_ERROR "unexpected krsp_batch output: ${out}")
+endif()
