@@ -1,0 +1,246 @@
+// Experiment E13 — bicameral kernel: residual-structure pruning + flat DP
+// tables vs the disable_pruning ablation (full state space, legacy nested
+// tables), measured end-to-end through cancel_cycles on Erdős–Rényi
+// instances. Every timed configuration is checked bit-identical to every
+// other — pruned vs ablation, serial workspace vs the (possibly OpenMP)
+// parallel scan — so the speedup cannot come from changed semantics.
+//
+// Usage: bench_kernel [--n=256] [--instances=4] [--k=3] [--reps=3]
+//                     [--seed=13] [--out=BENCH_kernel.json] [--smoke]
+//
+// --smoke shrinks the suite for CI; scripts/check_bench.py compares the
+// emitted JSON against the committed BENCH_kernel.json baseline and fails
+// on regression. Gate metrics are ratios (speedup, pruned fraction), not
+// absolute times, so the comparison is host-independent.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/krsp.h"
+#include "flow/disjoint.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace krsp;
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  core::Instance instance;
+  core::PathSet start;        // min-cost k disjoint paths (delay-infeasible)
+  graph::Cost guess = 0;      // cost of a delay-feasible alternative (>= C_OPT)
+};
+
+// Builds instances whose min-cost start violates the delay bound, so
+// cancel_cycles has real work, with a cost guess that Lemma 11 guarantees
+// succeeds (the min-delay path set is delay-feasible and costs `guess`).
+std::vector<Workload> build_suite(int instances, int n, int k,
+                                  std::uint64_t seed) {
+  std::vector<Workload> suite;
+  util::Rng rng(seed);
+  int attempts = 0;
+  while (static_cast<int>(suite.size()) < instances && attempts < 200) {
+    ++attempts;
+    core::RandomInstanceOptions io;
+    io.k = k;
+    io.delay_slack = 0.15;
+    auto inst = core::random_er_instance(rng, n, 6.0 / n, io);
+    if (!inst) continue;
+    const auto start = flow::min_weight_disjoint_paths(
+        inst->graph, inst->s, inst->t, inst->k, 1, 0);
+    if (!start) continue;
+    if (start->total_delay <= inst->delay_bound) continue;  // nothing to do
+    const auto feasible = flow::min_weight_disjoint_paths(
+        inst->graph, inst->s, inst->t, inst->k, 0, 1);
+    if (!feasible) continue;
+    Workload w;
+    w.instance = std::move(*inst);
+    w.start = core::PathSet(start->paths);
+    w.guess = core::PathSet(feasible->paths).total_cost(w.instance.graph);
+    suite.push_back(std::move(w));
+  }
+  return suite;
+}
+
+struct ConfigRun {
+  core::CycleCancelResult result;
+  double wall_ms = 0;  // best of reps
+};
+
+ConfigRun run_config(const Workload& w, bool disable_pruning, bool serial_ws,
+                     int reps) {
+  core::CycleCancelOptions opt;
+  opt.finder.disable_pruning = disable_pruning;
+  ConfigRun out;
+  out.wall_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::optional<core::BicameralWorkspace> ws;
+    if (serial_ws) ws.emplace();
+    const auto t0 = Clock::now();
+    auto r = core::cancel_cycles(w.instance, w.start, w.guess, opt,
+                                 ws ? &*ws : nullptr);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    out.wall_ms = std::min(out.wall_ms, ms);
+    out.result = std::move(r);
+  }
+  return out;
+}
+
+bool identical(const core::CycleCancelResult& a,
+               const core::CycleCancelResult& b) {
+  return a.status == b.status && a.cost == b.cost && a.delay == b.delay &&
+         a.paths.paths() == b.paths.paths();
+}
+
+void write_json(const std::string& path, int n, int instances, int k,
+                int reps, std::uint64_t seed, bool smoke, bool all_identical,
+                double pruned_ms, double ablation_ms, double pruned_par_ms,
+                double ablation_par_ms, double pruned_frac,
+                std::int64_t sccs_skipped, std::int64_t pruned_peak_bytes,
+                std::int64_t ablation_peak_bytes) {
+  std::ofstream out(path);
+  const double speedup_serial = ablation_ms / pruned_ms;
+  const double speedup_parallel = ablation_par_ms / pruned_par_ms;
+  out << "{\n";
+  out << "  \"experiment\": \"E13\",\n";
+  out << "  \"config\": {\"n\": " << n << ", \"instances\": " << instances
+      << ", \"k\": " << k << ", \"reps\": " << reps << ", \"seed\": " << seed
+      << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n";
+  out << "  \"identical\": " << (all_identical ? "true" : "false") << ",\n";
+  out << "  \"wall_ms\": {\"pruned_serial\": " << pruned_ms
+      << ", \"ablation_serial\": " << ablation_ms
+      << ", \"pruned_parallel\": " << pruned_par_ms
+      << ", \"ablation_parallel\": " << ablation_par_ms << "},\n";
+  out << "  \"memory\": {\"pruned_peak_dp_bytes\": " << pruned_peak_bytes
+      << ", \"ablation_peak_dp_bytes\": " << ablation_peak_bytes << "},\n";
+  out << "  \"telemetry\": {\"sccs_skipped\": " << sccs_skipped << "},\n";
+  // Gate metrics are host-independent ratios. "min" is an absolute floor
+  // enforced by check_bench.py on top of the 25% relative-regression rule.
+  out << "  \"gate\": {\n";
+  out << "    \"speedup_serial\": {\"value\": " << speedup_serial
+      << ", \"direction\": \"higher\", \"min\": 1.5},\n";
+  out << "    \"speedup_parallel\": {\"value\": " << speedup_parallel
+      << ", \"direction\": \"higher\", \"min\": 1.0},\n";
+  out << "    \"anchors_pruned_frac\": {\"value\": " << pruned_frac
+      << ", \"direction\": \"higher\", \"min\": 0.5},\n";
+  out << "    \"dp_bytes_ratio\": {\"value\": "
+      << (pruned_peak_bytes > 0
+              ? static_cast<double>(ablation_peak_bytes) /
+                    static_cast<double>(pruned_peak_bytes)
+              : 0.0)
+      << ", \"direction\": \"higher\", \"min\": 1.0}\n";
+  out << "  }\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const int n = static_cast<int>(cli.get_int("n", smoke ? 64 : 256));
+  const int instances =
+      static_cast<int>(cli.get_int("instances", smoke ? 2 : 4));
+  const int k = static_cast<int>(cli.get_int("k", 3));
+  const int reps = static_cast<int>(cli.get_int("reps", smoke ? 2 : 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
+  const std::string out_path = cli.get_string("out", "");
+  cli.reject_unknown();
+
+  const auto suite = build_suite(instances, n, k, seed);
+  if (static_cast<int>(suite.size()) < instances) {
+    std::cerr << "FAIL: only " << suite.size() << "/" << instances
+              << " delay-infeasible-start instances found\n";
+    return 1;
+  }
+  std::cout << "E13: bicameral kernel pruning vs ablation through "
+               "cancel_cycles, "
+            << suite.size() << " ER instance(s), n=" << n << ", k=" << k
+            << ", best of " << reps << " rep(s)\n\n";
+
+  util::Table table({"instance", "pruned ms", "ablation ms", "speedup",
+                     "pruned(par) ms", "ablation(par) ms", "identical"});
+  double pruned_ms = 0, ablation_ms = 0;
+  double pruned_par_ms = 0, ablation_par_ms = 0;
+  bool all_identical = true;
+  core::BicameralStats pruned_stats_total;
+  std::int64_t ablation_peak_bytes = 0;
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& w = suite[i];
+    const auto pruned_serial = run_config(w, false, true, reps);
+    const auto ablation_serial = run_config(w, true, true, reps);
+    const auto pruned_parallel = run_config(w, false, false, reps);
+    const auto ablation_parallel = run_config(w, true, false, reps);
+
+    const bool same = identical(pruned_serial.result, ablation_serial.result) &&
+                      identical(pruned_serial.result, pruned_parallel.result) &&
+                      identical(pruned_serial.result, ablation_parallel.result);
+    all_identical = all_identical && same;
+    if (pruned_serial.result.status != core::CancelStatus::kSuccess) {
+      std::cerr << "FAIL: instance " << i
+                << " did not cancel to feasibility (guess should certify "
+                   "success)\n";
+      return 1;
+    }
+
+    pruned_ms += pruned_serial.wall_ms;
+    ablation_ms += ablation_serial.wall_ms;
+    pruned_par_ms += pruned_parallel.wall_ms;
+    ablation_par_ms += ablation_parallel.wall_ms;
+
+    const auto& fs = pruned_serial.result.telemetry.finder_stats;
+    pruned_stats_total.anchors_scanned += fs.anchors_scanned;
+    pruned_stats_total.anchors_pruned += fs.anchors_pruned;
+    pruned_stats_total.sccs_skipped += fs.sccs_skipped;
+    pruned_stats_total.peak_dp_bytes =
+        std::max(pruned_stats_total.peak_dp_bytes, fs.peak_dp_bytes);
+    ablation_peak_bytes = std::max(
+        ablation_peak_bytes,
+        ablation_serial.result.telemetry.finder_stats.peak_dp_bytes);
+
+    table.row()
+        .cell(static_cast<std::int64_t>(i))
+        .cell_fp(pruned_serial.wall_ms, 2)
+        .cell_fp(ablation_serial.wall_ms, 2)
+        .cell_fp(ablation_serial.wall_ms / pruned_serial.wall_ms, 2)
+        .cell_fp(pruned_parallel.wall_ms, 2)
+        .cell_fp(ablation_parallel.wall_ms, 2)
+        .cell(same ? "yes" : "NO");
+  }
+  table.print();
+
+  const double pruned_frac =
+      static_cast<double>(pruned_stats_total.anchors_pruned) /
+      static_cast<double>(pruned_stats_total.anchors_pruned +
+                          pruned_stats_total.anchors_scanned);
+  std::cout << "\ntotals: pruned " << pruned_ms << " ms, ablation "
+            << ablation_ms << " ms, serial speedup "
+            << ablation_ms / pruned_ms << "x, parallel speedup "
+            << ablation_par_ms / pruned_par_ms << "x\n";
+  std::cout << "anchors pruned: " << 100.0 * pruned_frac
+            << "%, SCCs skipped: " << pruned_stats_total.sccs_skipped
+            << ", peak DP bytes: " << pruned_stats_total.peak_dp_bytes
+            << " (pruned) vs " << ablation_peak_bytes << " (ablation)\n";
+
+  if (!out_path.empty()) {
+    write_json(out_path, n, static_cast<int>(suite.size()), k, reps, seed,
+               smoke, all_identical, pruned_ms, ablation_ms, pruned_par_ms,
+               ablation_par_ms, pruned_frac, pruned_stats_total.sccs_skipped,
+               pruned_stats_total.peak_dp_bytes, ablation_peak_bytes);
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  if (!all_identical) {
+    std::cerr << "FAIL: pruned/ablation or serial/parallel results diverged\n";
+    return 1;
+  }
+  std::cout << "all configurations bit-identical\n";
+  return 0;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Rebuilds the project and regenerates every experiment table from
-# DESIGN.md §4 (F1-F2, E1-E11) plus the microbenchmarks, teeing the raw
+# DESIGN.md §4 (F1-F2, E1-E13) plus the microbenchmarks, teeing the raw
 # output next to this script's repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -107,6 +107,10 @@ struct SolveResult {
   PathSet paths;
   graph::Cost cost = 0;
   graph::Delay delay = 0;
+  /// Includes the bicameral kernel's pruning counters for the final
+  /// cancellation run (telemetry.cancel.finder_stats): anchors scanned vs
+  /// pruned, SCCs skipped outright, and the DP-table high-water mark
+  /// peak_dp_bytes — see core::BicameralStats and docs/PERF.md.
   SolveTelemetry telemetry;
   /// Diagnostic for status == kFailed (invariant trip, invalid instance).
   std::string error;

@@ -10,16 +10,30 @@
 //
 // Realization of Algorithms 2–3: instead of materializing H_v^±(B) and
 // solving LP (6), the finder runs a Bellman–Ford DP over the implicit
-// product states (vertex, cost-layer) anchored at every vertex v — exactly
-// the cycles of H_v^±(B) (Lemma 15) — bounded to n rounds, which suffices
-// because the witness cycles of Theorem 16 (optimal ⊕ current) are simple.
-// Min-delay closed walks are decomposed into simple residual cycles and
-// classified; type-0 hits return immediately, otherwise the best qualifying
+// product states (vertex, cost-layer), bounded per anchor to |SCC(anchor)|
+// rounds (the witness cycles of Theorem 16 — optimal ⊕ current — are
+// simple and confined to one strongly connected component). Min-delay
+// closed walks are decomposed into simple residual cycles and classified;
+// type-0 hits return immediately, otherwise the best qualifying
 // type-1/type-2 candidate wins. Budgets B follow a doubling schedule up to
 // cap (the binary-search refinement the paper sketches in §4.2); witness
 // prefix confinement (ascent <= C_OPT <= cap) guarantees completeness at
 // B = cap. The LP-based reference finder (core/lp_cycle_finder.h)
 // cross-validates this component in tests.
+//
+// Residual-structure pruning (DESIGN.md §3). Every qualifying cycle has
+// negative total cost or negative total delay, so it contains at least one
+// arc with cost < 0 or delay < 0, and — like any cycle — lives entirely
+// inside one SCC of G̃. The finder therefore anchors its H⁺ scans only at
+// the *heads* of negative arcs (the min-cost-prefix rotation of a
+// qualifying cycle starts at one) and its H⁻ scans only at the *tails*
+// (max-prefix rotation), skips every SCC with no internal negative arc,
+// runs each anchor's DP on its own SCC with compacted vertex ids
+// (|scc|·(budget+1) states instead of n·(budget+1)), and stores the DP in
+// flat rolling arrays. Options::disable_pruning keeps the same anchor
+// semantics but executes on the full uncompacted state space with the
+// legacy eagerly-cleared nested tables — the measured-identical ablation
+// baseline for bench_kernel (E13) and the prune property test.
 //
 // Note on Algorithm 3 step 2-3 as printed: the brief announcement selects
 // O2 by "minimum d/c with c < 0" and compares absolute ratios; consistent
@@ -62,18 +76,32 @@ struct BicameralStats {
   std::int64_t walks_examined = 0;
   std::int64_t cycles_classified = 0;
   std::int64_t budgets_tried = 0;
+  /// Anchors NOT scanned relative to the classical all-vertices scan,
+  /// summed over (budget, sign) passes: non-seed vertices plus seeds whose
+  /// SCC has no internal negative arc.
+  std::int64_t anchors_pruned = 0;
+  /// SCCs containing at least one seed anchor but no internal negative arc
+  /// — their anchors are provably barren and skipped (counted once per
+  /// find() call). Always 0 when pruning is disabled.
+  std::int64_t sccs_skipped = 0;
+  /// High-water mark of the DP tables (dist rows + parent records) across
+  /// all anchors, in bytes. Max-aggregated, never summed.
+  std::int64_t peak_dp_bytes = 0;
 };
 
 /// Reusable scratch for BicameralCycleFinder::find: the layered Bellman–
 /// Ford tables over the (vertex, cost-layer) product states, which dominate
-/// the finder's allocations. Handing the same workspace to successive find
-/// calls (the cancellation loop, repeat solves in the batch engine) keeps
-/// the tables' storage alive across calls; dimensions are re-checked and
-/// grown on demand, so any residual graph is safe. A workspace also pins
-/// the scan to the serial anchor order (no OpenMP team) — the batch engine
-/// parallelizes across solves, not inside one, and the serial scan returns
-/// the same cycle as the parallel one by the tracker-merge-order argument
-/// in bicameral.cc. Not thread-safe; use one per thread.
+/// the finder's allocations — flat rolling dist rows plus packed per-round
+/// parent records, and the residual-structure analysis (SCC partition,
+/// compacted per-SCC adjacency, seed anchor lists). Handing the same
+/// workspace to successive find calls (the cancellation loop, repeat solves
+/// in the batch engine) keeps the tables' storage alive across calls;
+/// dimensions are re-checked and grown on demand, so any residual graph is
+/// safe. A workspace also pins the scan to the serial anchor order (no
+/// OpenMP team) — the batch engine parallelizes across solves, not inside
+/// one, and the serial scan returns the same cycle as the parallel one by
+/// the tracker-merge-order argument in bicameral.cc. Not thread-safe; use
+/// one per thread.
 class BicameralWorkspace {
  public:
   BicameralWorkspace();
@@ -95,9 +123,14 @@ class BicameralCycleFinder {
   struct Options {
     /// First budget of the doubling schedule.
     graph::Cost initial_budget = 8;
-    /// Hard bound on Bellman–Ford rounds per anchor; <= 0 means the number
-    /// of residual vertices (the witness-cycle length bound).
+    /// Hard bound on Bellman–Ford rounds per anchor; <= 0 means the size of
+    /// the anchor's SCC (the witness-cycle length bound).
     int max_rounds = 0;
+    /// Ablation: run the same seed-anchored scans on the full n·(budget+1)
+    /// state space with the legacy nested-vector tables instead of the
+    /// SCC-compacted flat kernel. Bit-identical results, measured by
+    /// bench_kernel (E13) and asserted by bicameral_prune_test.
+    bool disable_pruning = false;
   };
 
   BicameralCycleFinder() : options_(Options{}) {}

@@ -46,6 +46,10 @@ struct CycleCancelTelemetry {
   std::int64_t type_counts[3] = {0, 0, 0};  // indexed by CycleType
   std::vector<util::Rational> ratio_trace;  // r_i per iteration (ΔC_i > 0)
   bool ratio_monotone = true;               // Lemma 12 check
+  /// Accumulated over every finder call of the cancellation run: counters
+  /// (anchors scanned/pruned, walks, budgets, SCCs skipped) sum across
+  /// rounds, while peak_dp_bytes stays a max — it is a high-water memory
+  /// mark, and summing table sizes across rounds would be meaningless.
   BicameralStats finder_stats;
 };
 

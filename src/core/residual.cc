@@ -22,15 +22,19 @@ void ResidualGraph::rebuild(const std::vector<graph::EdgeId>& flow_edges) {
   residual_.resize(g.num_vertices());
   tags_.clear();
   tags_.reserve(g.num_edges());
+  negative_arcs_.clear();
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& edge = g.edge(e);
+    graph::EdgeId re;
     if (flow_.count(e) != 0) {
-      residual_.add_edge(edge.to, edge.from, -edge.cost, -edge.delay);
+      re = residual_.add_edge(edge.to, edge.from, -edge.cost, -edge.delay);
       tags_.push_back(Tag{e, true});
     } else {
-      residual_.add_edge(edge.from, edge.to, edge.cost, edge.delay);
+      re = residual_.add_edge(edge.from, edge.to, edge.cost, edge.delay);
       tags_.push_back(Tag{e, false});
     }
+    const auto& r = residual_.edge(re);
+    if (r.cost < 0 || r.delay < 0) negative_arcs_.push_back(re);
   }
 }
 

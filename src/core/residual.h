@@ -43,6 +43,16 @@ class ResidualGraph {
     return tags_[re].reversed;
   }
 
+  /// Residual edges with cost < 0 or delay < 0, ascending by edge id,
+  /// maintained incrementally by rebuild. Every Definition-10-qualifying
+  /// cycle contains at least one of these arcs (its negative total cost or
+  /// delay needs a negative term), which is what lets the bicameral finder
+  /// seed its anchored DPs at their endpoints instead of scanning all n
+  /// vertices — see core/bicameral.cc and DESIGN.md §3.
+  [[nodiscard]] std::span<const graph::EdgeId> negative_arcs() const {
+    return negative_arcs_;
+  }
+
   /// Cost/delay of a residual edge set (already sign-adjusted).
   [[nodiscard]] graph::Cost cycle_cost(
       std::span<const graph::EdgeId> residual_edges) const;
@@ -65,6 +75,7 @@ class ResidualGraph {
   std::unordered_set<graph::EdgeId> flow_;
   graph::Digraph residual_;
   std::vector<Tag> tags_;
+  std::vector<graph::EdgeId> negative_arcs_;
 };
 
 /// The cycle system {P*} ⊕ {P̄} of Proposition 8: the symmetric difference

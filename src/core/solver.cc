@@ -170,8 +170,10 @@ Solution KrspSolver::solve_exact_weights(const Instance& inst,
     }
   } else {
     graph::Cost guess = lo0;
+    // Saturating doubling: guess * 2 would wrap for guesses past
+    // INT64_MAX/2 (huge cost bounds), so jump straight to hi0 instead.
     while (!run(guess) && guess < hi0 && !deadline_cut)
-      guess = std::min<graph::Cost>(hi0, std::max<graph::Cost>(guess * 2, 1));
+      guess = guess > hi0 / 2 ? hi0 : std::max<graph::Cost>(guess * 2, 1);
   }
 
   if (deadline_cut) s.telemetry.deadline_expired = true;
@@ -288,8 +290,10 @@ Solution KrspSolver::solve_scaled(const Instance& inst,
     }
   } else {
     graph::Cost guess = lo0;
+    // Saturating doubling: guess * 2 would wrap for guesses past
+    // INT64_MAX/2 (huge cost bounds), so jump straight to hi0 instead.
     while (!run(guess) && guess < hi0 && !deadline_cut)
-      guess = std::min<graph::Cost>(hi0, std::max<graph::Cost>(guess * 2, 1));
+      guess = guess > hi0 / 2 ? hi0 : std::max<graph::Cost>(guess * 2, 1);
   }
 
   if (deadline_cut) s.telemetry.deadline_expired = true;

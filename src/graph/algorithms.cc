@@ -138,6 +138,29 @@ SccResult strongly_connected_components(const Digraph& g) {
   return SccResult{std::move(st.component), st.num_components};
 }
 
+SccPartition scc_partition(const Digraph& g) {
+  auto [component, num_components] = strongly_connected_components(g);
+  const int n = g.num_vertices();
+  SccPartition out;
+  out.num_components = num_components;
+  out.comp_first.assign(num_components + 1, 0);
+  for (const int c : component) ++out.comp_first[c + 1];
+  for (int c = 0; c < num_components; ++c)
+    out.comp_first[c + 1] += out.comp_first[c];
+  out.members.resize(n);
+  out.local_id.resize(n);
+  // Stable counting pass over ascending v keeps members ascending within
+  // each component — the order the compacted DP relies on.
+  std::vector<int> at(out.comp_first.begin(), out.comp_first.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const int c = component[v];
+    out.local_id[v] = at[c] - out.comp_first[c];
+    out.members[at[c]++] = v;
+  }
+  out.component = std::move(component);
+  return out;
+}
+
 std::vector<EdgeId> bfs_path(const Digraph& g, VertexId s, VertexId t) {
   KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t));
   std::vector<EdgeId> parent(g.num_vertices(), kInvalidEdge);

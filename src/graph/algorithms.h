@@ -31,6 +31,31 @@ struct SccResult {
 };
 SccResult strongly_connected_components(const Digraph& g);
 
+/// SCC decomposition in the grouped form the bicameral kernel consumes:
+/// besides the per-vertex component id, every vertex gets a *local id* (its
+/// rank among the members of its component, members listed in ascending
+/// global id), and the members are stored grouped per component behind CSR
+/// offsets. This is what lets a product-state DP run on |scc|·(budget+1)
+/// compacted states instead of n·(budget+1): global vertex v maps to local
+/// state row local_id[v], and component_members(c) enumerates the rows back
+/// to global ids in a fixed, global-id-ascending order.
+struct SccPartition {
+  std::vector<int> component;   // per vertex: component id
+  std::vector<int> local_id;    // per vertex: rank within its component
+  std::vector<int> comp_first;  // size num_components+1: offsets into members
+  std::vector<VertexId> members;  // grouped by component, ascending within
+  int num_components = 0;
+
+  [[nodiscard]] int component_size(int c) const {
+    return comp_first[c + 1] - comp_first[c];
+  }
+  [[nodiscard]] std::span<const VertexId> component_members(int c) const {
+    return {members.data() + comp_first[c],
+            static_cast<std::size_t>(component_size(c))};
+  }
+};
+SccPartition scc_partition(const Digraph& g);
+
 /// Shortest (fewest-edges) s→t path as edge ids, or empty if unreachable and
 /// s != t. BFS.
 std::vector<EdgeId> bfs_path(const Digraph& g, VertexId s, VertexId t);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "baselines/brute_force.h"
 #include "core/lp_cycle_finder.h"
 #include "flow/disjoint.h"
@@ -258,6 +260,88 @@ TEST(LpReference, FindsType2ThroughHMinus) {
   const auto production = BicameralCycleFinder().find(residual, q);
   ASSERT_TRUE(production.has_value());
   EXPECT_EQ(production->type, CycleType::kType2);
+}
+
+TEST(Finder, NearMaxCapSaturatesBudgetSchedule) {
+  // cap = INT64_MAX: the budget-doubling schedule must saturate instead of
+  // wrapping past INT64_MAX/2, and the rounds·max|c| clamp must keep the DP
+  // at graph scale (every reachable cost prefix of a <= n-edge walk fits in
+  // [−n·max|c|, n·max|c|], so larger budgets are provably useless).
+  graph::Digraph g(4);
+  g.add_edge(0, 1, 0, 5);
+  g.add_edge(1, 3, 0, 5);
+  g.add_edge(0, 2, 3, 1);
+  g.add_edge(2, 3, 3, 1);
+  const ResidualGraph residual(g, {0, 1});
+  BicameralQuery q;
+  q.cap = std::numeric_limits<graph::Cost>::max();
+  q.ratio = Rational(-1, 10);
+  BicameralStats stats;
+  const auto cycle = BicameralCycleFinder().find(residual, q, &stats);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->type, CycleType::kType1);
+  EXPECT_EQ(cycle->cost, 6);
+  EXPECT_EQ(cycle->delay, -8);
+  // Clamped ceiling: budgets stop at n·max|c| = 12, i.e. 8 then 12.
+  EXPECT_LE(stats.budgets_tried, 2);
+
+  // The ablation kernel shares the clamp and the saturating doubling.
+  BicameralCycleFinder::Options ablation;
+  ablation.disable_pruning = true;
+  const auto same = BicameralCycleFinder(ablation).find(residual, q);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->edges, cycle->edges);
+}
+
+TEST(Finder, SeedRotationNeedsBudgetHeadroom) {
+  // Regression for the capped budget ceiling. The single cycle
+  // 0→1→2→3→0 with costs (+5, +1, −6, +7) fits budget 7 when anchored at
+  // vertex 0 (prefixes 5, 6, 0, 7) but the seed rotation — at vertex 3,
+  // the head of the negative arc — peaks at 13 (prefixes 7, 12, 13, 7).
+  // With cap = 12 a ceiling of cap alone would make the seed scan miss a
+  // qualifying cycle the full scan can see; the 2·cap headroom (seed
+  // rotation budget <= B_min + cycle cost <= 2·cap) restores completeness.
+  graph::Digraph g(4);
+  g.add_edge(0, 1, 5, 1);
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(3, 2, 6, 5);  // flow: residual arc 2→3 has cost −6, delay −5
+  g.add_edge(3, 0, 7, 1);
+  const ResidualGraph residual(g, {2});
+  BicameralQuery q;
+  q.cap = 12;
+  q.ratio = Rational(-1, 4);  // cycle ratio −2/7 <= −1/4 qualifies
+  const auto cycle = BicameralCycleFinder().find(residual, q);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->type, CycleType::kType1);
+  EXPECT_EQ(cycle->cost, 7);
+  EXPECT_EQ(cycle->delay, -2);
+
+  BicameralCycleFinder::Options ablation;
+  ablation.disable_pruning = true;
+  const auto same = BicameralCycleFinder(ablation).find(residual, q);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->edges, cycle->edges);
+}
+
+TEST(Finder, PruningStatsExposeSkippedWork) {
+  // Two disjoint 2-cycles; flow on one of them only. The flowless 2-cycle's
+  // SCC has no negative arc, so the pruned scan skips it entirely.
+  graph::Digraph g(4);
+  g.add_edge(0, 1, 1, 5);  // flow
+  g.add_edge(1, 0, 1, 5);  // flow
+  g.add_edge(2, 3, 1, 1);
+  g.add_edge(3, 2, 1, 1);
+  const ResidualGraph residual(g, {0, 1});
+  BicameralQuery q;
+  q.cap = 10;
+  q.ratio = Rational(-1, 2);
+  BicameralStats stats;
+  (void)BicameralCycleFinder().find(residual, q, &stats);
+  EXPECT_GT(stats.anchors_pruned, 0);
+  EXPECT_GT(stats.peak_dp_bytes, 0);
+  // Anchors 0/1 (endpoints of the negated flow arcs) form the only SCC
+  // with internal negative arcs; vertices 2/3 are never seeds at all.
+  EXPECT_LE(stats.anchors_scanned, 2 * stats.budgets_tried * 2);
 }
 
 TEST(Finder, StatsPopulated) {

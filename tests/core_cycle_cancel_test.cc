@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "baselines/brute_force.h"
 #include "core/phase1.h"
 #include "graph/generators.h"
@@ -53,6 +55,25 @@ TEST(CycleCancel, UnsafeModeReproducesFigure1Blowup) {
   ASSERT_EQ(r.status, CancelStatus::kSuccess);
   EXPECT_EQ(r.cost, 5 * (4 + 1) - 1);  // C_OPT*(D+1) - 1
   EXPECT_EQ(r.delay, 0);
+}
+
+TEST(CycleCancel, NearMaxCostGuessSaturatesSafely) {
+  // cost_guess = INT64_MAX feeds the finder a near-max cap: the doubling
+  // schedule must saturate (no signed wrap) and the rounds·max|c| budget
+  // clamp must keep the DP tables graph-sized, so the run behaves exactly
+  // like any generous-cap run.
+  const auto inst = gadget_instance();
+  const auto r = cancel_cycles(inst, gadget_start(),
+                               std::numeric_limits<graph::Cost>::max());
+  ASSERT_EQ(r.status, CancelStatus::kSuccess);
+  EXPECT_LE(r.delay, inst.delay_bound);
+  EXPECT_TRUE(r.paths.is_valid(inst));
+  // Identical outcome to the largest "reasonable" cap (budget clamp makes
+  // every cap above n·max|c| equivalent).
+  const auto generous = cancel_cycles(inst, gadget_start(), 1000000);
+  ASSERT_EQ(generous.status, CancelStatus::kSuccess);
+  EXPECT_EQ(generous.cost, r.cost);
+  EXPECT_EQ(generous.delay, r.delay);
 }
 
 TEST(CycleCancel, CapTooSmallReportsNoCycle) {

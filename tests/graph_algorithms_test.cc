@@ -89,6 +89,56 @@ TEST(Scc, PropertyMatchesMutualReachability) {
   }
 }
 
+TEST(SccPartition, GroupsMembersAscendingWithConsistentLocalIds) {
+  Digraph g(5);
+  g.add_edge(0, 1, 0, 0);
+  g.add_edge(1, 0, 0, 0);
+  g.add_edge(1, 2, 0, 0);
+  g.add_edge(2, 3, 0, 0);
+  g.add_edge(3, 2, 0, 0);
+  const auto part = scc_partition(g);
+  EXPECT_EQ(part.num_components, 3);
+  ASSERT_EQ(static_cast<int>(part.members.size()), 5);
+  ASSERT_EQ(static_cast<int>(part.comp_first.size()), 4);
+  // Members of {0,1} and {2,3} come out grouped and ascending.
+  const auto c01 = part.component_members(part.component[0]);
+  ASSERT_EQ(c01.size(), 2u);
+  EXPECT_EQ(c01[0], 0);
+  EXPECT_EQ(c01[1], 1);
+  const auto c23 = part.component_members(part.component[2]);
+  ASSERT_EQ(c23.size(), 2u);
+  EXPECT_EQ(c23[0], 2);
+  EXPECT_EQ(c23[1], 3);
+  EXPECT_EQ(part.component_size(part.component[4]), 1);
+}
+
+// Property: scc_partition is exactly strongly_connected_components plus a
+// consistent grouped view — members[comp_first[c] + local_id[v]] == v, each
+// component's member list ascending, sizes summing to n.
+TEST(SccPartition, PropertyConsistentWithScc) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = gen::erdos_renyi(rng, 14, 0.12);
+    const auto scc = strongly_connected_components(g);
+    const auto part = scc_partition(g);
+    ASSERT_EQ(part.num_components, scc.num_components);
+    EXPECT_EQ(part.component, scc.component);
+    int total = 0;
+    for (int c = 0; c < part.num_components; ++c) {
+      const auto members = part.component_members(c);
+      total += static_cast<int>(members.size());
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        EXPECT_EQ(part.component[members[i]], c);
+        EXPECT_EQ(part.local_id[members[i]], static_cast<int>(i));
+        if (i > 0) {
+          EXPECT_LT(members[i - 1], members[i]);
+        }
+      }
+    }
+    EXPECT_EQ(total, g.num_vertices());
+  }
+}
+
 TEST(BfsPath, FindsShortestHopPath) {
   Digraph g(5);
   g.add_edge(0, 1, 0, 0);
