@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the E13 bicameral-kernel benchmark.
+"""Perf-regression gate for gated-benchmark JSON (E13 kernel, E14 serving).
 
 Usage: check_bench.py BASELINE.json FRESH.json [--tolerance=0.25]
 
-BASELINE is the committed BENCH_kernel.json; FRESH is the JSON a CI run
-just emitted (bench_kernel --smoke --out=FRESH.json). The gate fails
-(exit 1) when any of the following holds:
+BASELINE is a committed BENCH_*.json (BENCH_kernel.json, BENCH_serving.json);
+FRESH is the JSON a CI run just emitted (e.g. bench_kernel --smoke
+--out=FRESH.json). Any benchmark emitting the same shape — a top-level
+"identical" bool plus a "gate" object of {value, direction, min/max}
+metrics — can use this gate. It fails (exit 1) when any of the following
+holds:
 
-  * the fresh run's configurations were not bit-identical — a correctness
-    failure, not a perf one, and always fatal;
+  * the fresh run was not bit-identical — a correctness failure, not a
+    perf one, and always fatal;
   * a gate metric regressed by more than the tolerance relative to the
     baseline (direction-aware: "higher" metrics may not drop below
     baseline*(1-tol), "lower" metrics may not rise above baseline*(1+tol));
@@ -46,8 +49,8 @@ def main(argv):
 
     rc = 0
     if fresh.get("identical") is not True:
-        rc |= fail("fresh run's configurations were not bit-identical "
-                   "(pruned vs ablation or serial vs parallel diverged)")
+        rc |= fail("fresh run was not bit-identical (configurations or "
+                   "served results diverged from the reference solve)")
 
     base_gate = baseline.get("gate", {})
     fresh_gate = fresh.get("gate", {})

@@ -48,14 +48,12 @@ const char* status_name(SolveStatus status) {
 namespace {
 
 SolveResult solve_request(const SolveRequest& request,
+                          const util::Deadline& deadline,
                           core::SolveWorkspace* ws) {
   SolveResult out;
   out.tag = request.tag;
   try {
     const core::KrspSolver solver(to_solver_options(request));
-    // The request deadline anchors here — at execution start, not enqueue.
-    const auto deadline =
-        util::Deadline::after_seconds(request.deadline_seconds);
     core::Solution sol = solver.solve(request.instance, deadline, ws);
     out.status = sol.status;
     out.paths = std::move(sol.paths);
@@ -69,15 +67,26 @@ SolveResult solve_request(const SolveRequest& request,
   return out;
 }
 
+/// The request deadline anchors here — at execution start, not enqueue.
+util::Deadline anchored(const SolveRequest& request) {
+  return util::Deadline::after_seconds(request.deadline_seconds);
+}
+
 }  // namespace
 
 SolveResult Solver::solve(const SolveRequest& request) {
-  return solve_request(request, nullptr);
+  return solve_request(request, anchored(request), nullptr);
 }
 
 SolveResult Solver::solve(const SolveRequest& request,
                           SolveWorkspace& workspace) {
-  return solve_request(request, &workspace);
+  return solve_request(request, anchored(request), &workspace);
+}
+
+SolveResult Solver::solve(const SolveRequest& request,
+                          const util::Deadline& deadline,
+                          SolveWorkspace& workspace) {
+  return solve_request(request, deadline, &workspace);
 }
 
 Engine::Engine(EngineOptions options)
@@ -87,9 +96,23 @@ Engine::~Engine() = default;
 
 int Engine::num_threads() const { return impl_->num_threads(); }
 
+Ticket Engine::submit(SolveRequest request) {
+  return impl_->submit(std::move(request));
+}
+
+Ticket Engine::submit(SolveRequest request, const util::Deadline& deadline) {
+  return impl_->submit(std::move(request), deadline);
+}
+
 std::vector<SolveResult> Engine::solve_batch(
     const std::vector<SolveRequest>& requests) {
   return impl_->solve_batch(requests);
 }
+
+void Engine::close() { impl_->close(); }
+void Engine::drain() { impl_->drain(); }
+std::size_t Engine::queue_depth() const { return impl_->queue_depth(); }
+std::uint64_t Engine::submitted() const { return impl_->submitted(); }
+std::uint64_t Engine::completed() const { return impl_->completed(); }
 
 }  // namespace krsp::api

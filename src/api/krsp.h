@@ -2,12 +2,13 @@
 //
 // This header is the supported entry point to the library: build an
 // Instance, describe the solve as a SolveRequest, and hand it to
-// Solver::solve (one-off) or Engine::solve_batch (throughput). Everything
-// underneath — core::KrspSolver, the phase-1/cancellation internals, the
-// workspace machinery — is implementation detail and may change between
-// releases; this surface will not. docs/API.md documents the full
-// request/result contract, thread-safety guarantees, and the migration
-// table from the legacy core:: call sites.
+// Solver::solve (one-off), Engine::submit (streaming), or
+// Engine::solve_batch (one-shot throughput). Everything underneath —
+// core::KrspSolver, the phase-1/cancellation internals, the workspace
+// machinery — is implementation detail and may change between releases;
+// this surface will not. docs/API.md documents the full request/result
+// contract, thread-safety guarantees, and the migration table from the
+// legacy core:: call sites.
 //
 // Error contract: solve entry points do not throw for per-request problems.
 // Invalid instances, internal invariant trips, anything that would abort a
@@ -15,6 +16,9 @@
 // one bad request cannot take down a batch.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +32,7 @@
 #include "core/solver.h"
 #include "core/vertex_disjoint.h"
 #include "core/workspace.h"
+#include "util/deadline.h"
 
 namespace krsp::engine {
 class BatchEngine;
@@ -135,28 +140,78 @@ class Solver {
   /// fewer allocations — see core/workspace.h).
   [[nodiscard]] static SolveResult solve(const SolveRequest& request,
                                          SolveWorkspace& workspace);
+
+  /// Same, but the wall-clock budget is the given *absolute* deadline
+  /// (anchored by the caller) instead of request.deadline_seconds anchored
+  /// at execution start. This is how a serving layer charges queue wait
+  /// against a request's end-to-end budget: anchor the deadline at
+  /// admission and whatever is left when a worker picks the request up
+  /// funds the anytime ladder.
+  [[nodiscard]] static SolveResult solve(const SolveRequest& request,
+                                         const util::Deadline& deadline,
+                                         SolveWorkspace& workspace);
 };
 
 struct EngineOptions {
-  /// Worker threads in the pool; 0 = std::thread::hardware_concurrency().
+  /// Worker threads in the pool; 0 = std::thread::hardware_concurrency(),
+  /// negative values clamp to 1.
   int num_threads = 0;
   /// Keep one SolveWorkspace per worker alive across solves (the intended
   /// configuration). false = fresh workspace per request; exists as the
   /// E12 ablation knob and changes no results.
   bool reuse_workspaces = true;
+  /// Bound on requests waiting in the engine's work queue (excludes the
+  /// ones already executing). submit() blocks — backpressure, never drops
+  /// — while the queue is full; 0 = unbounded.
+  std::size_t queue_capacity = 0;
 };
 
-/// Fixed-size worker pool executing batches of solve requests.
+/// Handle to one submitted request: a future for the result plus the
+/// engine-assigned submission index. Ids increase in submit order, so a
+/// caller that wants order-stable output can simply get() tickets in id
+/// order. Move-only; get() may be called once.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&&) = default;
+  Ticket& operator=(Ticket&&) = default;
+
+  [[nodiscard]] bool valid() const { return future_.valid(); }
+  /// Submission index, 0-based and dense per engine.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  /// True once the result is available (get() will not block).
+  [[nodiscard]] bool ready() const {
+    return future_.valid() && future_.wait_for(std::chrono::seconds(0)) ==
+                                  std::future_status::ready;
+  }
+  /// Blocks for the result; consumes the ticket (valid() is false after).
+  [[nodiscard]] SolveResult get() { return future_.get(); }
+
+ private:
+  friend class engine::BatchEngine;
+  Ticket(std::uint64_t id, std::future<SolveResult> future)
+      : id_(id), future_(std::move(future)) {}
+
+  std::uint64_t id_ = 0;
+  std::future<SolveResult> future_;
+};
+
+/// Fixed-size worker pool executing a continuous stream of solve requests.
+///
+/// submit() enqueues one request onto a bounded MPMC work queue drained by
+/// the worker pool and returns a Ticket immediately; solve_batch() is the
+/// one-shot convenience built on top of it. Both may be called from any
+/// number of threads concurrently.
 ///
 /// Determinism: each request is solved independently by exactly one worker
 /// using the same serial algorithm regardless of pool size or scheduling,
-/// so for requests without deadlines the batch results are bit-identical
-/// across thread counts (engine_test asserts this at 1/2/8 threads).
-/// Deadline-bounded requests are anytime by design — their degradation
-/// step may legitimately differ run to run.
+/// so for requests without deadlines the results are bit-identical across
+/// thread counts and across submit()/solve_batch() (engine_test asserts
+/// this at 1/2/8 threads). Deadline-bounded requests are anytime by
+/// design — their degradation step may legitimately differ run to run.
 ///
-/// Thread-safety: solve_batch handles one batch at a time; serialize calls
-/// to the same Engine. Distinct Engine instances are fully independent.
+/// Shutdown: destruction drains — already-submitted requests run to
+/// completion and their tickets are fulfilled before workers exit.
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -166,14 +221,87 @@ class Engine {
 
   [[nodiscard]] int num_threads() const;
 
+  /// Enqueues one request; blocks only when the queue is at capacity
+  /// (EngineOptions::queue_capacity). After close(), returns an
+  /// already-fulfilled kFailed ticket instead of enqueueing.
+  [[nodiscard]] Ticket submit(SolveRequest request);
+
+  /// Same, charging the solve against an absolute deadline anchored by the
+  /// caller (see Solver::solve overload); used by the serving layer to
+  /// bill queue wait against the request's end-to-end budget.
+  [[nodiscard]] Ticket submit(SolveRequest request,
+                              const util::Deadline& deadline);
+
   /// Solves every request on the worker pool and returns results in
   /// request order. Blocks until the batch completes; per-request failures
-  /// come back as status kFailed (never an exception).
+  /// come back as status kFailed (never an exception). An empty request
+  /// vector returns an empty result vector.
   [[nodiscard]] std::vector<SolveResult> solve_batch(
       const std::vector<SolveRequest>& requests);
 
+  /// Stops accepting new submissions (queued work still runs). Idempotent.
+  void close();
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  /// Requests waiting in the queue right now (excludes executing ones).
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Total requests ever submitted / completed (telemetry).
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
  private:
   std::unique_ptr<engine::BatchEngine> impl_;
+};
+
+/// Configuration for the serving layer (server::SolveService and the
+/// krsp_serve front-end). The service stacks three mechanisms in front of
+/// the streaming Engine: a sharded LRU result cache, an admission
+/// controller that rejects rather than queues-to-death, and end-to-end
+/// deadline accounting (queue wait is charged against a request's
+/// deadline_seconds; what remains at execution start funds the anytime
+/// ladder).
+struct ServerOptions {
+  /// Worker threads of the underlying Engine; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// E12 ablation knob, forwarded to the Engine; changes no results.
+  bool reuse_workspaces = true;
+
+  /// Admission bound: maximum requests admitted but not yet completed
+  /// (queued + executing). Beyond it, serve() rejects immediately with
+  /// kRejectedQueueFull; 0 = unbounded.
+  std::size_t max_pending = 256;
+  /// Reject a deadline-bounded request up front when the predicted queue
+  /// wait (pending × EWMA service time / workers) would already exhaust
+  /// its deadline_seconds — an immediate, honest rejection instead of a
+  /// guaranteed timeout.
+  bool deadline_aware_admission = true;
+  /// EWMA seed for the per-request service-time estimate before the first
+  /// completion is observed; 0 = optimistic (admit until samples exist).
+  double service_time_prior_seconds = 0.0;
+
+  /// Result-cache entry bound across all shards; 0 disables the cache.
+  std::size_t cache_capacity = 1024;
+  /// Shard count (each shard has its own lock and LRU list); clamped >= 1.
+  int cache_shards = 8;
+};
+
+/// Serving-layer counters, all monotonic since service start except the
+/// instantaneous depth/entry gauges. Snapshot via SolveService::stats().
+struct ServeStats {
+  std::uint64_t received = 0;  // serve() calls, any outcome
+  std::uint64_t served = 0;    // completed through the engine
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_draining = 0;  // arrived during/after drain()
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;       // gauge
+  std::size_t pending = 0;             // gauge: admitted, not completed
+  std::size_t peak_pending = 0;
+  double ewma_service_seconds = 0.0;   // admission's service-time estimate
 };
 
 /// Lowering of a request onto the internal solver configuration. Exposed

@@ -1,6 +1,7 @@
 #include "engine/batch_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace krsp::engine {
 
@@ -8,8 +9,9 @@ namespace {
 
 int resolve_thread_count(int requested) {
   if (requested > 0) return requested;
+  if (requested < 0) return 1;  // documented clamp: negative means 1
   const unsigned hw = std::thread::hardware_concurrency();
-  return std::max(1, static_cast<int>(hw));
+  return std::max(1, static_cast<int>(hw));  // hw may report 0
 }
 
 }  // namespace
@@ -23,6 +25,8 @@ BatchEngine::BatchEngine(api::EngineOptions options) : options_(options) {
 }
 
 BatchEngine::~BatchEngine() {
+  close();
+  drain();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -31,53 +35,125 @@ BatchEngine::~BatchEngine() {
   for (auto& w : workers_) w.join();
 }
 
+api::Ticket BatchEngine::submit(api::SolveRequest request) {
+  return enqueue(std::move(request), nullptr);
+}
+
+api::Ticket BatchEngine::submit(api::SolveRequest request,
+                                const util::Deadline& deadline) {
+  return enqueue(std::move(request), &deadline);
+}
+
+api::Ticket BatchEngine::enqueue(api::SolveRequest request,
+                                 const util::Deadline* dl) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.queue_capacity > 0)
+    space_cv_.wait(lock, [&] {
+      return closed_ || queue_.size() < options_.queue_capacity;
+    });
+  if (closed_) {
+    // Graceful refusal: a fulfilled kFailed ticket, never an exception —
+    // racing submitters during shutdown get the same error contract as any
+    // per-request failure.
+    api::SolveResult refused;
+    refused.tag = request.tag;
+    refused.status = api::SolveStatus::kFailed;
+    refused.error = "engine is closed (draining or destroyed)";
+    std::promise<api::SolveResult> p;
+    p.set_value(std::move(refused));
+    return api::Ticket(submitted_, p.get_future());
+  }
+  Job job;
+  job.request = std::move(request);
+  if (dl != nullptr) {
+    job.deadline = *dl;
+    job.deadline_override = true;
+  }
+  api::Ticket ticket(submitted_++, job.promise.get_future());
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  work_cv_.notify_one();
+  return ticket;
+}
+
 std::vector<api::SolveResult> BatchEngine::solve_batch(
     const std::vector<api::SolveRequest>& requests) {
   std::vector<api::SolveResult> results(requests.size());
   if (requests.empty()) return results;
-  std::unique_lock<std::mutex> lock(mu_);
-  KRSP_CHECK_MSG(batch_ == nullptr,
-                 "BatchEngine::solve_batch is not reentrant: one batch at a "
-                 "time per engine");
-  batch_ = &requests;
-  results_ = &results;
-  next_ = 0;
-  completed_ = 0;
-  ++generation_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [&] { return completed_ == requests.size(); });
-  batch_ = nullptr;
-  results_ = nullptr;
+  std::vector<api::Ticket> tickets;
+  tickets.reserve(requests.size());
+  // Submission blocks on a bounded queue while workers drain — safe from
+  // the caller's thread because the workers never wait on the caller.
+  for (const auto& req : requests) tickets.push_back(submit(req));
+  for (std::size_t i = 0; i < tickets.size(); ++i)
+    results[i] = tickets[i].get();
   return results;
 }
 
+void BatchEngine::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  space_cv_.notify_all();  // blocked submitters now observe closed_
+}
+
+void BatchEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
+}
+
+std::size_t BatchEngine::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t BatchEngine::submitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t BatchEngine::completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
 void BatchEngine::worker_loop(int worker_index) {
-  std::uint64_t seen_generation = 0;
   while (true) {
     std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || (batch_ != nullptr && generation_ != seen_generation);
-    });
-    if (shutdown_) return;
-    seen_generation = generation_;
-
-    while (batch_ != nullptr && next_ < batch_->size()) {
-      const std::size_t i = next_++;
-      const api::SolveRequest& request = (*batch_)[i];
-      auto* result_slot = &(*results_)[i];
-      lock.unlock();
-      // Solve outside the lock. The slot is exclusively ours (disjoint
-      // indices); publication to the caller happens via the completed_
-      // handshake below.
-      if (options_.reuse_workspaces) {
-        *result_slot = api::Solver::solve(request, workspaces_[worker_index]);
-      } else {
-        core::SolveWorkspace fresh;
-        *result_slot = api::Solver::solve(request, fresh);
-      }
-      lock.lock();
-      if (++completed_ == batch_->size()) done_cv_.notify_all();
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
     }
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++executing_;
+    lock.unlock();
+    space_cv_.notify_one();
+
+    // Solve outside the lock; the promise is exclusively ours and the
+    // future handshake publishes the result to the ticket holder.
+    api::SolveResult result;
+    if (options_.reuse_workspaces) {
+      result = job.deadline_override
+                   ? api::Solver::solve(job.request, job.deadline,
+                                        workspaces_[worker_index])
+                   : api::Solver::solve(job.request,
+                                        workspaces_[worker_index]);
+    } else {
+      core::SolveWorkspace fresh;
+      result = job.deadline_override
+                   ? api::Solver::solve(job.request, job.deadline, fresh)
+                   : api::Solver::solve(job.request, fresh);
+    }
+    job.promise.set_value(std::move(result));
+
+    lock.lock();
+    --executing_;
+    ++completed_;
+    if (queue_.empty() && executing_ == 0) idle_cv_.notify_all();
+    lock.unlock();
   }
 }
 

@@ -1,42 +1,56 @@
-// Concurrent batch solve engine (implementation behind api::Engine).
+// Streaming solve dispatcher (implementation behind api::Engine).
 //
-// A fixed-size pool of worker threads drains a batch of SolveRequests from
-// a shared index counter. Each worker owns one core::SolveWorkspace for its
+// A fixed-size pool of worker threads drains a bounded MPMC work queue of
+// submitted requests. Each worker owns one core::SolveWorkspace for its
 // whole lifetime, so consecutive solves on a worker reuse the MCMF network,
 // the bicameral DP tables, and the residual-graph storage instead of
 // reallocating them (the workspace-reuse ablation of experiment E12 flips
 // EngineOptions::reuse_workspaces off to measure exactly this effect).
 //
+// submit() enqueues one request and returns a promise-backed api::Ticket;
+// solve_batch() is the one-shot convenience built on top (submit all, get
+// all, results in request order). Both are safe to call from any number of
+// threads concurrently — the serving layer's per-connection threads stream
+// straight into the same queue.
+//
 // Scheduling never affects results: a request is solved by exactly one
 // worker running the same serial algorithm any worker would run, and
 // workspaces rebuild themselves on topology changes, so which worker picks
 // which request is unobservable in the output (engine_test asserts
-// bit-identical batches at 1/2/8 threads). Workers never run OpenMP teams:
-// a workspace pins the bicameral finder to its serial scan, keeping the
-// pool's parallelism strictly across requests.
+// bit-identical batches at 1/2/8 threads, and submit() against
+// solve_batch()). Workers never run OpenMP teams: a workspace pins the
+// bicameral finder to its serial scan, keeping the pool's parallelism
+// strictly across requests.
 //
-// Synchronization: one mutex guards the batch pointer, the claim index,
-// and the completion count; workers park on a condition variable between
-// batches. Result slots are disjoint per request index, and the completion
-// handshake publishes them to the caller (TSan-clean by construction; CI
-// runs the engine tests under -fsanitize=thread).
+// Backpressure and shutdown: queue_capacity bounds the waiting jobs —
+// submit() blocks (never drops) while the queue is full. close() stops
+// admissions; already-queued work still runs and fulfills its tickets.
+// The destructor closes, drains, and joins, so no ticket is ever left
+// dangling.
+//
+// Synchronization: one mutex guards the deque and the counters; promises
+// are fulfilled outside the lock (the future handshake publishes the
+// result — TSan-clean by construction; CI runs the engine and server
+// tests under -fsanitize=thread).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/krsp.h"
 #include "core/workspace.h"
+#include "util/deadline.h"
 
 namespace krsp::engine {
 
 class BatchEngine {
  public:
   explicit BatchEngine(api::EngineOptions options);
-  ~BatchEngine();
+  ~BatchEngine();  // close + drain + join: queued tickets all complete
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
 
@@ -44,27 +58,54 @@ class BatchEngine {
     return static_cast<int>(workers_.size());
   }
 
-  /// Runs one batch to completion; results in request order. One batch at
-  /// a time per engine (api::Engine documents the contract).
+  /// Enqueues one request (blocking while the bounded queue is full) and
+  /// returns its ticket. After close(): an already-fulfilled kFailed
+  /// ticket.
+  [[nodiscard]] api::Ticket submit(api::SolveRequest request);
+
+  /// Same, but the solve's wall-clock budget is the given absolute
+  /// deadline instead of request.deadline_seconds anchored at execution
+  /// start (end-to-end accounting for the serving layer).
+  [[nodiscard]] api::Ticket submit(api::SolveRequest request,
+                                   const util::Deadline& deadline);
+
+  /// Runs one batch to completion; results in request order. Reentrant:
+  /// concurrent batches interleave on the shared queue.
   [[nodiscard]] std::vector<api::SolveResult> solve_batch(
       const std::vector<api::SolveRequest>& requests);
 
+  void close();
+  void drain();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
  private:
+  struct Job {
+    api::SolveRequest request;
+    util::Deadline deadline;  // meaningful only when deadline_override
+    bool deadline_override = false;
+    std::promise<api::SolveResult> promise;
+  };
+
+  api::Ticket enqueue(api::SolveRequest request, const util::Deadline* dl);
   void worker_loop(int worker_index);
 
   const api::EngineOptions options_;
   std::vector<core::SolveWorkspace> workspaces_;  // one per worker, stable
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for a batch / shutdown
-  std::condition_variable done_cv_;  // solve_batch waits for completion
-  const std::vector<api::SolveRequest>* batch_ = nullptr;
-  std::vector<api::SolveResult>* results_ = nullptr;
-  std::size_t next_ = 0;       // next unclaimed request index
-  std::size_t completed_ = 0;  // requests finished in the current batch
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / shutdown
+  std::condition_variable space_cv_;  // submitters wait for queue space
+  std::condition_variable idle_cv_;   // drain() waits for completion
+  std::deque<Job> queue_;
+  std::size_t executing_ = 0;       // jobs claimed but not finished
+  std::uint64_t submitted_ = 0;     // also the next ticket id
+  std::uint64_t completed_ = 0;
+  bool closed_ = false;    // no new submissions
+  bool shutdown_ = false;  // workers exit once the queue is empty
 };
 
 }  // namespace krsp::engine

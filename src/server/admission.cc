@@ -1,0 +1,85 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace krsp::server {
+
+const char* admit_decision_name(AdmitDecision decision) {
+  switch (decision) {
+    case AdmitDecision::kAdmit:
+      return "admit";
+    case AdmitDecision::kRejectQueueFull:
+      return "queue-full";
+    case AdmitDecision::kRejectDeadline:
+      return "deadline-unmeetable";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options, int workers)
+    : options_(options),
+      workers_(std::max(1, workers)),
+      ewma_seconds_(std::max(0.0, options.service_time_prior_seconds)) {
+  KRSP_CHECK_MSG(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
+                 "ewma_alpha must be in (0, 1]");
+}
+
+double AdmissionController::predicted_wait_locked() const {
+  if (pending_ + 1 <= static_cast<std::size_t>(workers_)) return 0.0;
+  const double jobs_ahead =
+      static_cast<double>(pending_ + 1 - static_cast<std::size_t>(workers_));
+  return jobs_ahead * ewma_seconds_ / static_cast<double>(workers_);
+}
+
+AdmitDecision AdmissionController::admit(double deadline_seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+    ++rejected_queue_full_;
+    return AdmitDecision::kRejectQueueFull;
+  }
+  if (options_.deadline_aware && deadline_seconds > 0.0 &&
+      predicted_wait_locked() >= deadline_seconds) {
+    ++rejected_deadline_;
+    return AdmitDecision::kRejectDeadline;
+  }
+  ++pending_;
+  ++admitted_;
+  peak_pending_ = std::max(peak_pending_, pending_);
+  return AdmitDecision::kAdmit;
+}
+
+void AdmissionController::on_complete(double service_seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  KRSP_CHECK_MSG(pending_ > 0, "on_complete without a matching admit");
+  --pending_;
+  if (service_seconds >= 0.0) {
+    if (!have_sample_ && options_.service_time_prior_seconds <= 0.0) {
+      ewma_seconds_ = service_seconds;  // first sample seeds the EWMA
+    } else {
+      ewma_seconds_ = options_.ewma_alpha * service_seconds +
+                      (1.0 - options_.ewma_alpha) * ewma_seconds_;
+    }
+    have_sample_ = true;
+  }
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.admitted = admitted_;
+  s.rejected_queue_full = rejected_queue_full_;
+  s.rejected_deadline = rejected_deadline_;
+  s.pending = pending_;
+  s.peak_pending = peak_pending_;
+  s.ewma_service_seconds = ewma_seconds_;
+  return s;
+}
+
+double AdmissionController::predicted_wait_seconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return predicted_wait_locked();
+}
+
+}  // namespace krsp::server

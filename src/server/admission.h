@@ -1,0 +1,86 @@
+// Admission control for the solve service: reject early, never queue to
+// death.
+//
+// The controller tracks how many admitted requests are still unfinished
+// (queued or executing) and an EWMA of observed per-request service time.
+// Two rejection rules, both evaluated at arrival so a doomed request
+// costs the client one round-trip instead of a timeout:
+//
+//   * queue-full — pending >= max_pending: the service is saturated and
+//     adding depth only adds latency for everyone (the journal version of
+//     the source paper motivates kRSP with online QoS provisioning, where
+//     a fast "no" lets the caller fail over instead of waiting);
+//   * deadline-unmeetable — the predicted queue wait,
+//     max(0, pending + 1 - workers) x EWMA / workers, already exhausts
+//     the request's deadline_seconds. The solver's anytime ladder can
+//     degrade a *running* solve gracefully, but a request whose whole
+//     budget burns in the queue would degrade to nothing — reject it
+//     immediately instead (util/deadline.h charges the wait end-to-end).
+//
+// Thread-safe; one mutex, O(1) per call — negligible next to a solve.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace krsp::server {
+
+struct AdmissionOptions {
+  /// Max admitted-but-unfinished requests (queued + executing); 0 = no cap.
+  std::size_t max_pending = 256;
+  /// Enable the deadline-unmeetable rejection rule.
+  bool deadline_aware = true;
+  /// EWMA seed before any completion is observed; 0 = optimistic (predicted
+  /// wait is 0 until samples exist, so early requests always pass rule 2).
+  double service_time_prior_seconds = 0.0;
+  /// EWMA smoothing factor in (0, 1]; higher = faster adaptation.
+  double ewma_alpha = 0.15;
+};
+
+enum class AdmitDecision { kAdmit, kRejectQueueFull, kRejectDeadline };
+
+[[nodiscard]] const char* admit_decision_name(AdmitDecision decision);
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionOptions options, int workers);
+
+  /// Decides for one arriving request (deadline_seconds <= 0 = unbounded,
+  /// exempt from the deadline rule). On kAdmit the request is registered
+  /// as pending; the caller MUST pair it with on_complete().
+  [[nodiscard]] AdmitDecision admit(double deadline_seconds);
+
+  /// Marks one admitted request finished and feeds its observed service
+  /// time (seconds of solve execution) into the EWMA.
+  void on_complete(double service_seconds);
+
+  struct Snapshot {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::size_t pending = 0;
+    std::size_t peak_pending = 0;
+    double ewma_service_seconds = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Predicted queue wait for a request arriving now (seconds).
+  [[nodiscard]] double predicted_wait_seconds() const;
+
+ private:
+  [[nodiscard]] double predicted_wait_locked() const;
+
+  const AdmissionOptions options_;
+  const int workers_;
+
+  mutable std::mutex mu_;
+  std::size_t pending_ = 0;
+  std::size_t peak_pending_ = 0;
+  double ewma_seconds_;
+  bool have_sample_ = false;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_deadline_ = 0;
+};
+
+}  // namespace krsp::server

@@ -1,0 +1,111 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace krsp::server {
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t x) {
+    // Mix all 8 bytes, not just the low ones: edge weights are int64.
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t request_fingerprint(const api::SolveRequest& request) {
+  Fnv f;
+  const auto& inst = request.instance;
+  f.mix(static_cast<std::uint64_t>(inst.graph.num_vertices()));
+  f.mix(static_cast<std::uint64_t>(inst.graph.num_edges()));
+  for (const auto& e : inst.graph.edges()) {
+    f.mix(static_cast<std::uint64_t>(e.from));
+    f.mix(static_cast<std::uint64_t>(e.to));
+    f.mix(static_cast<std::uint64_t>(e.cost));
+    f.mix(static_cast<std::uint64_t>(e.delay));
+  }
+  f.mix(static_cast<std::uint64_t>(inst.s));
+  f.mix(static_cast<std::uint64_t>(inst.t));
+  f.mix(static_cast<std::uint64_t>(inst.k));
+  f.mix(static_cast<std::uint64_t>(inst.delay_bound));
+  f.mix(static_cast<std::uint64_t>(request.mode));
+  f.mix(static_cast<std::uint64_t>(request.guess));
+  f.mix(std::bit_cast<std::uint64_t>(request.eps1));
+  f.mix(std::bit_cast<std::uint64_t>(request.eps2));
+  return f.h;
+}
+
+ResultCache::ResultCache(std::size_t capacity, int shards)
+    : capacity_(capacity) {
+  const std::size_t n = std::clamp<std::size_t>(
+      shards <= 0 ? 1 : static_cast<std::size_t>(shards), 1,
+      std::max<std::size_t>(capacity, 1));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  // Ceil-divide so the shard sum never undercuts the requested capacity.
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + n - 1) / n;
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::uint64_t key) {
+  // High bits pick the shard; low bits feed the hash map, keeping the two
+  // partitions independent.
+  return *shards_[(key >> 48) % shards_.size()];
+}
+
+std::optional<api::SolveResult> ResultCache::lookup(std::uint64_t key) {
+  if (capacity_ == 0) return std::nullopt;
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.stats.misses;
+    return std::nullopt;
+  }
+  ++s.stats.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key, api::SolveResult result) {
+  if (capacity_ == 0) return;
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // Identical request re-solved concurrently; refresh, keep one copy.
+    it->second->second = std::move(result);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(result));
+  s.index.emplace(key, s.lru.begin());
+  ++s.stats.insertions;
+  while (s.lru.size() > per_shard_capacity_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.stats.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace krsp::server

@@ -1,0 +1,150 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace krsp::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+api::EngineOptions engine_options(const api::ServerOptions& options) {
+  api::EngineOptions eo;
+  eo.num_threads = options.num_threads;
+  eo.reuse_workspaces = options.reuse_workspaces;
+  // Admission bounds pending work; the engine queue itself stays
+  // unbounded so an admitted request can never block on backpressure.
+  eo.queue_capacity = 0;
+  return eo;
+}
+
+AdmissionOptions admission_options(const api::ServerOptions& options) {
+  AdmissionOptions ao;
+  ao.max_pending = options.max_pending;
+  ao.deadline_aware = options.deadline_aware_admission;
+  ao.service_time_prior_seconds = options.service_time_prior_seconds;
+  return ao;
+}
+
+}  // namespace
+
+const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kServed:
+      return "served";
+    case ServeStatus::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case ServeStatus::kRejectedDeadline:
+      return "rejected-deadline";
+    case ServeStatus::kRejectedDraining:
+      return "rejected-draining";
+  }
+  return "unknown";
+}
+
+SolveService::SolveService(api::ServerOptions options)
+    : options_(options),
+      engine_(engine_options(options)),
+      admission_(admission_options(options), engine_.num_threads()),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+SolveService::~SolveService() { drain(); }
+
+ServeResponse SolveService::serve(api::SolveRequest request) {
+  const auto t0 = Clock::now();
+  received_.fetch_add(1, std::memory_order_relaxed);
+  ServeResponse resp;
+
+  // Draining rejects everything, cache hits included: a drained service
+  // has one observable behavior, not a cache-dependent one.
+  if (!accepting_.load(std::memory_order_acquire)) {
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    resp.status = ServeStatus::kRejectedDraining;
+    resp.total_seconds = seconds_since(t0);
+    return resp;
+  }
+
+  // Deadline-bounded requests are anytime (results depend on wall clock),
+  // so only deadline-free requests participate in the cache.
+  const bool cacheable = request.deadline_seconds <= 0.0;
+  std::uint64_t key = 0;
+  if (cacheable) {
+    key = request_fingerprint(request);
+    if (auto hit = cache_.lookup(key)) {
+      resp.result = std::move(*hit);
+      resp.result.tag = request.tag;  // cached entries store no tag
+      resp.cache_hit = true;
+      served_.fetch_add(1, std::memory_order_relaxed);
+      resp.total_seconds = seconds_since(t0);
+      return resp;
+    }
+  }
+
+  switch (admission_.admit(request.deadline_seconds)) {
+    case AdmitDecision::kAdmit:
+      break;
+    case AdmitDecision::kRejectQueueFull:
+      resp.status = ServeStatus::kRejectedQueueFull;
+      resp.total_seconds = seconds_since(t0);
+      return resp;
+    case AdmitDecision::kRejectDeadline:
+      resp.status = ServeStatus::kRejectedDeadline;
+      resp.total_seconds = seconds_since(t0);
+      return resp;
+  }
+
+  // End-to-end accounting: the budget is anchored now, so time spent in
+  // the queue is charged against it and the worker sees only what's left.
+  const util::Deadline deadline =
+      util::Deadline::after_seconds(request.deadline_seconds);
+  api::Ticket ticket = request.deadline_seconds > 0.0
+                           ? engine_.submit(std::move(request), deadline)
+                           : engine_.submit(std::move(request));
+  resp.result = ticket.get();
+  admission_.on_complete(resp.result.telemetry.wall_seconds);
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (cacheable && resp.result.status != api::SolveStatus::kFailed) {
+    api::SolveResult cached = resp.result;
+    cached.tag.clear();  // cache contents are request-independent
+    cache_.insert(key, std::move(cached));
+  }
+  resp.total_seconds = seconds_since(t0);
+  resp.wait_seconds =
+      std::max(0.0, resp.total_seconds - resp.result.telemetry.wall_seconds);
+  return resp;
+}
+
+void SolveService::drain() {
+  accepting_.store(false, std::memory_order_release);
+  engine_.close();
+  engine_.drain();
+}
+
+api::ServeStats SolveService::stats() const {
+  api::ServeStats s;
+  s.received = received_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  const auto adm = admission_.snapshot();
+  s.rejected_queue_full = adm.rejected_queue_full;
+  s.rejected_deadline = adm.rejected_deadline;
+  s.pending = adm.pending;
+  s.peak_pending = adm.peak_pending;
+  s.ewma_service_seconds = adm.ewma_service_seconds;
+  const auto cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_insertions = cs.insertions;
+  s.cache_evictions = cs.evictions;
+  s.cache_entries = cs.entries;
+  return s;
+}
+
+}  // namespace krsp::server

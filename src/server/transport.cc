@@ -1,0 +1,277 @@
+#include "server/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "server/wire.h"
+
+namespace krsp::server {
+
+namespace {
+
+std::string error_line(const std::string& what, const std::string& id = "") {
+  wire::ObjectWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("ok", false);
+  w.field("error", what);
+  return w.done();
+}
+
+std::string paths_json(const core::PathSet& paths) {
+  std::string out = "[";
+  bool first_path = true;
+  for (const auto& path : paths.paths()) {
+    if (!first_path) out.push_back(',');
+    first_path = false;
+    out.push_back('[');
+    bool first_edge = true;
+    for (const auto e : path) {
+      if (!first_edge) out.push_back(',');
+      first_edge = false;
+      out += std::to_string(e);
+    }
+    out.push_back(']');
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string handle_solve(const wire::Value& req, SolveService& service) {
+  const std::string id = req.get_string("id");
+  const wire::Value* instance_text = req.find("instance");
+  if (instance_text == nullptr ||
+      instance_text->type != wire::Value::Type::kString)
+    return error_line("solve requires a string \"instance\" field", id);
+
+  api::SolveRequest request;
+  request.tag = id;
+  try {
+    std::istringstream is(instance_text->string);
+    request.instance = api::read_instance(is);
+  } catch (const std::exception& e) {
+    return error_line(std::string("bad instance: ") + e.what(), id);
+  }
+
+  const std::string mode = req.get_string("mode", "scaled");
+  if (mode == "scaled") {
+    request.mode = api::Mode::kScaled;
+  } else if (mode == "exact") {
+    request.mode = api::Mode::kExactWeights;
+  } else if (mode == "phase1") {
+    request.mode = api::Mode::kPhase1Only;
+  } else {
+    return error_line("unknown mode: " + mode, id);
+  }
+  const std::string guess = req.get_string("guess", "binary");
+  if (guess == "binary") {
+    request.guess = api::GuessStrategy::kBinarySearch;
+  } else if (guess == "doubling") {
+    request.guess = api::GuessStrategy::kDoubling;
+  } else {
+    return error_line("unknown guess: " + guess, id);
+  }
+  const double eps = req.get_number("eps", 0.25);  // alias, as in the CLIs
+  request.eps1 = req.get_number("eps1", eps);
+  request.eps2 = req.get_number("eps2", eps);
+  request.deadline_seconds = req.get_number("deadline", 0.0);
+
+  const ServeResponse r = service.serve(std::move(request));
+
+  wire::ObjectWriter w;
+  w.field("id", id);
+  w.field("ok", true);
+  w.field("served", r.served());
+  if (!r.served()) {
+    w.field("reject", serve_status_name(r.status));
+    w.field("total_ms", r.total_seconds * 1e3);
+    return w.done();
+  }
+  w.field("cache_hit", r.cache_hit);
+  w.field("status", api::status_name(r.result.status));
+  if (r.result.has_paths()) {
+    w.field("cost", static_cast<std::int64_t>(r.result.cost));
+    w.field("delay", static_cast<std::int64_t>(r.result.delay));
+    w.raw("paths", paths_json(r.result.paths));
+  }
+  w.field("degradation",
+          core::degradation_step_name(r.result.degradation()));
+  if (r.result.status == api::SolveStatus::kFailed)
+    w.field("error", r.result.error);
+  w.field("queue_ms", r.wait_seconds * 1e3);
+  w.field("total_ms", r.total_seconds * 1e3);
+  return w.done();
+}
+
+std::string handle_stats(SolveService& service) {
+  const api::ServeStats s = service.stats();
+  wire::ObjectWriter w;
+  w.field("ok", true);
+  w.field("received", s.received);
+  w.field("served", s.served);
+  w.field("rejected_queue_full", s.rejected_queue_full);
+  w.field("rejected_deadline", s.rejected_deadline);
+  w.field("rejected_draining", s.rejected_draining);
+  w.field("cache_hits", s.cache_hits);
+  w.field("cache_misses", s.cache_misses);
+  w.field("cache_insertions", s.cache_insertions);
+  w.field("cache_evictions", s.cache_evictions);
+  w.field("cache_entries", static_cast<std::uint64_t>(s.cache_entries));
+  w.field("pending", static_cast<std::uint64_t>(s.pending));
+  w.field("peak_pending", static_cast<std::uint64_t>(s.peak_pending));
+  w.field("ewma_service_ms", s.ewma_service_seconds * 1e3);
+  w.field("threads", static_cast<std::int64_t>(service.num_threads()));
+  return w.done();
+}
+
+}  // namespace
+
+std::string Protocol::handle_line(const std::string& line) {
+  std::string parse_error;
+  const auto req = wire::parse(line, &parse_error);
+  if (!req.has_value()) return error_line("bad json: " + parse_error);
+  if (req->type != wire::Value::Type::kObject)
+    return error_line("request must be a json object");
+
+  const std::string op = req->get_string("op", "solve");
+  if (op == "solve") return handle_solve(*req, service_);
+  if (op == "stats") return handle_stats(service_);
+  if (op == "ping")
+    return wire::ObjectWriter().field("ok", true).field("pong", true).done();
+  if (op == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    return wire::ObjectWriter()
+        .field("ok", true)
+        .field("draining", true)
+        .done();
+  }
+  return error_line("unknown op: " + op);
+}
+
+SocketServer::SocketServer(SolveService& service, std::string socket_path)
+    : protocol_(service), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+bool SocketServer::start(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr)
+      *error = "socket path too long (" + std::to_string(path_.size()) +
+               " >= " + std::to_string(sizeof(addr.sun_path)) + "): " + path_;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = "bind(" + path_ + "): " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr)
+      *error = std::string("listen(): ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool SocketServer::stopping() const {
+  return stop_.load(std::memory_order_acquire) ||
+         protocol_.shutdown_requested();
+}
+
+void SocketServer::serve_forever() {
+  KRSP_CHECK_MSG(listen_fd_ >= 0, "SocketServer::start() must succeed first");
+  while (!stopping()) {
+    // Poll with a timeout so a shutdown op handled on a connection thread
+    // breaks the accept loop promptly.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(threads_mu_);
+    threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+  // Graceful drain: connections finish the lines they are serving; their
+  // read loops notice the stop flag on the next poll tick and exit.
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mu_);
+    to_join.swap(threads_);
+  }
+  for (auto& t : to_join) t.join();
+}
+
+void SocketServer::request_stop() {
+  stop_.store(true, std::memory_order_release);
+}
+
+void SocketServer::connection_loop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    // A stopping server finishes buffered lines but stops waiting for
+    // slow clients, so one idle connection cannot wedge the drain.
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) {
+      if (stopping()) break;
+      continue;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;  // EOF or error: client is gone
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = protocol_.handle_line(line);
+      response.push_back('\n');
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w =
+            ::write(fd, response.data() + sent, response.size() - sent);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+      if (sent < response.size()) break;  // client stopped reading
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+}  // namespace krsp::server

@@ -1,0 +1,116 @@
+// Transport front-ends for the solve service.
+//
+// Framing: newline-delimited JSON, one object per line in each direction.
+// The protocol logic (parse request → SolveService::serve → serialize
+// response) lives in Protocol, which is transport-agnostic: tests drive
+// it through LocalTransport (no sockets, no threads), and krsp_serve
+// wraps it in SocketServer, a Unix-domain-socket listener with one thread
+// per connection.
+//
+// Request ops (field "op", default "solve"):
+//   {"op":"solve","id":"tag","instance":"<.kri text>","mode":"scaled",
+//    "eps1":0.25,"eps2":0.25,"guess":"binary","deadline":0.1}
+//   {"op":"stats"}     → serving counters (api::ServeStats)
+//   {"op":"ping"}      → liveness probe
+//   {"op":"shutdown"}  → ack, then the server begins its graceful drain
+//
+// Solve responses echo "id" and carry either the result
+//   {"id":..,"ok":true,"served":true,"cache_hit":false,"status":"approx",
+//    "cost":12,"delay":9,"paths":[[0,3],[2,5]],"degradation":"none",
+//    "queue_ms":0.1,"total_ms":2.3}
+// or an admission rejection ("served":false,"reject":"queue-full"), or —
+// for malformed input — {"ok":false,"error":"..."}; the connection always
+// gets exactly one response line per request line.
+//
+// The "instance" payload is the library's own .kri text format
+// (core/io.h) embedded as a JSON string: one serializer for files, tools
+// and the wire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+
+namespace krsp::server {
+
+/// Transport-agnostic request/response logic. Thread-safe: handle_line
+/// may be called concurrently from any number of transport threads.
+class Protocol {
+ public:
+  explicit Protocol(SolveService& service) : service_(service) {}
+
+  /// Handles one request line, returns one response line (no trailing
+  /// newline). Malformed input yields an ok:false response, never a
+  /// throw. A "shutdown" op sets the flag (the transport owns the actual
+  /// drain so in-flight connections finish first).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  SolveService& service_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// In-process transport for tests: the full protocol without sockets.
+class LocalTransport {
+ public:
+  explicit LocalTransport(SolveService& service) : protocol_(service) {}
+
+  [[nodiscard]] std::string request(const std::string& line) {
+    return protocol_.handle_line(line);
+  }
+  [[nodiscard]] bool shutdown_requested() const {
+    return protocol_.shutdown_requested();
+  }
+
+ private:
+  Protocol protocol_;
+};
+
+/// Unix-domain-socket server: accept loop + one thread per connection.
+/// serve_forever() returns after a shutdown op (or request_stop), once
+/// every connection has closed; the caller then drains the service.
+class SocketServer {
+ public:
+  SocketServer(SolveService& service, std::string socket_path);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. False (with *error set) on failure — path too
+  /// long, bind refused, etc.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Accept/serve until shutdown; joins all connection threads, unlinks
+  /// the socket path. Call start() first.
+  void serve_forever();
+
+  /// Asynchronous stop trigger (signal handlers, tests).
+  void request_stop();
+
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void connection_loop(int fd);
+  [[nodiscard]] bool stopping() const;
+
+  Protocol protocol_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace krsp::server

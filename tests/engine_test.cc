@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.h"
@@ -178,6 +179,111 @@ TEST(Engine, EmptyBatchAndRepeatedBatches) {
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i)
     expect_identical(first[i], second[i], "repeat " + std::to_string(i));
+}
+
+TEST(Engine, ThreadCountEdgeCasesAreDefined) {
+  // 0 = auto-detect: at least one worker, and an empty batch still works.
+  Engine auto_engine(EngineOptions{.num_threads = 0});
+  EXPECT_GE(auto_engine.num_threads(), 1);
+  EXPECT_TRUE(auto_engine.solve_batch({}).empty());
+  // Negative requests clamp to a single worker rather than UB or a throw.
+  Engine negative(EngineOptions{.num_threads = -4});
+  EXPECT_EQ(negative.num_threads(), 1);
+  const auto batch = mixed_batch(3);
+  const auto from_negative = negative.solve_batch(batch);
+  const auto from_auto = auto_engine.solve_batch(batch);
+  ASSERT_EQ(from_negative.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    expect_identical(from_negative[i], from_auto[i],
+                     "clamped vs auto, request " + std::to_string(i));
+}
+
+TEST(Engine, SubmitMatchesSolveBatchBitForBit) {
+  const auto batch = mixed_batch(12);
+  Engine engine(EngineOptions{.num_threads = 4});
+  const auto reference = engine.solve_batch(batch);
+
+  std::vector<Ticket> tickets;
+  tickets.reserve(batch.size());
+  for (const auto& req : batch) tickets.push_back(engine.submit(req));
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].valid());
+    // Ticket ids are the submission sequence: the first solve_batch above
+    // consumed ids [0, batch), so these continue from batch.size().
+    EXPECT_EQ(tickets[i].id(), batch.size() + i);
+    expect_identical(tickets[i].get(), reference[i],
+                     "submit vs solve_batch, request " + std::to_string(i));
+    EXPECT_FALSE(tickets[i].valid());  // get() consumes the ticket
+  }
+  EXPECT_EQ(engine.submitted(), 2 * batch.size());
+  engine.drain();
+  EXPECT_EQ(engine.completed(), 2 * batch.size());
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(Engine, BoundedQueueStreamsArbitrarilyLongSequences) {
+  // Capacity 2 with one worker: submit() must block-and-release rather
+  // than deadlock or drop, and results still arrive in ticket order.
+  Engine engine(EngineOptions{.num_threads = 1, .queue_capacity = 2});
+  const auto batch = mixed_batch(10);
+  Engine reference_engine(EngineOptions{.num_threads = 1});
+  const auto reference = reference_engine.solve_batch(batch);
+
+  std::vector<Ticket> tickets;
+  for (const auto& req : batch) {
+    tickets.push_back(engine.submit(req));
+    EXPECT_LE(engine.queue_depth(), 2u);
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i)
+    expect_identical(tickets[i].get(), reference[i],
+                     "bounded queue, request " + std::to_string(i));
+}
+
+TEST(Engine, ConcurrentSubmittersGetIndependentBitIdenticalResults) {
+  // Several client threads race submit() on one engine; each must read
+  // back exactly the results for its own requests. (TSan leg runs this.)
+  const auto batch = mixed_batch(6);
+  Engine reference_engine(EngineOptions{.num_threads = 2});
+  const auto reference = reference_engine.solve_batch(batch);
+
+  Engine engine(EngineOptions{.num_threads = 2, .queue_capacity = 4});
+  constexpr int kClients = 4;
+  std::vector<std::vector<SolveResult>> got(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      std::vector<Ticket> tickets;
+      for (const auto& req : batch) tickets.push_back(engine.submit(req));
+      for (auto& t : tickets) got[c].push_back(t.get());
+    });
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), batch.size()) << "client " << c;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      expect_identical(got[c][i], reference[i],
+                       "client " + std::to_string(c) + " request " +
+                           std::to_string(i));
+  }
+  EXPECT_EQ(engine.submitted(), kClients * batch.size());
+}
+
+TEST(Engine, CloseRejectsNewWorkAndDrainCompletesInFlight) {
+  Engine engine(EngineOptions{.num_threads = 2});
+  const auto batch = mixed_batch(4);
+  std::vector<Ticket> tickets;
+  for (const auto& req : batch) tickets.push_back(engine.submit(req));
+  engine.close();
+  engine.drain();
+  // Everything accepted before close() completed normally...
+  for (auto& t : tickets) EXPECT_NE(t.get().status, SolveStatus::kFailed);
+  EXPECT_EQ(engine.completed(), batch.size());
+  // ...and post-close submissions come back kFailed, never an exception.
+  Ticket rejected = engine.submit(batch.front());
+  ASSERT_TRUE(rejected.valid());
+  const SolveResult result = rejected.get();
+  EXPECT_EQ(result.status, SolveStatus::kFailed);
+  EXPECT_FALSE(result.error.empty());
 }
 
 }  // namespace

@@ -1,0 +1,427 @@
+// The serving stack: wire format, result-cache correctness (fingerprint
+// sensitivity + bit-identical hits), admission-control rules, the solve
+// service end to end, and the newline-JSON protocol over LocalTransport.
+// The concurrency tests double as the TSan leg's server coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/krsp.h"
+#include "server/admission.h"
+#include "server/result_cache.h"
+#include "server/service.h"
+#include "server/transport.h"
+#include "server/wire.h"
+#include "util/rng.h"
+
+namespace krsp::server {
+namespace {
+
+api::Instance random_instance(std::uint64_t seed, int n = 12, int k = 2) {
+  util::Rng rng(seed);
+  api::RandomInstanceOptions opt;
+  opt.k = k;
+  opt.delay_slack = 0.25;
+  const auto inst = api::random_er_instance(rng, n, 0.35, opt);
+  KRSP_CHECK_MSG(inst.has_value(), "seed " << seed << " drew no instance");
+  return *inst;
+}
+
+api::SolveRequest make_request(std::uint64_t seed) {
+  api::SolveRequest req;
+  req.instance = random_instance(seed);
+  req.mode = api::Mode::kExactWeights;
+  req.tag = "seed-" + std::to_string(seed);
+  return req;
+}
+
+/// Rebuilds the instance graph with edge `e`'s cost shifted by `delta`
+/// (the graph API intentionally has no cost setter).
+api::SolveRequest with_cost_bumped(api::SolveRequest req, graph::EdgeId e,
+                                   graph::Cost delta) {
+  graph::Digraph rebuilt(req.instance.graph.num_vertices());
+  for (graph::EdgeId id = 0; id < req.instance.graph.num_edges(); ++id) {
+    const graph::Edge& edge = req.instance.graph.edge(id);
+    rebuilt.add_edge(edge.from, edge.to,
+                     edge.cost + (id == e ? delta : 0), edge.delay);
+  }
+  req.instance.graph = std::move(rebuilt);
+  return req;
+}
+
+void expect_identical(const api::SolveResult& a, const api::SolveResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.status, b.status) << context;
+  EXPECT_EQ(a.cost, b.cost) << context;
+  EXPECT_EQ(a.delay, b.delay) << context;
+  EXPECT_EQ(a.paths.paths(), b.paths.paths()) << context;
+  EXPECT_EQ(a.telemetry.cost_guess_used, b.telemetry.cost_guess_used)
+      << context;
+}
+
+// --------------------------------------------------------------- wire ---
+
+TEST(ServerWire, ObjectRoundTripKeepsTypesExact) {
+  const std::int64_t big = 9007199254740993;  // not representable in double
+  const std::string line = wire::ObjectWriter()
+                               .field("s", "he\"llo\n\t\\")
+                               .field("b", true)
+                               .field("i", big)
+                               .field("neg", std::int64_t{-42})
+                               .field("d", 0.25)
+                               .raw("arr", "[[0,3],[2,5]]")
+                               .done();
+  const auto v = wire::parse(line);
+  ASSERT_TRUE(v.has_value()) << line;
+  EXPECT_EQ(v->get_string("s"), "he\"llo\n\t\\");
+  EXPECT_TRUE(v->get_bool("b", false));
+  ASSERT_TRUE(v->find("i")->is_integer);
+  EXPECT_EQ(v->get_int("i", 0), big);
+  EXPECT_EQ(v->get_int("neg", 0), -42);
+  EXPECT_DOUBLE_EQ(v->get_number("d", 0.0), 0.25);
+  const wire::Value* arr = v->find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->type, wire::Value::Type::kArray);
+  ASSERT_EQ(arr->items.size(), 2u);
+  EXPECT_EQ(arr->items[1].items[0].integer, 2);
+}
+
+TEST(ServerWire, UnicodeEscapesDecodeToUtf8) {
+  const auto v = wire::parse(R"({"u":"aé中😀b"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("u"), "a\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80"
+                                "b");
+}
+
+TEST(ServerWire, MalformedInputFailsWithoutCrashing) {
+  std::string error;
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\":1} trailing", "nul",
+        "\"unterminated", "{\"a\":1e}", "{\"dup\" 1}"}) {
+    EXPECT_FALSE(wire::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  // Nesting depth is capped, not stack-overflowed.
+  std::string deep(2000, '[');
+  deep += std::string(2000, ']');
+  EXPECT_FALSE(wire::parse(deep, &error).has_value());
+}
+
+// -------------------------------------------------------------- cache ---
+
+TEST(ServerCache, FingerprintChangesWithAnyMutatedInput) {
+  util::Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto base = make_request(600 + trial);
+    const std::uint64_t fp = request_fingerprint(base);
+    // A pure copy re-queries identically...
+    EXPECT_EQ(request_fingerprint(base), fp);
+    // ...and the tag is echoed metadata, not an input.
+    auto tagged = base;
+    tagged.tag = "different-tag";
+    EXPECT_EQ(request_fingerprint(tagged), fp);
+
+    // Any substantive mutation must change the fingerprint.
+    const auto e = static_cast<graph::EdgeId>(rng.uniform_int(
+        0, base.instance.graph.num_edges() - 1));
+    EXPECT_NE(request_fingerprint(with_cost_bumped(base, e, 1)), fp)
+        << "cost of edge " << e;
+
+    auto delay_mut = base;
+    delay_mut.instance.graph.set_edge_delay(
+        e, delay_mut.instance.graph.edge(e).delay + 1);
+    EXPECT_NE(request_fingerprint(delay_mut), fp) << "delay of edge " << e;
+
+    auto k_mut = base;
+    k_mut.instance.k += 1;
+    EXPECT_NE(request_fingerprint(k_mut), fp);
+
+    auto bound_mut = base;
+    bound_mut.instance.delay_bound += 1;
+    EXPECT_NE(request_fingerprint(bound_mut), fp);
+
+    auto eps_mut = base;
+    eps_mut.eps1 += 1e-9;
+    EXPECT_NE(request_fingerprint(eps_mut), fp);
+
+    auto mode_mut = base;
+    mode_mut.mode = api::Mode::kScaled;
+    EXPECT_NE(request_fingerprint(mode_mut), fp);
+  }
+}
+
+TEST(ServerCache, HitReturnsStoredResultAndLruEvicts) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  const auto req_a = make_request(1);
+  const auto req_b = make_request(2);
+  const auto req_c = make_request(3);
+  const auto key_a = request_fingerprint(req_a);
+  const auto key_b = request_fingerprint(req_b);
+  const auto key_c = request_fingerprint(req_c);
+
+  EXPECT_FALSE(cache.lookup(key_a).has_value());
+  cache.insert(key_a, api::Solver::solve(req_a));
+  cache.insert(key_b, api::Solver::solve(req_b));
+  const auto hit = cache.lookup(key_a);
+  ASSERT_TRUE(hit.has_value());
+  expect_identical(*hit, api::Solver::solve(req_a), "cached A");
+
+  // A is now most-recent, so inserting C evicts B.
+  cache.insert(key_c, api::Solver::solve(req_c));
+  EXPECT_TRUE(cache.lookup(key_a).has_value());
+  EXPECT_FALSE(cache.lookup(key_b).has_value());
+  EXPECT_TRUE(cache.lookup(key_c).has_value());
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.hits, 3u);    // A pre-evict, then A and C post-evict
+  EXPECT_EQ(s.misses, 2u);  // initial A probe, post-evict B probe
+}
+
+TEST(ServerCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  const auto req = make_request(9);
+  cache.insert(request_fingerprint(req), api::Solver::solve(req));
+  EXPECT_FALSE(cache.lookup(request_fingerprint(req)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+// ---------------------------------------------------------- admission ---
+
+TEST(ServerAdmission, QueueFullRuleIsExactAndReleases) {
+  AdmissionOptions opt;
+  opt.max_pending = 2;
+  opt.deadline_aware = false;
+  AdmissionController ctl(opt, /*workers=*/1);
+  EXPECT_EQ(ctl.admit(0.0), AdmitDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(0.0), AdmitDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(0.0), AdmitDecision::kRejectQueueFull);
+  ctl.on_complete(0.01);
+  EXPECT_EQ(ctl.admit(0.0), AdmitDecision::kAdmit);
+
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.admitted, 3u);
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.pending, 2u);
+  EXPECT_EQ(snap.peak_pending, 2u);
+}
+
+TEST(ServerAdmission, DeadlineRuleUsesPredictedQueueWait) {
+  AdmissionOptions opt;
+  opt.max_pending = 100;
+  opt.service_time_prior_seconds = 1.0;  // deterministic EWMA for the test
+  AdmissionController ctl(opt, /*workers=*/1);
+
+  // Empty service: predicted wait 0, any deadline passes.
+  EXPECT_EQ(ctl.admit(0.05), AdmitDecision::kAdmit);
+  // One pending on one worker: the next request waits ~1 EWMA ≈ 1s.
+  EXPECT_DOUBLE_EQ(ctl.predicted_wait_seconds(), 1.0);
+  EXPECT_EQ(ctl.admit(0.5), AdmitDecision::kRejectDeadline);
+  // Unbounded requests are exempt from the deadline rule.
+  EXPECT_EQ(ctl.admit(0.0), AdmitDecision::kAdmit);
+  // A roomy deadline clears the predicted wait (now 2 ahead ⇒ 2s).
+  EXPECT_EQ(ctl.admit(10.0), AdmitDecision::kAdmit);
+
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.admitted, 3u);
+  EXPECT_EQ(snap.rejected_deadline, 1u);
+  EXPECT_DOUBLE_EQ(snap.ewma_service_seconds, 1.0);
+}
+
+// ------------------------------------------------------------ service ---
+
+TEST(ServerService, CachedReplayIsBitIdenticalToDirectSolve) {
+  api::ServerOptions opt;
+  opt.num_threads = 2;
+  opt.cache_capacity = 16;
+  SolveService service(opt);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto req = make_request(800 + trial);
+    const auto direct = api::Solver::solve(req);
+
+    const ServeResponse first = service.serve(req);
+    ASSERT_TRUE(first.served());
+    EXPECT_FALSE(first.cache_hit);
+    expect_identical(first.result, direct, "first serve");
+    EXPECT_EQ(first.result.tag, req.tag);
+
+    const ServeResponse replay = service.serve(req);
+    ASSERT_TRUE(replay.served());
+    EXPECT_TRUE(replay.cache_hit);
+    expect_identical(replay.result, direct, "cached replay");
+    EXPECT_EQ(replay.result.tag, req.tag);  // re-stamped on the hit
+
+    // A one-unit cost bump is a different computation: must miss.
+    const ServeResponse mutated =
+        service.serve(with_cost_bumped(req, 0, 1));
+    ASSERT_TRUE(mutated.served());
+    EXPECT_FALSE(mutated.cache_hit);
+  }
+  const api::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 6u);
+  EXPECT_EQ(stats.cache_misses, 12u);
+  EXPECT_EQ(stats.served, 18u);
+}
+
+TEST(ServerService, DeadlineBoundedRequestsBypassTheCache) {
+  api::ServerOptions opt;
+  opt.num_threads = 1;
+  opt.cache_capacity = 16;
+  opt.deadline_aware_admission = false;  // this test is about caching only
+  SolveService service(opt);
+  auto req = make_request(42);
+  req.deadline_seconds = 30.0;  // roomy: result is still the full solve
+  const ServeResponse first = service.serve(req);
+  const ServeResponse second = service.serve(req);
+  ASSERT_TRUE(first.served());
+  ASSERT_TRUE(second.served());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(service.stats().cache_insertions, 0u);
+}
+
+TEST(ServerService, DrainStopsAdmissionsButAnswersInFlight) {
+  api::ServerOptions opt;
+  opt.num_threads = 2;
+  SolveService service(opt);
+  const auto req = make_request(77);
+  ASSERT_TRUE(service.serve(req).served());
+  service.drain();
+  const ServeResponse after = service.serve(req);
+  EXPECT_EQ(after.status, ServeStatus::kRejectedDraining);
+  EXPECT_FALSE(after.served());
+  EXPECT_EQ(service.stats().rejected_draining, 1u);
+  service.drain();  // idempotent
+}
+
+TEST(ServerService, ConcurrentClientsAllGetBitIdenticalResults) {
+  // The TSan-leg workhorse: many client threads hammer one service
+  // (shared cache, admission, engine) with a small request pool.
+  std::vector<api::SolveRequest> pool;
+  std::vector<api::SolveResult> oracle;
+  for (int i = 0; i < 4; ++i) {
+    pool.push_back(make_request(900 + i));
+    oracle.push_back(api::Solver::solve(pool.back()));
+  }
+  api::ServerOptions opt;
+  opt.num_threads = 2;
+  opt.cache_capacity = 8;
+  SolveService service(opt);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        const std::size_t i = static_cast<std::size_t>(c + r) % pool.size();
+        const ServeResponse resp = service.serve(pool[i]);
+        if (!resp.served() || resp.result.status != oracle[i].status ||
+            resp.result.cost != oracle[i].cost ||
+            resp.result.delay != oracle[i].delay ||
+            resp.result.paths.paths() != oracle[i].paths.paths())
+          mismatches.fetch_add(1);
+      }
+    });
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const api::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.served, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+// ----------------------------------------------------------- protocol ---
+
+std::string solve_line(const api::Instance& inst, const std::string& id,
+                       const std::string& mode = "exact") {
+  std::ostringstream kri;
+  api::write_instance(kri, inst);
+  return wire::ObjectWriter()
+      .field("op", "solve")
+      .field("id", id)
+      .field("instance", kri.str())
+      .field("mode", mode)
+      .done();
+}
+
+TEST(ServerProtocol, SolveRoundTripMatchesDirectSolve) {
+  SolveService service(api::ServerOptions{.num_threads = 2});
+  LocalTransport transport(service);
+
+  const auto inst = random_instance(55);
+  api::SolveRequest req;
+  req.instance = inst;
+  req.mode = api::Mode::kExactWeights;
+  const auto direct = api::Solver::solve(req);
+  ASSERT_TRUE(direct.has_paths());
+
+  const auto resp = wire::parse(transport.request(solve_line(inst, "rt-1")));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->get_string("id"), "rt-1");
+  EXPECT_TRUE(resp->get_bool("ok", false));
+  EXPECT_TRUE(resp->get_bool("served", false));
+  EXPECT_EQ(resp->get_string("status"), api::status_name(direct.status));
+  EXPECT_EQ(resp->get_int("cost", -1), direct.cost);
+  EXPECT_EQ(resp->get_int("delay", -1), direct.delay);
+  const wire::Value* paths = resp->find("paths");
+  ASSERT_NE(paths, nullptr);
+  ASSERT_EQ(paths->items.size(), direct.paths.paths().size());
+  for (std::size_t p = 0; p < paths->items.size(); ++p) {
+    ASSERT_EQ(paths->items[p].items.size(), direct.paths.paths()[p].size());
+    for (std::size_t e = 0; e < paths->items[p].items.size(); ++e)
+      EXPECT_EQ(paths->items[p].items[e].integer,
+                direct.paths.paths()[p][e]);
+  }
+}
+
+TEST(ServerProtocol, MalformedAndUnknownInputsGetErrorResponses) {
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service);
+  for (const char* bad :
+       {"not json", "[1,2,3]", "{\"op\":\"nope\"}",
+        "{\"op\":\"solve\"}",  // missing instance
+        "{\"op\":\"solve\",\"instance\":\"garbage text\"}"}) {
+    const auto resp = wire::parse(transport.request(bad));
+    ASSERT_TRUE(resp.has_value()) << bad;
+    EXPECT_FALSE(resp->get_bool("ok", true)) << bad;
+    EXPECT_FALSE(resp->get_string("error").empty()) << bad;
+  }
+  // Protocol errors must not count as served work.
+  EXPECT_EQ(service.stats().received, 0u);
+}
+
+TEST(ServerProtocol, StatsPingAndShutdownOps) {
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service);
+  const auto inst = random_instance(56);
+  ASSERT_TRUE(wire::parse(transport.request(solve_line(inst, "s-1")))
+                  ->get_bool("served", false));
+
+  const auto pong = wire::parse(transport.request(R"({"op":"ping"})"));
+  EXPECT_TRUE(pong->get_bool("pong", false));
+
+  const auto stats = wire::parse(transport.request(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->get_bool("ok", false));
+  EXPECT_EQ(stats->get_int("received", -1), 1);
+  EXPECT_EQ(stats->get_int("served", -1), 1);
+  EXPECT_EQ(stats->get_int("threads", -1), 1);
+
+  EXPECT_FALSE(transport.shutdown_requested());
+  const auto bye = wire::parse(transport.request(R"({"op":"shutdown"})"));
+  EXPECT_TRUE(bye->get_bool("draining", false));
+  EXPECT_TRUE(transport.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace krsp::server

@@ -1,0 +1,374 @@
+// Load generator / conformance client for krsp_serve.
+//
+//   $ krsp_loadgen --socket=/tmp/krsp.sock [--requests=64] [--connections=4]
+//                  [--rate=0] [--pool=8] [--n=12] [--k=2] [--seed=17]
+//                  [--mode=exact] [--eps1=0.25] [--eps2=0.25]
+//                  [--deadline=0] [--check] [--stats] [--shutdown] [--quiet]
+//
+// Generates a pool of seeded random instances, serializes each once, and
+// issues solve requests round-robin over the pool across N connections.
+// --rate > 0 runs open-loop: arrival times are fixed up front at the given
+// aggregate requests/sec and latency is measured from the *scheduled*
+// arrival (late starts count against the server, as they would for a real
+// user); --rate=0 runs closed-loop back-to-back per connection.
+//
+// --check solves every pool entry locally (direct api::Solver::solve) and
+// fails the run unless every served deadline-free response is bit-identical
+// — status, cost, delay, and the exact edge ids of every path. This is the
+// transport-level counterpart of bench_serving's in-process identity gate.
+//
+// --shutdown sends {"op":"shutdown"} at the end (the server then drains);
+// --stats prints the server's counters before that.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/krsp.h"
+#include "server/wire.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace krsp;
+namespace wire = krsp::server::wire;
+using Clock = std::chrono::steady_clock;
+
+/// Minimal blocking newline-framed client over a Unix socket.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect(const std::string& path, std::string* error) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long: " + path;
+      return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = std::string("socket(): ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      *error = "connect(" + path + "): " + std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool request(const std::string& line, std::string* response,
+               std::string* error) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t w =
+          ::write(fd_, framed.data() + sent, framed.size() - sent);
+      if (w <= 0) {
+        *error = std::string("write(): ") + std::strerror(errno);
+        return false;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *response = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) {
+        *error = n == 0 ? "server closed the connection"
+                        : std::string("read(): ") + std::strerror(errno);
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct PoolEntry {
+  std::string request_line;     // fully serialized solve request
+  api::SolveResult reference;   // direct local solve (when --check)
+};
+
+bool paths_match(const wire::Value& response,
+                 const core::PathSet& reference) {
+  const wire::Value* paths = response.find("paths");
+  if (paths == nullptr || paths->type != wire::Value::Type::kArray)
+    return reference.paths().empty();
+  const auto& expected = reference.paths();
+  if (paths->items.size() != expected.size()) return false;
+  for (std::size_t p = 0; p < expected.size(); ++p) {
+    const wire::Value& path = paths->items[p];
+    if (path.type != wire::Value::Type::kArray ||
+        path.items.size() != expected[p].size())
+      return false;
+    for (std::size_t e = 0; e < expected[p].size(); ++e) {
+      const wire::Value& edge = path.items[e];
+      if (edge.type != wire::Value::Type::kNumber || !edge.is_integer ||
+          edge.integer != expected[p][e])
+        return false;
+    }
+  }
+  return true;
+}
+
+struct WorkerReport {
+  std::vector<double> latency_ms;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t transport_errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string socket_path = cli.get_string("socket", "");
+  const int requests = static_cast<int>(cli.get_int("requests", 64));
+  const int connections = static_cast<int>(cli.get_int("connections", 4));
+  const double rate = cli.get_double("rate", 0.0);
+  const int pool_size = static_cast<int>(cli.get_int("pool", 8));
+  const int n = static_cast<int>(cli.get_int("n", 12));
+  const int k = static_cast<int>(cli.get_int("k", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  const std::string mode = cli.get_string("mode", "exact");
+  const double eps1 = cli.get_double("eps1", 0.25);
+  const double eps2 = cli.get_double("eps2", 0.25);
+  const double deadline = cli.get_double("deadline", 0.0);
+  const bool check = cli.get_bool("check", false);
+  const bool want_stats = cli.get_bool("stats", false);
+  const bool want_shutdown = cli.get_bool("shutdown", false);
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.reject_unknown();
+
+  if (socket_path.empty() || requests < 1 || connections < 1 ||
+      pool_size < 1) {
+    std::cerr << "usage: krsp_loadgen --socket=<path> [--requests=64] "
+                 "[--connections=4] [--rate=0] [--pool=8] [--n=12] [--k=2] "
+                 "[--seed=17] [--mode=exact|scaled|phase1] [--eps1] [--eps2] "
+                 "[--deadline=0] [--check] [--stats] [--shutdown] [--quiet]\n";
+    return 2;
+  }
+  api::Mode api_mode;
+  if (mode == "scaled") {
+    api_mode = api::Mode::kScaled;
+  } else if (mode == "exact") {
+    api_mode = api::Mode::kExactWeights;
+  } else if (mode == "phase1") {
+    api_mode = api::Mode::kPhase1Only;
+  } else {
+    std::cerr << "unknown --mode: " << mode << "\n";
+    return 2;
+  }
+
+  // Build the pool: seeded instances, serialized once; reference solves
+  // when checking (deadline-free so the oracle is deterministic).
+  util::Rng rng(seed);
+  std::vector<PoolEntry> pool;
+  pool.reserve(pool_size);
+  while (static_cast<int>(pool.size()) < pool_size) {
+    api::RandomInstanceOptions io;
+    io.k = k;
+    io.delay_slack = 0.25;
+    auto inst = api::random_er_instance(rng, n, 0.35, io);
+    if (!inst) continue;
+    api::SolveRequest req;
+    req.instance = *inst;
+    req.mode = api_mode;
+    req.eps1 = eps1;
+    req.eps2 = eps2;
+
+    std::ostringstream kri;
+    api::write_instance(kri, *inst);
+    wire::ObjectWriter w;
+    w.field("op", "solve");
+    w.field("id", "pool-" + std::to_string(pool.size()));
+    w.field("instance", kri.str());
+    w.field("mode", mode);
+    w.field("eps1", eps1);
+    w.field("eps2", eps2);
+    if (deadline > 0.0) w.field("deadline", deadline);
+
+    PoolEntry entry;
+    entry.request_line = w.done();
+    if (check) entry.reference = api::Solver::solve(req);
+    pool.push_back(std::move(entry));
+  }
+
+  const bool open_loop = rate > 0.0;
+  // Open-loop arrivals are scheduled from `start`; the 50 ms offset lets
+  // every worker thread spin up first. Wall time is measured from `t0`:
+  // closed-loop workers fire immediately and can finish before `start`.
+  const auto t0 = Clock::now();
+  const auto start = t0 + std::chrono::milliseconds(50);
+  std::vector<WorkerReport> reports(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  bool connect_failed = false;
+  std::mutex io_mu;
+
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerReport& rep = reports[c];
+      Client client;
+      std::string error;
+      if (!client.connect(socket_path, &error)) {
+        const std::lock_guard<std::mutex> lock(io_mu);
+        std::cerr << "krsp_loadgen: " << error << "\n";
+        connect_failed = true;
+        return;
+      }
+      // Request r goes to connection r % connections; arrival r/rate.
+      for (int r = c; r < requests; r += connections) {
+        Clock::time_point arrival = start;
+        if (open_loop) {
+          arrival += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(r) / rate));
+          std::this_thread::sleep_until(arrival);
+        } else {
+          arrival = Clock::now();
+        }
+        const std::size_t pool_index =
+            static_cast<std::size_t>(r) % pool.size();
+        std::string response_line;
+        if (!client.request(pool[pool_index].request_line, &response_line,
+                            &error)) {
+          ++rep.transport_errors;
+          const std::lock_guard<std::mutex> lock(io_mu);
+          std::cerr << "krsp_loadgen: " << error << "\n";
+          return;
+        }
+        // Open-loop latency is measured from the scheduled arrival, so a
+        // backed-up server (late send) is charged for the wait.
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - arrival)
+                .count();
+        const auto response = wire::parse(response_line);
+        if (!response.has_value() || !response->get_bool("ok", false)) {
+          ++rep.transport_errors;
+          continue;
+        }
+        if (!response->get_bool("served", false)) {
+          ++rep.rejected;
+          continue;
+        }
+        ++rep.served;
+        rep.latency_ms.push_back(latency_ms);
+        if (response->get_bool("cache_hit", false)) ++rep.cache_hits;
+        if (check && deadline <= 0.0) {
+          const api::SolveResult& ref = pool[pool_index].reference;
+          const bool same =
+              response->get_string("status") == api::status_name(ref.status) &&
+              response->get_int("cost", -1) ==
+                  (ref.has_paths() ? ref.cost : -1) &&
+              response->get_int("delay", -1) ==
+                  (ref.has_paths() ? ref.delay : -1) &&
+              paths_match(*response, ref.paths);
+          if (!same) {
+            ++rep.mismatches;
+            const std::lock_guard<std::mutex> lock(io_mu);
+            std::cerr << "krsp_loadgen: MISMATCH on pool entry " << pool_index
+                      << ": served " << response_line
+                      << " expected status="
+                      << api::status_name(ref.status) << " cost=" << ref.cost
+                      << " delay=" << ref.delay << "\n";
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  WorkerReport total;
+  util::Stats latency;
+  for (const auto& rep : reports) {
+    total.served += rep.served;
+    total.rejected += rep.rejected;
+    total.cache_hits += rep.cache_hits;
+    total.mismatches += rep.mismatches;
+    total.transport_errors += rep.transport_errors;
+    for (const double x : rep.latency_ms) latency.add(x);
+  }
+
+  if (!quiet) {
+    std::cout << "krsp_loadgen: " << requests << " request(s), "
+              << connections << " connection(s)"
+              << (open_loop ? ", open-loop @ " + std::to_string(rate) + "/s"
+                            : ", closed-loop")
+              << "\n  served=" << total.served
+              << " rejected=" << total.rejected
+              << " cache_hits=" << total.cache_hits
+              << " transport_errors=" << total.transport_errors
+              << "\n  wall=" << wall << " s, throughput="
+              << static_cast<double>(total.served + total.rejected) / wall
+              << " req/s\n";
+    if (latency.count() > 0)
+      std::cout << "  latency_ms p50=" << latency.percentile(50.0)
+                << " p95=" << latency.percentile(95.0)
+                << " p99=" << latency.percentile(99.0)
+                << " mean=" << latency.mean() << "\n";
+  }
+
+  Client control;
+  std::string error;
+  if ((want_stats || want_shutdown) && !control.connect(socket_path, &error)) {
+    std::cerr << "krsp_loadgen: control connection: " << error << "\n";
+    return 1;
+  }
+  if (want_stats) {
+    std::string line;
+    if (control.request("{\"op\":\"stats\"}", &line, &error))
+      std::cout << "server stats: " << line << "\n";
+  }
+  if (want_shutdown) {
+    std::string line;
+    if (!control.request("{\"op\":\"shutdown\"}", &line, &error)) {
+      std::cerr << "krsp_loadgen: shutdown: " << error << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << "server acknowledged shutdown: " << line << "\n";
+  }
+
+  if (connect_failed || total.transport_errors > 0) return 1;
+  if (check && total.mismatches > 0) {
+    std::cerr << "krsp_loadgen: FAIL: " << total.mismatches
+              << " served response(s) diverged from direct solve\n";
+    return 1;
+  }
+  if (check && !quiet)
+    std::cout << "all served responses bit-identical to direct solve\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Long-running solve service over a Unix-domain socket.
+//
+//   $ krsp_serve --socket=/tmp/krsp.sock [--threads=0] [--max-pending=256]
+//                [--cache-capacity=1024] [--cache-shards=8] [--no-cache]
+//                [--no-deadline-admission] [--no-reuse] [--quiet]
+//
+// Speaks the newline-framed JSON protocol of server/transport.h: clients
+// connect, write one JSON request per line, and read one JSON response per
+// line (see krsp_loadgen for a conforming client). The process runs until
+// a client sends {"op":"shutdown"} or it receives SIGINT/SIGTERM, then
+// drains gracefully: no new work is admitted, every in-flight solve
+// finishes and is answered, and the final serving counters are printed.
+#include <csignal>
+#include <iostream>
+
+#include "server/transport.h"
+#include "util/cli.h"
+
+namespace {
+
+krsp::server::SocketServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace krsp;
+  const util::Cli cli(argc, argv);
+  const std::string socket_path = cli.get_string("socket", "");
+  api::ServerOptions options;
+  options.num_threads = static_cast<int>(cli.get_int("threads", 0));
+  options.max_pending =
+      static_cast<std::size_t>(cli.get_int("max-pending", 256));
+  options.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache-capacity", 1024));
+  options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 8));
+  if (cli.get_bool("no-cache", false)) options.cache_capacity = 0;
+  options.deadline_aware_admission =
+      !cli.get_bool("no-deadline-admission", false);
+  options.reuse_workspaces = !cli.get_bool("no-reuse", false);
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.reject_unknown();
+
+  if (socket_path.empty()) {
+    std::cerr << "usage: krsp_serve --socket=<path> [--threads=0] "
+                 "[--max-pending=256] [--cache-capacity=1024] "
+                 "[--cache-shards=8] [--no-cache] [--no-deadline-admission] "
+                 "[--no-reuse] [--quiet]\n";
+    return 2;
+  }
+
+  server::SolveService service(options);
+  server::SocketServer socket_server(service, socket_path);
+  std::string error;
+  if (!socket_server.start(&error)) {
+    std::cerr << "krsp_serve: " << error << "\n";
+    return 1;
+  }
+
+  g_server = &socket_server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  if (!quiet)
+    std::cout << "krsp_serve: listening on " << socket_path << " with "
+              << service.num_threads() << " worker thread(s), cache "
+              << (options.cache_capacity > 0
+                      ? std::to_string(options.cache_capacity) + " entries"
+                      : std::string("off"))
+              << ", max pending " << options.max_pending << "\n"
+              << std::flush;
+
+  socket_server.serve_forever();  // returns after shutdown op / signal
+  service.drain();
+  g_server = nullptr;
+
+  if (!quiet) {
+    const api::ServeStats s = service.stats();
+    std::cout << "krsp_serve: drained. received=" << s.received
+              << " served=" << s.served
+              << " rejected_queue_full=" << s.rejected_queue_full
+              << " rejected_deadline=" << s.rejected_deadline
+              << " rejected_draining=" << s.rejected_draining
+              << " cache_hits=" << s.cache_hits
+              << " cache_misses=" << s.cache_misses
+              << " cache_evictions=" << s.cache_evictions
+              << " peak_pending=" << s.peak_pending << " connections="
+              << socket_server.connections_accepted() << "\n";
+  }
+  return 0;
+}
