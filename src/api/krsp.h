@@ -172,12 +172,19 @@ struct EngineOptions {
 /// order. Move-only; get() may be called once.
 class Ticket {
  public:
+  /// Id carried by tickets refused at submission (engine closed). A
+  /// refusal consumes no submission index — the dense 0-based sequence
+  /// belongs to accepted requests only — so refused tickets all share
+  /// this sentinel instead of aliasing the next accepted id.
+  static constexpr std::uint64_t kRefusedId = ~std::uint64_t{0};
+
   Ticket() = default;
   Ticket(Ticket&&) = default;
   Ticket& operator=(Ticket&&) = default;
 
   [[nodiscard]] bool valid() const { return future_.valid(); }
-  /// Submission index, 0-based and dense per engine.
+  /// Submission index, 0-based and dense per engine for accepted
+  /// requests; kRefusedId for tickets refused after close().
   [[nodiscard]] std::uint64_t id() const { return id_; }
   /// True once the result is available (get() will not block).
   [[nodiscard]] bool ready() const {

@@ -61,7 +61,9 @@ api::Ticket BatchEngine::enqueue(api::SolveRequest request,
     refused.error = "engine is closed (draining or destroyed)";
     std::promise<api::SolveResult> p;
     p.set_value(std::move(refused));
-    return api::Ticket(submitted_, p.get_future());
+    // kRefusedId, not submitted_: a refusal consumes no submission index,
+    // so reusing the counter would alias the next accepted ticket's id.
+    return api::Ticket(api::Ticket::kRefusedId, p.get_future());
   }
   Job job;
   job.request = std::move(request);

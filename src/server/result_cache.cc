@@ -18,10 +18,22 @@ struct Fnv {
   }
 };
 
-}  // namespace
+// splitmix64 accumulator: structurally unrelated to FNV-1a, so the pair
+// (request_fingerprint, request_fingerprint2) only collides when both
+// independent 64-bit hashes collide on the same two requests.
+struct SplitMix {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  void mix(std::uint64_t x) {
+    h += x + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+  }
+};
 
-std::uint64_t request_fingerprint(const api::SolveRequest& request) {
-  Fnv f;
+template <class Hasher>
+std::uint64_t hash_request(const api::SolveRequest& request) {
+  Hasher f;
   const auto& inst = request.instance;
   f.mix(static_cast<std::uint64_t>(inst.graph.num_vertices()));
   f.mix(static_cast<std::uint64_t>(inst.graph.num_edges()));
@@ -42,6 +54,16 @@ std::uint64_t request_fingerprint(const api::SolveRequest& request) {
   return f.h;
 }
 
+}  // namespace
+
+std::uint64_t request_fingerprint(const api::SolveRequest& request) {
+  return hash_request<Fnv>(request);
+}
+
+std::uint64_t request_fingerprint2(const api::SolveRequest& request) {
+  return hash_request<SplitMix>(request);
+}
+
 ResultCache::ResultCache(std::size_t capacity, int shards)
     : capacity_(capacity) {
   const std::size_t n = std::clamp<std::size_t>(
@@ -60,36 +82,43 @@ ResultCache::Shard& ResultCache::shard_for(std::uint64_t key) {
   return *shards_[(key >> 48) % shards_.size()];
 }
 
-std::optional<api::SolveResult> ResultCache::lookup(std::uint64_t key) {
+std::optional<api::SolveResult> ResultCache::lookup(std::uint64_t key,
+                                                    std::uint64_t verify) {
   if (capacity_ == 0) return std::nullopt;
   Shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(key);
-  if (it == s.index.end()) {
+  if (it == s.index.end() || it->second->verify != verify) {
+    // A present key with a mismatched verify hash is a 64-bit collision
+    // between distinct requests: serving it would break the bit-identity
+    // contract, so it is a miss.
     ++s.stats.misses;
     return std::nullopt;
   }
   ++s.stats.hits;
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->result;
 }
 
-void ResultCache::insert(std::uint64_t key, api::SolveResult result) {
+void ResultCache::insert(std::uint64_t key, std::uint64_t verify,
+                         api::SolveResult result) {
   if (capacity_ == 0) return;
   Shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
-    // Identical request re-solved concurrently; refresh, keep one copy.
-    it->second->second = std::move(result);
+    // Identical request re-solved concurrently (or a colliding key being
+    // overwritten); refresh in place, keep one copy per key.
+    it->second->verify = verify;
+    it->second->result = std::move(result);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  s.lru.emplace_front(key, std::move(result));
+  s.lru.push_front(Entry{key, verify, std::move(result)});
   s.index.emplace(key, s.lru.begin());
   ++s.stats.insertions;
   while (s.lru.size() > per_shard_capacity_) {
-    s.index.erase(s.lru.back().first);
+    s.index.erase(s.lru.back().key);
     s.lru.pop_back();
     ++s.stats.evictions;
   }

@@ -41,6 +41,14 @@ namespace krsp::server {
 [[nodiscard]] std::uint64_t request_fingerprint(
     const api::SolveRequest& request);
 
+/// Independent second hash (splitmix64 accumulator) over the same inputs.
+/// Stored alongside each cache entry and re-checked on lookup, so a
+/// primary-key collision between distinct requests reads as a miss
+/// instead of silently serving the wrong result — a colliding pair would
+/// have to collide under both hash functions at once.
+[[nodiscard]] std::uint64_t request_fingerprint2(
+    const api::SolveRequest& request);
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -56,28 +64,35 @@ class ResultCache {
   /// to [1, capacity] so each shard holds at least one entry.
   explicit ResultCache(std::size_t capacity, int shards = 8);
 
-  /// Returns a copy of the cached result and refreshes its LRU position.
+  /// Returns a copy of the cached result and refreshes its LRU position;
+  /// a key hit whose stored verify hash differs is a miss (collision).
   /// The stored tag is empty; callers re-stamp the requester's tag.
-  [[nodiscard]] std::optional<api::SolveResult> lookup(std::uint64_t key);
+  [[nodiscard]] std::optional<api::SolveResult> lookup(std::uint64_t key,
+                                                       std::uint64_t verify);
 
   /// Inserts (or refreshes) a result, evicting the shard's LRU tail when
-  /// over budget. The caller should clear the tag first so cache contents
-  /// are request-independent.
-  void insert(std::uint64_t key, api::SolveResult result);
+  /// over budget. `verify` is request_fingerprint2 of the same request.
+  /// The caller should clear the tag first so cache contents are
+  /// request-independent.
+  void insert(std::uint64_t key, std::uint64_t verify,
+              api::SolveResult result);
 
   [[nodiscard]] CacheStats stats() const;  // aggregated over shards
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t verify;  // request_fingerprint2, checked on lookup
+    api::SolveResult result;
+  };
+
   struct Shard {
     std::mutex mu;
     // Front = most recently used. The map stores list iterators, stable
     // under splice.
-    std::list<std::pair<std::uint64_t, api::SolveResult>> lru;
-    std::unordered_map<std::uint64_t,
-                       std::list<std::pair<std::uint64_t,
-                                           api::SolveResult>>::iterator>
-        index;
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
     CacheStats stats;
   };
 

@@ -74,9 +74,11 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
   // so only deadline-free requests participate in the cache.
   const bool cacheable = request.deadline_seconds <= 0.0;
   std::uint64_t key = 0;
+  std::uint64_t verify = 0;
   if (cacheable) {
     key = request_fingerprint(request);
-    if (auto hit = cache_.lookup(key)) {
+    verify = request_fingerprint2(request);
+    if (auto hit = cache_.lookup(key, verify)) {
       resp.result = std::move(*hit);
       resp.result.tag = request.tag;  // cached entries store no tag
       resp.cache_hit = true;
@@ -113,7 +115,7 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
   if (cacheable && resp.result.status != api::SolveStatus::kFailed) {
     api::SolveResult cached = resp.result;
     cached.tag.clear();  // cache contents are request-independent
-    cache_.insert(key, std::move(cached));
+    cache_.insert(key, verify, std::move(cached));
   }
   resp.total_seconds = seconds_since(t0);
   resp.wait_seconds =

@@ -24,6 +24,21 @@ std::string error_line(const std::string& what, const std::string& id = "") {
   return w.done();
 }
 
+// MSG_NOSIGNAL keeps a disconnected client from raising SIGPIPE (whose
+// default action would kill the whole daemon); EPIPE just means the
+// client is gone, reported as false so the caller closes the connection.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
 std::string paths_json(const core::PathSet& paths) {
   std::string out = "[";
   bool first_path = true;
@@ -217,18 +232,49 @@ void SocketServer::serve_forever() {
     if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Reap threads whose connections have closed so a long-running server
+    // with many short-lived clients holds O(live connections) handles,
+    // and enforce the concurrency cap on what remains.
+    if (reap_finished() >= kMaxConnections) {
+      send_all(fd, error_line("server at connection capacity") + "\n");
+      ::close(fd);
+      continue;
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(threads_mu_);
     threads_.emplace_back([this, fd] { connection_loop(fd); });
   }
   // Graceful drain: connections finish the lines they are serving; their
   // read loops notice the stop flag on the next poll tick and exit.
-  std::vector<std::thread> to_join;
+  std::list<std::thread> to_join;
   {
     const std::lock_guard<std::mutex> lock(threads_mu_);
     to_join.swap(threads_);
+    finished_ids_.clear();
   }
   for (auto& t : to_join) t.join();
+}
+
+std::size_t SocketServer::reap_finished() {
+  std::list<std::thread> done;
+  std::size_t live;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mu_);
+    for (const auto id : finished_ids_) {
+      for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+        if (it->get_id() == id) {
+          done.splice(done.end(), threads_, it);
+          break;
+        }
+      }
+    }
+    finished_ids_.clear();
+    live = threads_.size();
+  }
+  // Join outside the lock: these threads have already announced
+  // completion, so each join only waits out the final return.
+  for (auto& t : done) t.join();
+  return live;
 }
 
 void SocketServer::request_stop() {
@@ -252,26 +298,32 @@ void SocketServer::connection_loop(int fd) {
     if (n <= 0) break;  // EOF or error: client is gone
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
+    bool client_gone = false;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
          nl = buffer.find('\n', start)) {
       std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      std::string response = protocol_.handle_line(line);
-      response.push_back('\n');
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t w =
-            ::write(fd, response.data() + sent, response.size() - sent);
-        if (w <= 0) break;
-        sent += static_cast<std::size_t>(w);
+      if (!send_all(fd, protocol_.handle_line(line) + "\n")) {
+        client_gone = true;  // client stopped reading
+        break;
       }
-      if (sent < response.size()) break;  // client stopped reading
     }
     buffer.erase(0, start);
+    if (client_gone) break;
+    // Bound the partial-line buffer: a client streaming bytes with no
+    // newline must not grow server memory without limit.
+    if (buffer.size() > kMaxLineBytes) {
+      send_all(fd, error_line("request line exceeds " +
+                              std::to_string(kMaxLineBytes) + " bytes") +
+                       "\n");
+      break;
+    }
   }
   ::close(fd);
+  const std::lock_guard<std::mutex> lock(threads_mu_);
+  finished_ids_.push_back(std::this_thread::get_id());
 }
 
 }  // namespace krsp::server

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -78,8 +79,22 @@ class LocalTransport {
 /// Unix-domain-socket server: accept loop + one thread per connection.
 /// serve_forever() returns after a shutdown op (or request_stop), once
 /// every connection has closed; the caller then drains the service.
+///
+/// Robustness contract for a long-running daemon: responses are written
+/// with MSG_NOSIGNAL so a client that disconnects mid-response yields
+/// EPIPE (connection closed) instead of SIGPIPE (process killed);
+/// request lines are capped at kMaxLineBytes (overflow gets one error
+/// response, then the connection closes); finished connection threads
+/// are reaped on every accept, and concurrent connections are capped at
+/// kMaxConnections (excess connections get one error response).
 class SocketServer {
  public:
+  /// Longest accepted request line; a buffered partial line beyond this
+  /// is answered with an error and the connection is closed.
+  static constexpr std::size_t kMaxLineBytes = std::size_t{16} << 20;
+  /// Cap on simultaneously-open connections (== connection threads).
+  static constexpr std::size_t kMaxConnections = 256;
+
   SocketServer(SolveService& service, std::string socket_path);
   ~SocketServer();
   SocketServer(const SocketServer&) = delete;
@@ -103,6 +118,9 @@ class SocketServer {
  private:
   void connection_loop(int fd);
   [[nodiscard]] bool stopping() const;
+  /// Joins connection threads that have announced completion; returns the
+  /// number of threads still live afterwards (the concurrency gauge).
+  std::size_t reap_finished();
 
   Protocol protocol_;
   std::string path_;
@@ -110,7 +128,8 @@ class SocketServer {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
+  std::list<std::thread> threads_;
+  std::vector<std::thread::id> finished_ids_;
 };
 
 }  // namespace krsp::server

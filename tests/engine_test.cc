@@ -279,8 +279,12 @@ TEST(Engine, CloseRejectsNewWorkAndDrainCompletesInFlight) {
   for (auto& t : tickets) EXPECT_NE(t.get().status, SolveStatus::kFailed);
   EXPECT_EQ(engine.completed(), batch.size());
   // ...and post-close submissions come back kFailed, never an exception.
+  // Refused tickets carry the sentinel id, not a submission index: the
+  // dense id sequence belongs to accepted requests only.
   Ticket rejected = engine.submit(batch.front());
   ASSERT_TRUE(rejected.valid());
+  EXPECT_EQ(rejected.id(), Ticket::kRefusedId);
+  EXPECT_EQ(engine.submitted(), batch.size());
   const SolveResult result = rejected.get();
   EXPECT_EQ(result.status, SolveStatus::kFailed);
   EXPECT_FALSE(result.error.empty());

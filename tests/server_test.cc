@@ -118,18 +118,24 @@ TEST(ServerCache, FingerprintChangesWithAnyMutatedInput) {
   for (int trial = 0; trial < 20; ++trial) {
     const auto base = make_request(600 + trial);
     const std::uint64_t fp = request_fingerprint(base);
+    const std::uint64_t fp2 = request_fingerprint2(base);
     // A pure copy re-queries identically...
     EXPECT_EQ(request_fingerprint(base), fp);
+    EXPECT_EQ(request_fingerprint2(base), fp2);
     // ...and the tag is echoed metadata, not an input.
     auto tagged = base;
     tagged.tag = "different-tag";
     EXPECT_EQ(request_fingerprint(tagged), fp);
+    EXPECT_EQ(request_fingerprint2(tagged), fp2);
 
-    // Any substantive mutation must change the fingerprint.
+    // Any substantive mutation must change the fingerprint — both the
+    // primary key and the independent verify hash.
     const auto e = static_cast<graph::EdgeId>(rng.uniform_int(
         0, base.instance.graph.num_edges() - 1));
     EXPECT_NE(request_fingerprint(with_cost_bumped(base, e, 1)), fp)
         << "cost of edge " << e;
+    EXPECT_NE(request_fingerprint2(with_cost_bumped(base, e, 1)), fp2)
+        << "cost of edge " << e << " (verify hash)";
 
     auto delay_mut = base;
     delay_mut.instance.graph.set_edge_delay(
@@ -162,19 +168,22 @@ TEST(ServerCache, HitReturnsStoredResultAndLruEvicts) {
   const auto key_a = request_fingerprint(req_a);
   const auto key_b = request_fingerprint(req_b);
   const auto key_c = request_fingerprint(req_c);
+  const auto ver_a = request_fingerprint2(req_a);
+  const auto ver_b = request_fingerprint2(req_b);
+  const auto ver_c = request_fingerprint2(req_c);
 
-  EXPECT_FALSE(cache.lookup(key_a).has_value());
-  cache.insert(key_a, api::Solver::solve(req_a));
-  cache.insert(key_b, api::Solver::solve(req_b));
-  const auto hit = cache.lookup(key_a);
+  EXPECT_FALSE(cache.lookup(key_a, ver_a).has_value());
+  cache.insert(key_a, ver_a, api::Solver::solve(req_a));
+  cache.insert(key_b, ver_b, api::Solver::solve(req_b));
+  const auto hit = cache.lookup(key_a, ver_a);
   ASSERT_TRUE(hit.has_value());
   expect_identical(*hit, api::Solver::solve(req_a), "cached A");
 
   // A is now most-recent, so inserting C evicts B.
-  cache.insert(key_c, api::Solver::solve(req_c));
-  EXPECT_TRUE(cache.lookup(key_a).has_value());
-  EXPECT_FALSE(cache.lookup(key_b).has_value());
-  EXPECT_TRUE(cache.lookup(key_c).has_value());
+  cache.insert(key_c, ver_c, api::Solver::solve(req_c));
+  EXPECT_TRUE(cache.lookup(key_a, ver_a).has_value());
+  EXPECT_FALSE(cache.lookup(key_b, ver_b).has_value());
+  EXPECT_TRUE(cache.lookup(key_c, ver_c).has_value());
 
   const CacheStats s = cache.stats();
   EXPECT_EQ(s.insertions, 3u);
@@ -187,10 +196,35 @@ TEST(ServerCache, HitReturnsStoredResultAndLruEvicts) {
 TEST(ServerCache, ZeroCapacityDisablesCaching) {
   ResultCache cache(0);
   const auto req = make_request(9);
-  cache.insert(request_fingerprint(req), api::Solver::solve(req));
-  EXPECT_FALSE(cache.lookup(request_fingerprint(req)).has_value());
+  cache.insert(request_fingerprint(req), request_fingerprint2(req),
+               api::Solver::solve(req));
+  EXPECT_FALSE(
+      cache.lookup(request_fingerprint(req), request_fingerprint2(req))
+          .has_value());
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ServerCache, PrimaryKeyCollisionIsAMissNotAWrongResult) {
+  // Two distinct requests whose primary fingerprints collide must not
+  // serve each other's results: the stored verify hash disagrees, so the
+  // lookup reads as a miss (and the second hashes really do differ).
+  ResultCache cache(/*capacity=*/4, /*shards=*/1);
+  const auto req_a = make_request(11);
+  const auto req_b = make_request(12);
+  const auto key = request_fingerprint(req_a);  // forced collision
+  const auto ver_a = request_fingerprint2(req_a);
+  const auto ver_b = request_fingerprint2(req_b);
+  ASSERT_NE(ver_a, ver_b);
+
+  cache.insert(key, ver_a, api::Solver::solve(req_a));
+  EXPECT_FALSE(cache.lookup(key, ver_b).has_value())
+      << "collision served a wrong result";
+  const auto hit = cache.lookup(key, ver_a);
+  ASSERT_TRUE(hit.has_value());
+  expect_identical(*hit, api::Solver::solve(req_a), "collision-checked A");
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 // ---------------------------------------------------------- admission ---

@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
   g_server = &socket_server;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  // The transport writes with MSG_NOSIGNAL, but ignore SIGPIPE anyway so
+  // a client that disconnects before reading its response can never kill
+  // the daemon through some other write path.
+  std::signal(SIGPIPE, SIG_IGN);
 
   if (!quiet)
     std::cout << "krsp_serve: listening on " << socket_path << " with "
