@@ -27,6 +27,16 @@ core::SolverOptions to_solver_options(const SolveRequest& request) {
   return options;
 }
 
+const char* sla_class_name(SlaClass cls) {
+  switch (cls) {
+    case SlaClass::kInteractive:
+      return "interactive";
+    case SlaClass::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
 const char* status_name(SolveStatus status) {
   switch (status) {
     case SolveStatus::kOptimal:

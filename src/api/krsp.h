@@ -88,6 +88,16 @@ enum class GuessStrategy {
   kDoubling,      // <= 2× looser cap, fewer cancellation runs
 };
 
+/// Service class of a request for SLA-tiered admission (serving layer
+/// only; a direct Solver::solve ignores it). Interactive requests are
+/// latency-sensitive: under overload the service admits them into the
+/// degraded (coarser-eps) ladder and sheds batch load first. Batch
+/// requests accept queueing and are bounded by their own smaller budget.
+enum class SlaClass { kInteractive, kBatch };
+
+/// Short stable name ("interactive", "batch") for wire and logs.
+[[nodiscard]] const char* sla_class_name(SlaClass cls);
+
 /// One solve, self-contained: the instance plus every knob that affects
 /// the answer. Requests are value types — copy or move them freely; a
 /// batch may repeat the same instance under different parameters.
@@ -102,6 +112,10 @@ struct SolveRequest {
   /// not charged). On expiry the solver returns the best result of the
   /// anytime degradation ladder; SolveResult::degradation() names the step.
   double deadline_seconds = 0.0;
+  /// SLA tier for the serving layer's admission controller; does not
+  /// affect the computation itself (and is excluded from the result-cache
+  /// fingerprint — both tiers share cache entries).
+  SlaClass sla = SlaClass::kBatch;
   /// Caller correlation id, echoed verbatim in the result.
   std::string tag;
 };
@@ -275,9 +289,24 @@ struct ServerOptions {
   bool reuse_workspaces = true;
 
   /// Admission bound: maximum requests admitted but not yet completed
-  /// (queued + executing). Beyond it, serve() rejects immediately with
-  /// kRejectedQueueFull; 0 = unbounded.
+  /// (queued + executing), across both SLA classes. Beyond it, serve()
+  /// rejects immediately with kRejectedQueueFull; 0 = unbounded.
   std::size_t max_pending = 256;
+  /// Batch-class budget within max_pending; 0 = inherit max_pending
+  /// (classless behavior). A smaller batch budget is how interactive
+  /// traffic sheds batch load under overload: batch hits its budget and
+  /// rejects while interactive keeps admitting up to the global bound.
+  std::size_t max_pending_batch = 0;
+  /// Interactive overload ladder: when the predicted queue wait for an
+  /// arriving interactive request exceeds this many seconds, admit it in
+  /// degraded mode — coarsen eps1/eps2 (kScaled) and switch the cap
+  /// search to kDoubling — instead of queueing the full-accuracy solve.
+  /// 0 disables the ladder. Degraded results are never cached.
+  double degrade_wait_seconds = 0.0;
+  /// eps multiplier applied on a degraded admit (kScaled requests).
+  double overload_eps_factor = 2.0;
+  /// Ceiling for the coarsened eps values.
+  double overload_eps_cap = 1.0;
   /// Reject a deadline-bounded request up front when the predicted queue
   /// wait (pending × EWMA service time / workers) would already exhaust
   /// its deadline_seconds — an immediate, honest rejection instead of a
@@ -291,6 +320,17 @@ struct ServerOptions {
   std::size_t cache_capacity = 1024;
   /// Shard count (each shard has its own lock and LRU list); clamped >= 1.
   int cache_shards = 8;
+};
+
+/// Per-SLA-class serving counters (monotonic except the pending gauge).
+struct SlaClassStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  /// Admits that went through the overload ladder (coarsened eps).
+  std::uint64_t degraded = 0;
+  std::size_t pending = 0;            // gauge
+  double ewma_service_seconds = 0.0;  // per-class service-time estimate
 };
 
 /// Serving-layer counters, all monotonic since service start except the
@@ -309,6 +349,9 @@ struct ServeStats {
   std::size_t pending = 0;             // gauge: admitted, not completed
   std::size_t peak_pending = 0;
   double ewma_service_seconds = 0.0;   // admission's service-time estimate
+  /// Per-tier breakdowns of the admission counters above.
+  SlaClassStats interactive;
+  SlaClassStats batch;
 };
 
 /// Lowering of a request onto the internal solver configuration. Exposed

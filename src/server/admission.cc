@@ -10,6 +10,8 @@ const char* admit_decision_name(AdmitDecision decision) {
   switch (decision) {
     case AdmitDecision::kAdmit:
       return "admit";
+    case AdmitDecision::kAdmitDegraded:
+      return "admit-degraded";
     case AdmitDecision::kRejectQueueFull:
       return "queue-full";
     case AdmitDecision::kRejectDeadline:
@@ -24,6 +26,11 @@ AdmissionController::AdmissionController(AdmissionOptions options, int workers)
       ewma_seconds_(std::max(0.0, options.service_time_prior_seconds)) {
   KRSP_CHECK_MSG(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
                  "ewma_alpha must be in (0, 1]");
+  KRSP_CHECK_MSG(options_.max_pending == 0 ||
+                     options_.max_pending_batch <= options_.max_pending,
+                 "max_pending_batch must not exceed max_pending");
+  interactive_.ewma_seconds = ewma_seconds_;
+  batch_.ewma_seconds = ewma_seconds_;
 }
 
 double AdmissionController::predicted_wait_locked() const {
@@ -33,27 +40,56 @@ double AdmissionController::predicted_wait_locked() const {
   return jobs_ahead * ewma_seconds_ / static_cast<double>(workers_);
 }
 
-AdmitDecision AdmissionController::admit(double deadline_seconds) {
+AdmitDecision AdmissionController::admit(double deadline_seconds,
+                                         api::SlaClass cls) {
   const std::lock_guard<std::mutex> lock(mu_);
+  ClassState& state = state_for(cls);
   if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
-    ++rejected_queue_full_;
+    ++state.rejected_queue_full;
     return AdmitDecision::kRejectQueueFull;
   }
+  // Batch budget: sheds batch load while interactive still admits. The
+  // budget only binds when a cap exists at all (max_pending > 0).
+  if (cls == api::SlaClass::kBatch && options_.max_pending > 0) {
+    const std::size_t batch_budget = options_.max_pending_batch > 0
+                                         ? options_.max_pending_batch
+                                         : options_.max_pending;
+    if (state.pending >= batch_budget) {
+      ++state.rejected_queue_full;
+      return AdmitDecision::kRejectQueueFull;
+    }
+  }
+  // This request's own predicted wait (evaluated before it joins the
+  // queue) drives both the deadline rule and the overload ladder.
+  const double own_wait = predicted_wait_locked();
   if (options_.deadline_aware && deadline_seconds > 0.0 &&
-      predicted_wait_locked() >= deadline_seconds) {
-    ++rejected_deadline_;
+      own_wait >= deadline_seconds) {
+    ++state.rejected_deadline;
     return AdmitDecision::kRejectDeadline;
   }
   ++pending_;
-  ++admitted_;
+  ++state.pending;
+  ++state.admitted;
   peak_pending_ = std::max(peak_pending_, pending_);
+  if (cls == api::SlaClass::kInteractive &&
+      options_.degrade_wait_seconds > 0.0 &&
+      own_wait >= options_.degrade_wait_seconds) {
+    ++state.degraded;
+    return AdmitDecision::kAdmitDegraded;
+  }
   return AdmitDecision::kAdmit;
 }
 
-void AdmissionController::on_complete(double service_seconds) {
+void AdmissionController::on_complete(double service_seconds,
+                                      api::SlaClass cls) {
   const std::lock_guard<std::mutex> lock(mu_);
+  ClassState& state = state_for(cls);
   KRSP_CHECK_MSG(pending_ > 0, "on_complete without a matching admit");
+  KRSP_CHECK_MSG(state.pending > 0,
+                 "on_complete(" << api::sla_class_name(cls)
+                                << ") without a matching admit of that class");
   --pending_;
+  --state.pending;
   if (service_seconds >= 0.0) {
     if (!have_sample_ && options_.service_time_prior_seconds <= 0.0) {
       ewma_seconds_ = service_seconds;  // first sample seeds the EWMA
@@ -62,18 +98,39 @@ void AdmissionController::on_complete(double service_seconds) {
                       (1.0 - options_.ewma_alpha) * ewma_seconds_;
     }
     have_sample_ = true;
+    if (!state.have_sample && options_.service_time_prior_seconds <= 0.0) {
+      state.ewma_seconds = service_seconds;
+    } else {
+      state.ewma_seconds = options_.ewma_alpha * service_seconds +
+                           (1.0 - options_.ewma_alpha) * state.ewma_seconds;
+    }
+    state.have_sample = true;
   }
 }
 
 AdmissionController::Snapshot AdmissionController::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
-  s.admitted = admitted_;
-  s.rejected_queue_full = rejected_queue_full_;
-  s.rejected_deadline = rejected_deadline_;
+  s.admitted = interactive_.admitted + batch_.admitted;
+  s.rejected_queue_full =
+      interactive_.rejected_queue_full + batch_.rejected_queue_full;
+  s.rejected_deadline =
+      interactive_.rejected_deadline + batch_.rejected_deadline;
   s.pending = pending_;
   s.peak_pending = peak_pending_;
   s.ewma_service_seconds = ewma_seconds_;
+  const auto to_snapshot = [](const ClassState& state) {
+    ClassSnapshot cs;
+    cs.admitted = state.admitted;
+    cs.rejected_queue_full = state.rejected_queue_full;
+    cs.rejected_deadline = state.rejected_deadline;
+    cs.degraded = state.degraded;
+    cs.pending = state.pending;
+    cs.ewma_service_seconds = state.ewma_seconds;
+    return cs;
+  };
+  s.interactive = to_snapshot(interactive_);
+  s.batch = to_snapshot(batch_);
   return s;
 }
 

@@ -17,17 +17,34 @@
 //     budget burns in the queue would degrade to nothing — reject it
 //     immediately instead (util/deadline.h charges the wait end-to-end).
 //
+// Requests carry an SLA class (api::SlaClass). Batch requests are bounded
+// by their own budget (max_pending_batch <= max_pending), so under
+// overload batch load is shed first while interactive traffic keeps
+// admitting up to the global bound. Interactive requests additionally
+// ride an overload ladder: when the predicted wait crosses
+// degrade_wait_seconds the decision is kAdmitDegraded — the service
+// coarsens the request (anytime ladder: larger eps, doubling cap search)
+// instead of queueing a full-accuracy solve or rejecting outright.
+// Per-class EWMAs and counters are kept for telemetry; the wait
+// prediction uses the global EWMA (the worker pool is shared, so the
+// queue drains at the blended rate).
+//
 // Thread-safe; one mutex, O(1) per call — negligible next to a solve.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 
+#include "api/krsp.h"
+
 namespace krsp::server {
 
 struct AdmissionOptions {
-  /// Max admitted-but-unfinished requests (queued + executing); 0 = no cap.
+  /// Max admitted-but-unfinished requests (queued + executing), both
+  /// classes combined; 0 = no cap.
   std::size_t max_pending = 256;
+  /// Batch-class budget within max_pending; 0 = inherit max_pending.
+  std::size_t max_pending_batch = 0;
   /// Enable the deadline-unmeetable rejection rule.
   bool deadline_aware = true;
   /// EWMA seed before any completion is observed; 0 = optimistic (predicted
@@ -35,9 +52,19 @@ struct AdmissionOptions {
   double service_time_prior_seconds = 0.0;
   /// EWMA smoothing factor in (0, 1]; higher = faster adaptation.
   double ewma_alpha = 0.15;
+  /// Interactive overload ladder: predicted wait beyond this many seconds
+  /// turns an interactive admit into kAdmitDegraded; 0 = ladder off.
+  double degrade_wait_seconds = 0.0;
 };
 
-enum class AdmitDecision { kAdmit, kRejectQueueFull, kRejectDeadline };
+enum class AdmitDecision {
+  kAdmit,
+  /// Admitted, but the service should coarsen the request (overload
+  /// ladder). Counts as admitted for pending/counter purposes.
+  kAdmitDegraded,
+  kRejectQueueFull,
+  kRejectDeadline,
+};
 
 [[nodiscard]] const char* admit_decision_name(AdmitDecision decision);
 
@@ -46,14 +73,26 @@ class AdmissionController {
   AdmissionController(AdmissionOptions options, int workers);
 
   /// Decides for one arriving request (deadline_seconds <= 0 = unbounded,
-  /// exempt from the deadline rule). On kAdmit the request is registered
-  /// as pending; the caller MUST pair it with on_complete().
-  [[nodiscard]] AdmitDecision admit(double deadline_seconds);
+  /// exempt from the deadline rule). On kAdmit/kAdmitDegraded the request
+  /// is registered as pending; the caller MUST pair it with on_complete()
+  /// of the same class.
+  [[nodiscard]] AdmitDecision admit(
+      double deadline_seconds, api::SlaClass cls = api::SlaClass::kBatch);
 
   /// Marks one admitted request finished and feeds its observed service
-  /// time (seconds of solve execution) into the EWMA.
-  void on_complete(double service_seconds);
+  /// time (seconds of solve execution) into the global and per-class
+  /// EWMAs.
+  void on_complete(double service_seconds,
+                   api::SlaClass cls = api::SlaClass::kBatch);
 
+  struct ClassSnapshot {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t degraded = 0;  // kAdmitDegraded decisions
+    std::size_t pending = 0;
+    double ewma_service_seconds = 0.0;
+  };
   struct Snapshot {
     std::uint64_t admitted = 0;
     std::uint64_t rejected_queue_full = 0;
@@ -61,6 +100,8 @@ class AdmissionController {
     std::size_t pending = 0;
     std::size_t peak_pending = 0;
     double ewma_service_seconds = 0.0;
+    ClassSnapshot interactive;
+    ClassSnapshot batch;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -68,7 +109,20 @@ class AdmissionController {
   [[nodiscard]] double predicted_wait_seconds() const;
 
  private:
+  struct ClassState {
+    std::size_t pending = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t degraded = 0;
+    double ewma_seconds = 0.0;
+    bool have_sample = false;
+  };
+
   [[nodiscard]] double predicted_wait_locked() const;
+  [[nodiscard]] ClassState& state_for(api::SlaClass cls) {
+    return cls == api::SlaClass::kInteractive ? interactive_ : batch_;
+  }
 
   const AdmissionOptions options_;
   const int workers_;
@@ -78,9 +132,8 @@ class AdmissionController {
   std::size_t peak_pending_ = 0;
   double ewma_seconds_;
   bool have_sample_ = false;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t rejected_queue_full_ = 0;
-  std::uint64_t rejected_deadline_ = 0;
+  ClassState interactive_;
+  ClassState batch_;
 };
 
 }  // namespace krsp::server

@@ -1,0 +1,208 @@
+#include "server/fault.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+namespace krsp::server {
+
+bool FdStream::send(std::string_view data, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) {
+      if (error != nullptr)
+        *error = std::string("send(): ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+ssize_t FdStream::recv(char* buf, std::size_t len, int timeout_ms,
+                       std::string* error) {
+  using Clock = std::chrono::steady_clock;
+  const auto give_up =
+      timeout_ms >= 0
+          ? std::optional(Clock::now() + std::chrono::milliseconds(timeout_ms))
+          : std::nullopt;
+  while (true) {
+    int wait_ms = -1;
+    if (give_up.has_value()) {
+      wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(*give_up -
+                                                                Clock::now())
+              .count());
+      if (wait_ms < 0) return kRecvTimeout;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr)
+        *error = std::string("poll(): ") + std::strerror(errno);
+      return kRecvError;
+    }
+    if (rc == 0) return kRecvTimeout;
+    const ssize_t n = ::read(fd_, buf, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      if (error != nullptr)
+        *error = std::string("read(): ") + std::strerror(errno);
+      return kRecvError;
+    }
+    return n;  // 0 = EOF
+  }
+}
+
+void FdStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr)
+      *error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr)
+      *error = "connect(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kGarbage:
+      return "garbage";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kReset:
+      return "reset";
+    case FaultKind::kSlowRead:
+      return "slow-read";
+  }
+  return "unknown";
+}
+
+FaultKind FaultyStream::draw_fault() {
+  if (rng_ == nullptr || options_.fault_rate <= 0.0) return FaultKind::kNone;
+  if (!rng_->bernoulli(options_.fault_rate)) return FaultKind::kNone;
+  const double total = options_.p_garbage + options_.p_stall +
+                       options_.p_truncate + options_.p_reset +
+                       options_.p_slow_read;
+  if (total <= 0.0) return FaultKind::kNone;
+  double x = rng_->uniform01() * total;
+  if ((x -= options_.p_garbage) < 0.0) return FaultKind::kGarbage;
+  if ((x -= options_.p_stall) < 0.0) return FaultKind::kStall;
+  if ((x -= options_.p_truncate) < 0.0) return FaultKind::kTruncate;
+  if ((x -= options_.p_reset) < 0.0) return FaultKind::kReset;
+  return FaultKind::kSlowRead;
+}
+
+bool FaultyStream::send(std::string_view data, std::string* error) {
+  if (counters_ != nullptr) ++counters_->sends;
+  const FaultKind fault = draw_fault();
+  last_fault_ = fault;
+  if (fault != FaultKind::kNone && counters_ != nullptr)
+    ++counters_->injected;
+  switch (fault) {
+    case FaultKind::kNone:
+      return inner_.send(data, error);
+    case FaultKind::kGarbage: {
+      if (counters_ != nullptr) ++counters_->garbage;
+      const int len = static_cast<int>(
+          rng_->uniform_int(1, std::max(1, options_.max_garbage_bytes)));
+      std::string junk;
+      junk.reserve(static_cast<std::size_t>(len) + 1);
+      for (int i = 0; i < len; ++i) {
+        // Printable junk, minus '{' so it can't accidentally be JSON and
+        // minus newline so it stays one frame.
+        char c = static_cast<char>(rng_->uniform_int(32, 126));
+        if (c == '{') c = '!';
+        junk.push_back(c);
+      }
+      junk.push_back('\n');
+      if (!inner_.send(junk, error)) return false;
+      return inner_.send(data, error);
+    }
+    case FaultKind::kStall: {
+      if (counters_ != nullptr) ++counters_->stalls;
+      const std::size_t cut =
+          data.size() <= 1
+              ? data.size()
+              : static_cast<std::size_t>(rng_->uniform_int(
+                    1, static_cast<std::int64_t>(data.size()) - 1));
+      if (!inner_.send(data.substr(0, cut), error)) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.stall_ms));
+      return inner_.send(data.substr(cut), error);
+    }
+    case FaultKind::kTruncate: {
+      if (counters_ != nullptr) ++counters_->truncates;
+      const std::size_t cut = static_cast<std::size_t>(rng_->uniform_int(
+          0, std::max<std::int64_t>(
+                 0, static_cast<std::int64_t>(data.size()) - 1)));
+      if (cut > 0) (void)inner_.send(data.substr(0, cut), error);
+      inner_.close();
+      poisoned_ = true;
+      if (error != nullptr)
+        *error = "fault-injected truncate (connection closed mid-frame)";
+      return false;
+    }
+    case FaultKind::kReset: {
+      if (counters_ != nullptr) ++counters_->resets;
+      inner_.close();
+      poisoned_ = true;
+      if (error != nullptr)
+        *error = "fault-injected reset (connection closed before send)";
+      return false;
+    }
+    case FaultKind::kSlowRead: {
+      if (counters_ != nullptr) ++counters_->slow_reads;
+      slow_next_read_ = true;  // the payload itself goes through intact
+      return inner_.send(data, error);
+    }
+  }
+  return inner_.send(data, error);
+}
+
+ssize_t FaultyStream::recv(char* buf, std::size_t len, int timeout_ms,
+                           std::string* error) {
+  if (slow_next_read_) {
+    slow_next_read_ = false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.stall_ms));
+  }
+  return inner_.recv(buf, len, timeout_ms, error);
+}
+
+}  // namespace krsp::server

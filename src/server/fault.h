@@ -1,0 +1,158 @@
+// Transport fault injection: a seeded, deterministic chaos decorator for
+// byte streams.
+//
+// ByteStream abstracts one connected, bidirectional byte pipe (FdStream
+// wraps a socket fd). FaultyStream decorates any ByteStream and injects
+// the transport failure modes a serving daemon must survive, chosen by a
+// seeded RNG (same idiom as resilience/chaos.h: one seed determines the
+// whole fault schedule, so every chaos run is replayable):
+//
+//   * garbage  — a junk frame (random bytes + newline) precedes the real
+//     payload: the peer must answer it with an error response, not crash
+//     or desync;
+//   * stall    — the payload is split mid-frame and the second half is
+//     delayed: the peer must buffer and eventually serve it;
+//   * truncate — only a prefix of the frame is sent, then the connection
+//     closes: the peer must discard the partial line on EOF;
+//   * reset    — the connection closes before (or instead of) the send:
+//     the peer sees a hard disconnect mid-conversation;
+//   * slow-read — reads are delayed, so the peer experiences a client
+//     that stops draining its responses.
+//
+// Truncate and reset poison the stream (poisoned() turns true): the
+// injector closed the pipe, so the owner must reconnect. The decorator is
+// client-side by construction, but every injected fault is *server-felt*:
+// the chaos tests drive a real SocketServer through FaultyStream clients
+// and pin the server-side outcome of each fault class (error response or
+// clean close — never a hang, crash, or corrupted response).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace krsp::server {
+
+/// One connected byte pipe. Implementations are not thread-safe; one
+/// owner drives send/recv.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Sends all of `data` (retrying EINTR / partial writes). False on
+  /// failure with *error holding an errno-annotated message.
+  [[nodiscard]] virtual bool send(std::string_view data,
+                                  std::string* error) = 0;
+
+  /// recv() return values < 0 (0 = clean EOF, > 0 = bytes read).
+  static constexpr ssize_t kRecvError = -1;    // *error set
+  static constexpr ssize_t kRecvTimeout = -2;  // timeout_ms elapsed
+
+  /// Reads up to `len` bytes, waiting at most `timeout_ms` (< 0 = block
+  /// indefinitely).
+  [[nodiscard]] virtual ssize_t recv(char* buf, std::size_t len,
+                                     int timeout_ms, std::string* error) = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool connected() const = 0;
+};
+
+/// ByteStream over a connected socket fd; takes ownership of the fd.
+class FdStream final : public ByteStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream() override { close(); }
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  [[nodiscard]] bool send(std::string_view data, std::string* error) override;
+  [[nodiscard]] ssize_t recv(char* buf, std::size_t len, int timeout_ms,
+                             std::string* error) override;
+  void close() override;
+  [[nodiscard]] bool connected() const override { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to a Unix-domain socket; returns the fd or -1 with *error set.
+[[nodiscard]] int connect_unix(const std::string& path, std::string* error);
+
+enum class FaultKind {
+  kNone,
+  kGarbage,
+  kStall,
+  kTruncate,
+  kReset,
+  kSlowRead,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultOptions {
+  std::uint64_t seed = 1;
+  /// Probability that a send() draws a fault at all; 0 = passthrough
+  /// (no RNG is consumed, so a rate-0 stream is byte-identical to the
+  /// undecorated one).
+  double fault_rate = 0.0;
+  /// Relative mix of fault kinds when one fires (normalized internally).
+  double p_garbage = 0.25;
+  double p_stall = 0.25;
+  double p_truncate = 0.2;
+  double p_reset = 0.15;
+  double p_slow_read = 0.15;
+  /// Mid-frame stall / slow-read delay.
+  int stall_ms = 25;
+  /// Garbage frame length bound (bytes before the newline).
+  int max_garbage_bytes = 48;
+};
+
+struct FaultCounters {
+  std::uint64_t sends = 0;
+  std::uint64_t injected = 0;  // sends that drew a fault
+  std::uint64_t garbage = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t truncates = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t slow_reads = 0;
+};
+
+/// The chaos decorator. Non-owning of the RNG so a reconnecting client
+/// can thread one seeded schedule through successive connections.
+class FaultyStream final : public ByteStream {
+ public:
+  /// `inner` must outlive this stream; `rng` is the shared seeded chaos
+  /// schedule (pass nullptr for a passthrough decorator).
+  FaultyStream(ByteStream& inner, const FaultOptions& options, util::Rng* rng,
+               FaultCounters* counters = nullptr)
+      : inner_(inner), options_(options), rng_(rng), counters_(counters) {}
+
+  [[nodiscard]] bool send(std::string_view data, std::string* error) override;
+  [[nodiscard]] ssize_t recv(char* buf, std::size_t len, int timeout_ms,
+                             std::string* error) override;
+  void close() override { inner_.close(); }
+  [[nodiscard]] bool connected() const override { return inner_.connected(); }
+
+  /// True once an injected truncate/reset closed the inner stream; the
+  /// owner must reconnect (the fault, unlike a real network, is at least
+  /// polite enough to tell the test it happened).
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  [[nodiscard]] FaultKind last_fault() const { return last_fault_; }
+
+ private:
+  [[nodiscard]] FaultKind draw_fault();
+
+  ByteStream& inner_;
+  const FaultOptions options_;
+  util::Rng* rng_;
+  FaultCounters* counters_;
+  bool poisoned_ = false;
+  bool slow_next_read_ = false;
+  FaultKind last_fault_ = FaultKind::kNone;
+};
+
+}  // namespace krsp::server

@@ -27,8 +27,10 @@ api::EngineOptions engine_options(const api::ServerOptions& options) {
 AdmissionOptions admission_options(const api::ServerOptions& options) {
   AdmissionOptions ao;
   ao.max_pending = options.max_pending;
+  ao.max_pending_batch = options.max_pending_batch;
   ao.deadline_aware = options.deadline_aware_admission;
   ao.service_time_prior_seconds = options.service_time_prior_seconds;
+  ao.degrade_wait_seconds = options.degrade_wait_seconds;
   return ao;
 }
 
@@ -60,6 +62,7 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
   const auto t0 = Clock::now();
   received_.fetch_add(1, std::memory_order_relaxed);
   ServeResponse resp;
+  resp.sla = request.sla;  // echoed on every path, cache hits included
 
   // Draining rejects everything, cache hits included: a drained service
   // has one observable behavior, not a cache-dependent one.
@@ -88,8 +91,23 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
     }
   }
 
-  switch (admission_.admit(request.deadline_seconds)) {
+  const api::SlaClass sla = request.sla;
+  switch (admission_.admit(request.deadline_seconds, sla)) {
     case AdmitDecision::kAdmit:
+      break;
+    case AdmitDecision::kAdmitDegraded:
+      // Overload ladder: trade accuracy for queue drain. Coarser eps makes
+      // a kScaled solve cheaper; kDoubling spends fewer cancellation runs
+      // on the cap search in every mode. The result is still structurally
+      // valid — only the approximation factor loosens.
+      resp.degraded = true;
+      if (request.mode == api::Mode::kScaled) {
+        request.eps1 = std::min(options_.overload_eps_cap,
+                                request.eps1 * options_.overload_eps_factor);
+        request.eps2 = std::min(options_.overload_eps_cap,
+                                request.eps2 * options_.overload_eps_factor);
+      }
+      request.guess = api::GuessStrategy::kDoubling;
       break;
     case AdmitDecision::kRejectQueueFull:
       resp.status = ServeStatus::kRejectedQueueFull;
@@ -109,10 +127,13 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
                            ? engine_.submit(std::move(request), deadline)
                            : engine_.submit(std::move(request));
   resp.result = ticket.get();
-  admission_.on_complete(resp.result.telemetry.wall_seconds);
+  admission_.on_complete(resp.result.telemetry.wall_seconds, sla);
   served_.fetch_add(1, std::memory_order_relaxed);
 
-  if (cacheable && resp.result.status != api::SolveStatus::kFailed) {
+  // A degraded solve answers a *coarsened* request, so caching it under
+  // the original fingerprint would replay the wrong computation.
+  if (cacheable && !resp.degraded &&
+      resp.result.status != api::SolveStatus::kFailed) {
     api::SolveResult cached = resp.result;
     cached.tag.clear();  // cache contents are request-independent
     cache_.insert(key, verify, std::move(cached));
@@ -140,6 +161,18 @@ api::ServeStats SolveService::stats() const {
   s.pending = adm.pending;
   s.peak_pending = adm.peak_pending;
   s.ewma_service_seconds = adm.ewma_service_seconds;
+  const auto to_class = [](const AdmissionController::ClassSnapshot& cs) {
+    api::SlaClassStats out;
+    out.admitted = cs.admitted;
+    out.rejected_queue_full = cs.rejected_queue_full;
+    out.rejected_deadline = cs.rejected_deadline;
+    out.degraded = cs.degraded;
+    out.pending = cs.pending;
+    out.ewma_service_seconds = cs.ewma_service_seconds;
+    return out;
+  };
+  s.interactive = to_class(adm.interactive);
+  s.batch = to_class(adm.batch);
   const auto cs = cache_.stats();
   s.cache_hits = cs.hits;
   s.cache_misses = cs.misses;

@@ -44,6 +44,13 @@ enum class ServeStatus {
 struct ServeResponse {
   ServeStatus status = ServeStatus::kServed;
   bool cache_hit = false;
+  /// SLA class the request was admitted under (echoed from the request).
+  api::SlaClass sla = api::SlaClass::kBatch;
+  /// True when the overload ladder coarsened this request before solving
+  /// (interactive class under pressure): eps multiplied by
+  /// overload_eps_factor (kScaled) and the cap search switched to
+  /// kDoubling. Degraded results are never cached.
+  bool degraded = false;
   /// End-to-end time inside serve(), seconds.
   double total_seconds = 0.0;
   /// total minus the solver's own wall clock — queueing + dispatch

@@ -26,17 +26,20 @@ std::string error_line(const std::string& what, const std::string& id = "") {
 
 // MSG_NOSIGNAL keeps a disconnected client from raising SIGPIPE (whose
 // default action would kill the whole daemon); EPIPE just means the
-// client is gone, reported as false so the caller closes the connection.
-bool send_all(int fd, const std::string& data) {
+// client is gone. EINTR retries the syscall. Returns 0 on success, else
+// the errno of the failed send so the caller can tell a peer reset
+// (ECONNRESET/EPIPE — routine) from anything unexpected.
+int send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t w =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (w < 0 && errno == EINTR) continue;
-    if (w <= 0) return false;
+    if (w < 0) return errno;
+    if (w == 0) return EIO;  // send() contract: 0 only for empty payloads
     sent += static_cast<std::size_t>(w);
   }
-  return true;
+  return 0;
 }
 
 std::string paths_json(const core::PathSet& paths) {
@@ -92,6 +95,14 @@ std::string handle_solve(const wire::Value& req, SolveService& service) {
   } else {
     return error_line("unknown guess: " + guess, id);
   }
+  const std::string sla = req.get_string("class", "batch");
+  if (sla == "interactive") {
+    request.sla = api::SlaClass::kInteractive;
+  } else if (sla == "batch") {
+    request.sla = api::SlaClass::kBatch;
+  } else {
+    return error_line("unknown class: " + sla, id);
+  }
   const double eps = req.get_number("eps", 0.25);  // alias, as in the CLIs
   request.eps1 = req.get_number("eps1", eps);
   request.eps2 = req.get_number("eps2", eps);
@@ -103,12 +114,14 @@ std::string handle_solve(const wire::Value& req, SolveService& service) {
   w.field("id", id);
   w.field("ok", true);
   w.field("served", r.served());
+  w.field("sla", api::sla_class_name(r.sla));
   if (!r.served()) {
     w.field("reject", serve_status_name(r.status));
     w.field("total_ms", r.total_seconds * 1e3);
     return w.done();
   }
   w.field("cache_hit", r.cache_hit);
+  if (r.degraded) w.field("degraded", true);
   w.field("status", api::status_name(r.result.status));
   if (r.result.has_paths()) {
     w.field("cost", static_cast<std::int64_t>(r.result.cost));
@@ -122,6 +135,17 @@ std::string handle_solve(const wire::Value& req, SolveService& service) {
   w.field("queue_ms", r.wait_seconds * 1e3);
   w.field("total_ms", r.total_seconds * 1e3);
   return w.done();
+}
+
+void class_stats_fields(wire::ObjectWriter& w, const char* prefix,
+                        const api::SlaClassStats& cs) {
+  const std::string p(prefix);
+  w.field(p + "_admitted", cs.admitted);
+  w.field(p + "_rejected_queue_full", cs.rejected_queue_full);
+  w.field(p + "_rejected_deadline", cs.rejected_deadline);
+  w.field(p + "_degraded", cs.degraded);
+  w.field(p + "_pending", static_cast<std::uint64_t>(cs.pending));
+  w.field(p + "_ewma_service_ms", cs.ewma_service_seconds * 1e3);
 }
 
 std::string handle_stats(SolveService& service) {
@@ -141,6 +165,8 @@ std::string handle_stats(SolveService& service) {
   w.field("pending", static_cast<std::uint64_t>(s.pending));
   w.field("peak_pending", static_cast<std::uint64_t>(s.peak_pending));
   w.field("ewma_service_ms", s.ewma_service_seconds * 1e3);
+  class_stats_fields(w, "interactive", s.interactive);
+  class_stats_fields(w, "batch", s.batch);
   w.field("threads", static_cast<std::int64_t>(service.num_threads()));
   return w.done();
 }
@@ -236,7 +262,8 @@ void SocketServer::serve_forever() {
     // with many short-lived clients holds O(live connections) handles,
     // and enforce the concurrency cap on what remains.
     if (reap_finished() >= kMaxConnections) {
-      send_all(fd, error_line("server at connection capacity") + "\n");
+      (void)note_send(
+          send_all(fd, error_line("server at connection capacity") + "\n"));
       ::close(fd);
       continue;
     }
@@ -281,6 +308,20 @@ void SocketServer::request_stop() {
   stop_.store(true, std::memory_order_release);
 }
 
+int SocketServer::note_send(int err) {
+  if (err == 0) return 0;
+  // A peer that resets or stops reading mid-response is routine for a
+  // chaos client (and for real networks); anything else is surfaced as
+  // the last unexpected errno for the operator to inspect.
+  if (err == EPIPE || err == ECONNRESET) {
+    peer_resets_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    last_send_errno_.store(err, std::memory_order_relaxed);
+  }
+  return err;
+}
+
 void SocketServer::connection_loop(int fd) {
   std::string buffer;
   char chunk[4096];
@@ -295,6 +336,7 @@ void SocketServer::connection_loop(int fd) {
       continue;
     }
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;  // signal, not a dead client
     if (n <= 0) break;  // EOF or error: client is gone
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
@@ -305,7 +347,7 @@ void SocketServer::connection_loop(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!send_all(fd, protocol_.handle_line(line) + "\n")) {
+      if (note_send(send_all(fd, protocol_.handle_line(line) + "\n")) != 0) {
         client_gone = true;  // client stopped reading
         break;
       }
@@ -315,9 +357,10 @@ void SocketServer::connection_loop(int fd) {
     // Bound the partial-line buffer: a client streaming bytes with no
     // newline must not grow server memory without limit.
     if (buffer.size() > kMaxLineBytes) {
-      send_all(fd, error_line("request line exceeds " +
-                              std::to_string(kMaxLineBytes) + " bytes") +
-                       "\n");
+      (void)note_send(send_all(
+          fd, error_line("request line exceeds " +
+                         std::to_string(kMaxLineBytes) + " bytes") +
+                  "\n"));
       break;
     }
   }

@@ -114,10 +114,26 @@ class SocketServer {
   [[nodiscard]] std::uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
+  /// Response sends that failed with EPIPE/ECONNRESET — the peer went
+  /// away mid-response. Routine under chaos; never fatal.
+  [[nodiscard]] std::uint64_t peer_resets() const {
+    return peer_resets_.load(std::memory_order_relaxed);
+  }
+  /// Response sends that failed with any *other* errno (see
+  /// last_send_errno for which) — worth an operator's attention.
+  [[nodiscard]] std::uint64_t send_failures() const {
+    return send_failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int last_send_errno() const {
+    return last_send_errno_.load(std::memory_order_relaxed);
+  }
 
  private:
   void connection_loop(int fd);
   [[nodiscard]] bool stopping() const;
+  /// Classifies a send_all() result into the reset/failure counters;
+  /// returns the errno unchanged (0 = success).
+  int note_send(int err);
   /// Joins connection threads that have announced completion; returns the
   /// number of threads still live afterwards (the concurrency gauge).
   std::size_t reap_finished();
@@ -127,6 +143,9 @@ class SocketServer {
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> peer_resets_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<int> last_send_errno_{0};
   std::mutex threads_mu_;
   std::list<std::thread> threads_;
   std::vector<std::thread::id> finished_ids_;

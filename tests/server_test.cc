@@ -269,6 +269,155 @@ TEST(ServerAdmission, DeadlineRuleUsesPredictedQueueWait) {
   EXPECT_DOUBLE_EQ(snap.ewma_service_seconds, 1.0);
 }
 
+TEST(ServerAdmission, ZeroPriorIsOptimisticUntilFirstSampleSeedsEwma) {
+  // With no prior (the default), the EWMA starts at 0: predicted wait is
+  // 0 no matter the queue depth, so even microscopic deadlines admit.
+  AdmissionOptions opt;
+  opt.max_pending = 100;
+  AdmissionController ctl(opt, /*workers=*/1);
+  EXPECT_EQ(ctl.admit(1e-6), AdmitDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(1e-6), AdmitDecision::kAdmit);
+  EXPECT_DOUBLE_EQ(ctl.predicted_wait_seconds(), 0.0);
+
+  // The first observed completion SEEDS the EWMA (no alpha blend against
+  // the zero prior, which would take ~1/alpha samples to mean anything).
+  ctl.on_complete(2.0);
+  EXPECT_DOUBLE_EQ(ctl.snapshot().ewma_service_seconds, 2.0);
+  // One still pending on one worker: predicted wait is now a full EWMA.
+  EXPECT_DOUBLE_EQ(ctl.predicted_wait_seconds(), 2.0);
+  EXPECT_EQ(ctl.admit(1e-6), AdmitDecision::kRejectDeadline);
+}
+
+TEST(ServerAdmission, DeadlineExactlyEqualToPredictedWaitRejects) {
+  // The rule is predicted >= deadline: a request whose whole budget would
+  // burn in the queue has nothing left to solve with, so equality rejects.
+  AdmissionOptions opt;
+  opt.max_pending = 100;
+  opt.service_time_prior_seconds = 1.0;
+  AdmissionController ctl(opt, /*workers=*/1);
+  ASSERT_EQ(ctl.admit(0.0), AdmitDecision::kAdmit);
+  ASSERT_DOUBLE_EQ(ctl.predicted_wait_seconds(), 1.0);
+  EXPECT_EQ(ctl.admit(1.0), AdmitDecision::kRejectDeadline);
+  EXPECT_EQ(ctl.admit(1.0 + 1e-9), AdmitDecision::kAdmit);
+}
+
+TEST(ServerAdmission, ConcurrentAdmitCompleteKeepsCountersConsistent) {
+  // TSan-leg coverage: admits and completions race from many threads;
+  // the counters must stay exact (every admit paired, pending back to 0,
+  // per-class totals summing to the global total).
+  AdmissionOptions opt;
+  opt.max_pending = 0;  // no cap: every admit must succeed
+  opt.deadline_aware = false;
+  AdmissionController ctl(opt, /*workers=*/2);
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      const api::SlaClass cls =
+          t % 2 == 0 ? api::SlaClass::kInteractive : api::SlaClass::kBatch;
+      for (int i = 0; i < kPerThread; ++i) {
+        const AdmitDecision d = ctl.admit(0.0, cls);
+        ASSERT_TRUE(d == AdmitDecision::kAdmit ||
+                    d == AdmitDecision::kAdmitDegraded);
+        ctl.on_complete(1e-4, cls);
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.admitted,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.interactive.admitted + snap.batch.admitted, snap.admitted);
+  EXPECT_EQ(snap.interactive.admitted,
+            static_cast<std::uint64_t>(kThreads / 2 * kPerThread));
+  EXPECT_EQ(snap.pending, 0u);
+  EXPECT_EQ(snap.interactive.pending, 0u);
+  EXPECT_EQ(snap.batch.pending, 0u);
+  EXPECT_LE(snap.peak_pending, static_cast<std::size_t>(kThreads));
+  EXPECT_GE(snap.peak_pending, 1u);
+  EXPECT_GT(snap.ewma_service_seconds, 0.0);
+}
+
+TEST(ServerAdmission, BatchBudgetShedsBatchWhileInteractiveAdmits) {
+  AdmissionOptions opt;
+  opt.max_pending = 4;
+  opt.max_pending_batch = 2;
+  opt.deadline_aware = false;
+  AdmissionController ctl(opt, /*workers=*/1);
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kBatch), AdmitDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kBatch), AdmitDecision::kAdmit);
+  // Batch budget exhausted: batch is shed...
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kBatch),
+            AdmitDecision::kRejectQueueFull);
+  // ...while interactive still admits up to the global bound.
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kInteractive),
+            AdmitDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kInteractive),
+            AdmitDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kInteractive),
+            AdmitDecision::kRejectQueueFull);
+
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.batch.admitted, 2u);
+  EXPECT_EQ(snap.batch.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.interactive.admitted, 2u);
+  EXPECT_EQ(snap.interactive.rejected_queue_full, 1u);
+  // A batch completion frees batch budget again.
+  ctl.on_complete(0.01, api::SlaClass::kBatch);
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kBatch), AdmitDecision::kAdmit);
+}
+
+TEST(ServerAdmission, InteractiveOverloadDegradesInsteadOfQueueing) {
+  AdmissionOptions opt;
+  opt.max_pending = 100;
+  opt.deadline_aware = false;
+  opt.service_time_prior_seconds = 1.0;
+  opt.degrade_wait_seconds = 0.5;
+  AdmissionController ctl(opt, /*workers=*/1);
+  // Idle server: a full-accuracy interactive admit (its own wait is 0).
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kInteractive),
+            AdmitDecision::kAdmit);
+  // One ahead on one worker: this request would wait ~1 EWMA >= 0.5 s,
+  // so it is admitted degraded (coarsened) instead of queued at full
+  // accuracy — and batch requests never ride the ladder.
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kInteractive),
+            AdmitDecision::kAdmitDegraded);
+  EXPECT_EQ(ctl.admit(0.0, api::SlaClass::kBatch), AdmitDecision::kAdmit);
+
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.interactive.admitted, 2u);
+  EXPECT_EQ(snap.interactive.degraded, 1u);
+  EXPECT_EQ(snap.batch.degraded, 0u);
+  // Degraded admissions still count as pending and must pair with
+  // on_complete like any other admit.
+  ctl.on_complete(0.01, api::SlaClass::kInteractive);
+  ctl.on_complete(0.01, api::SlaClass::kInteractive);
+  ctl.on_complete(0.01, api::SlaClass::kBatch);
+  EXPECT_EQ(ctl.snapshot().pending, 0u);
+}
+
+TEST(ServerAdmission, PerClassEwmaTracksItsOwnClass) {
+  AdmissionOptions opt;
+  opt.max_pending = 0;
+  opt.deadline_aware = false;
+  opt.ewma_alpha = 0.5;
+  AdmissionController ctl(opt, /*workers=*/1);
+  ASSERT_EQ(ctl.admit(0.0, api::SlaClass::kInteractive),
+            AdmitDecision::kAdmit);
+  ASSERT_EQ(ctl.admit(0.0, api::SlaClass::kBatch), AdmitDecision::kAdmit);
+  ctl.on_complete(0.1, api::SlaClass::kInteractive);
+  ctl.on_complete(10.0, api::SlaClass::kBatch);
+  const auto snap = ctl.snapshot();
+  // First sample per class seeds that class's EWMA exactly.
+  EXPECT_DOUBLE_EQ(snap.interactive.ewma_service_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(snap.batch.ewma_service_seconds, 10.0);
+  // The global EWMA blends: seeded by 0.1, then 0.5-blended with 10.
+  EXPECT_DOUBLE_EQ(snap.ewma_service_seconds, 0.5 * 10.0 + 0.5 * 0.1);
+}
+
 // ------------------------------------------------------------ service ---
 
 TEST(ServerService, CachedReplayIsBitIdenticalToDirectSolve) {
@@ -432,6 +581,51 @@ TEST(ServerProtocol, MalformedAndUnknownInputsGetErrorResponses) {
   }
   // Protocol errors must not count as served work.
   EXPECT_EQ(service.stats().received, 0u);
+}
+
+TEST(ServerProtocol, SlaClassIsParsedEchoedAndCounted) {
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service);
+  const auto inst = random_instance(57);
+  std::ostringstream kri;
+  api::write_instance(kri, inst);
+
+  const auto line = [&](const std::string& cls, const std::string& id) {
+    return wire::ObjectWriter()
+        .field("op", "solve")
+        .field("id", id)
+        .field("instance", kri.str())
+        .field("mode", "exact")
+        .field("class", cls)
+        .done();
+  };
+  const auto inter = wire::parse(transport.request(line("interactive", "i")));
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_TRUE(inter->get_bool("served", false));
+  EXPECT_EQ(inter->get_string("sla"), "interactive");
+  const auto batch = wire::parse(transport.request(line("batch", "b")));
+  EXPECT_EQ(batch->get_string("sla"), "batch");
+  // Absent class defaults to batch; a cache hit keeps the response's own
+  // class (the hit re-serves cached bytes under this request's SLA).
+  const auto dflt =
+      wire::parse(transport.request(solve_line(inst, "d", "exact")));
+  EXPECT_EQ(dflt->get_string("sla"), "batch");
+  EXPECT_TRUE(dflt->get_bool("cache_hit", false));
+
+  const auto bad = wire::parse(transport.request(line("premium", "x")));
+  EXPECT_FALSE(bad->get_bool("ok", true));
+
+  const auto stats = wire::parse(transport.request(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.has_value());
+  // Interactive solved once; the batch-class requests were one miss (the
+  // explicit batch solve shares the interactive solve's fingerprint and
+  // hits the cache — admission is bypassed on hits, so only true solves
+  // count as admitted).
+  EXPECT_EQ(stats->get_int("interactive_admitted", -1), 1);
+  EXPECT_EQ(stats->get_int("interactive_degraded", -1), 0);
+  EXPECT_EQ(stats->get_int("batch_rejected_queue_full", -1), 0);
+  EXPECT_GE(stats->get_int("batch_admitted", -1), 0);
+  EXPECT_EQ(stats->get_int("cache_hits", -1), 2);
 }
 
 TEST(ServerProtocol, StatsPingAndShutdownOps) {

@@ -3,7 +3,11 @@
 //   $ krsp_loadgen --socket=/tmp/krsp.sock [--requests=64] [--connections=4]
 //                  [--rate=0] [--pool=8] [--n=12] [--k=2] [--seed=17]
 //                  [--mode=exact] [--eps1=0.25] [--eps2=0.25]
-//                  [--deadline=0] [--check] [--stats] [--shutdown] [--quiet]
+//                  [--deadline=0] [--class=batch]
+//                  [--retries=0] [--retry-base-ms=10] [--retry-max-ms=500]
+//                  [--retry-budget-ms=0] [--timeout-ms=0]
+//                  [--fault-rate=0] [--fault-seed=1]
+//                  [--check] [--stats] [--shutdown] [--quiet]
 //
 // Generates a pool of seeded random instances, serializes each once, and
 // issues solve requests round-robin over the pool across N connections.
@@ -12,6 +16,16 @@
 // arrival (late starts count against the server, as they would for a real
 // user); --rate=0 runs closed-loop back-to-back per connection.
 //
+// Resilience (server/client.h): --retries arms retransmission with
+// exponential backoff + jitter and automatic reconnect. Retries apply only
+// to idempotent requests — deadline-free solves, which are pure functions
+// of the request. A deadline-bounded request (--deadline > 0) is anytime
+// and is never retransmitted once it may have reached the server.
+// --fault-rate injects seeded transport chaos (truncated frames, resets,
+// stalls, garbage) into every connection; with retries armed, every
+// idempotent request must still eventually succeed — the run exits
+// nonzero if any request ultimately fails.
+//
 // --check solves every pool entry locally (direct api::Solver::solve) and
 // fails the run unless every served deadline-free response is bit-identical
 // — status, cost, delay, and the exact edge ids of every path. This is the
@@ -19,15 +33,8 @@
 //
 // --shutdown sends {"op":"shutdown"} at the end (the server then drains);
 // --stats prints the server's counters before that.
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstdint>
-#include <cstring>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "api/krsp.h"
+#include "server/client.h"
 #include "server/wire.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -47,74 +55,8 @@ using namespace krsp;
 namespace wire = krsp::server::wire;
 using Clock = std::chrono::steady_clock;
 
-/// Minimal blocking newline-framed client over a Unix socket.
-class Client {
- public:
-  ~Client() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  bool connect(const std::string& path, std::string* error) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-      *error = "socket path too long: " + path;
-      return false;
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-      *error = std::string("socket(): ") + std::strerror(errno);
-      return false;
-    }
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      *error = "connect(" + path + "): " + std::strerror(errno);
-      ::close(fd_);
-      fd_ = -1;
-      return false;
-    }
-    return true;
-  }
-
-  bool request(const std::string& line, std::string* response,
-               std::string* error) {
-    std::string framed = line;
-    framed.push_back('\n');
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t w =
-          ::write(fd_, framed.data() + sent, framed.size() - sent);
-      if (w <= 0) {
-        *error = std::string("write(): ") + std::strerror(errno);
-        return false;
-      }
-      sent += static_cast<std::size_t>(w);
-    }
-    while (true) {
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        *response = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
-      if (n <= 0) {
-        *error = n == 0 ? "server closed the connection"
-                        : std::string("read(): ") + std::strerror(errno);
-        return false;
-      }
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
-
 struct PoolEntry {
+  std::string id;               // request id ("pool-<i>"), echoed back
   std::string request_line;     // fully serialized solve request
   api::SolveResult reference;   // direct local solve (when --check)
 };
@@ -145,9 +87,11 @@ struct WorkerReport {
   std::vector<double> latency_ms;
   std::uint64_t served = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t degraded = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t mismatches = 0;
-  std::uint64_t transport_errors = 0;
+  std::uint64_t failed = 0;  // requests that exhausted the retry policy
+  server::ClientCounters client;
 };
 
 }  // namespace
@@ -166,6 +110,15 @@ int main(int argc, char** argv) {
   const double eps1 = cli.get_double("eps1", 0.25);
   const double eps2 = cli.get_double("eps2", 0.25);
   const double deadline = cli.get_double("deadline", 0.0);
+  const std::string sla_class = cli.get_string("class", "batch");
+  const int retries = static_cast<int>(cli.get_int("retries", 0));
+  const double retry_base_ms = cli.get_double("retry-base-ms", 10.0);
+  const double retry_max_ms = cli.get_double("retry-max-ms", 500.0);
+  const double retry_budget_ms = cli.get_double("retry-budget-ms", 0.0);
+  const double timeout_ms = cli.get_double("timeout-ms", 0.0);
+  const double fault_rate = cli.get_double("fault-rate", 0.0);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
   const bool check = cli.get_bool("check", false);
   const bool want_stats = cli.get_bool("stats", false);
   const bool want_shutdown = cli.get_bool("shutdown", false);
@@ -177,7 +130,11 @@ int main(int argc, char** argv) {
     std::cerr << "usage: krsp_loadgen --socket=<path> [--requests=64] "
                  "[--connections=4] [--rate=0] [--pool=8] [--n=12] [--k=2] "
                  "[--seed=17] [--mode=exact|scaled|phase1] [--eps1] [--eps2] "
-                 "[--deadline=0] [--check] [--stats] [--shutdown] [--quiet]\n";
+                 "[--deadline=0] [--class=interactive|batch] [--retries=0] "
+                 "[--retry-base-ms=10] [--retry-max-ms=500] "
+                 "[--retry-budget-ms=0] [--timeout-ms=0] [--fault-rate=0] "
+                 "[--fault-seed=1] [--check] [--stats] [--shutdown] "
+                 "[--quiet]\n";
     return 2;
   }
   api::Mode api_mode;
@@ -191,6 +148,13 @@ int main(int argc, char** argv) {
     std::cerr << "unknown --mode: " << mode << "\n";
     return 2;
   }
+  if (sla_class != "interactive" && sla_class != "batch") {
+    std::cerr << "unknown --class: " << sla_class << "\n";
+    return 2;
+  }
+  if (fault_rate > 0.0 && retries == 0 && !quiet)
+    std::cerr << "krsp_loadgen: note: --fault-rate without --retries will "
+                 "fail requests on the first injected fault\n";
 
   // Build the pool: seeded instances, serialized once; reference solves
   // when checking (deadline-free so the oracle is deterministic).
@@ -211,20 +175,33 @@ int main(int argc, char** argv) {
 
     std::ostringstream kri;
     api::write_instance(kri, *inst);
+    PoolEntry entry;
+    entry.id = "pool-" + std::to_string(pool.size());
     wire::ObjectWriter w;
     w.field("op", "solve");
-    w.field("id", "pool-" + std::to_string(pool.size()));
+    w.field("id", entry.id);
     w.field("instance", kri.str());
     w.field("mode", mode);
+    w.field("class", sla_class);
     w.field("eps1", eps1);
     w.field("eps2", eps2);
     if (deadline > 0.0) w.field("deadline", deadline);
 
-    PoolEntry entry;
     entry.request_line = w.done();
     if (check) entry.reference = api::Solver::solve(req);
     pool.push_back(std::move(entry));
   }
+
+  server::RetryOptions retry_options;
+  retry_options.max_retries = retries;
+  retry_options.base_backoff_ms = retry_base_ms;
+  retry_options.max_backoff_ms = retry_max_ms;
+  retry_options.total_budget_ms = retry_budget_ms;
+  retry_options.request_timeout_ms = timeout_ms;
+  // A deadline-free solve is a pure function of the request: retrying it
+  // is safe (duplicates re-serve the same bytes, usually from the result
+  // cache). A deadline-bounded solve is anytime — at most once.
+  const bool idempotent = deadline <= 0.0;
 
   const bool open_loop = rate > 0.0;
   // Open-loop arrivals are scheduled from `start`; the 50 ms offset lets
@@ -241,9 +218,16 @@ int main(int argc, char** argv) {
   for (int c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
       WorkerReport& rep = reports[c];
-      Client client;
+      server::FaultOptions fault_options;
+      // Per-connection seeds keep the chaos schedules independent while
+      // the whole run stays replayable from --fault-seed.
+      fault_options.seed = fault_seed + static_cast<std::uint64_t>(c);
+      fault_options.fault_rate = fault_rate;
+      server::RetryOptions ropts = retry_options;
+      ropts.jitter_seed = fault_seed + 1000 + static_cast<std::uint64_t>(c);
+      server::ResilientClient client(socket_path, ropts, fault_options);
       std::string error;
-      if (!client.connect(socket_path, &error)) {
+      if (!client.connect(&error)) {
         const std::lock_guard<std::mutex> lock(io_mu);
         std::cerr << "krsp_loadgen: " << error << "\n";
         connect_failed = true;
@@ -262,12 +246,14 @@ int main(int argc, char** argv) {
         const std::size_t pool_index =
             static_cast<std::size_t>(r) % pool.size();
         std::string response_line;
-        if (!client.request(pool[pool_index].request_line, &response_line,
+        if (!client.request(pool[pool_index].request_line,
+                            pool[pool_index].id, idempotent, &response_line,
                             &error)) {
-          ++rep.transport_errors;
+          ++rep.failed;
           const std::lock_guard<std::mutex> lock(io_mu);
-          std::cerr << "krsp_loadgen: " << error << "\n";
-          return;
+          std::cerr << "krsp_loadgen: request " << r << " failed: " << error
+                    << "\n";
+          continue;
         }
         // Open-loop latency is measured from the scheduled arrival, so a
         // backed-up server (late send) is charged for the wait.
@@ -276,7 +262,7 @@ int main(int argc, char** argv) {
                 .count();
         const auto response = wire::parse(response_line);
         if (!response.has_value() || !response->get_bool("ok", false)) {
-          ++rep.transport_errors;
+          ++rep.failed;
           continue;
         }
         if (!response->get_bool("served", false)) {
@@ -286,7 +272,9 @@ int main(int argc, char** argv) {
         ++rep.served;
         rep.latency_ms.push_back(latency_ms);
         if (response->get_bool("cache_hit", false)) ++rep.cache_hits;
-        if (check && deadline <= 0.0) {
+        if (response->get_bool("degraded", false)) ++rep.degraded;
+        if (check && deadline <= 0.0 &&
+            !response->get_bool("degraded", false)) {
           const api::SolveResult& ref = pool[pool_index].reference;
           const bool same =
               response->get_string("status") == api::status_name(ref.status) &&
@@ -306,6 +294,7 @@ int main(int argc, char** argv) {
           }
         }
       }
+      rep.client = client.counters();
     });
   }
   for (auto& w : workers) w.join();
@@ -317,21 +306,36 @@ int main(int argc, char** argv) {
   for (const auto& rep : reports) {
     total.served += rep.served;
     total.rejected += rep.rejected;
+    total.degraded += rep.degraded;
     total.cache_hits += rep.cache_hits;
     total.mismatches += rep.mismatches;
-    total.transport_errors += rep.transport_errors;
+    total.failed += rep.failed;
+    total.client.attempts += rep.client.attempts;
+    total.client.retries += rep.client.retries;
+    total.client.reconnects += rep.client.reconnects;
+    total.client.timeouts += rep.client.timeouts;
+    total.client.skipped_lines += rep.client.skipped_lines;
+    total.client.give_ups += rep.client.give_ups;
+    total.client.faults.injected += rep.client.faults.injected;
     for (const double x : rep.latency_ms) latency.add(x);
   }
 
   if (!quiet) {
     std::cout << "krsp_loadgen: " << requests << " request(s), "
-              << connections << " connection(s)"
+              << connections << " connection(s), class=" << sla_class
               << (open_loop ? ", open-loop @ " + std::to_string(rate) + "/s"
                             : ", closed-loop")
               << "\n  served=" << total.served
               << " rejected=" << total.rejected
+              << " degraded=" << total.degraded
               << " cache_hits=" << total.cache_hits
-              << " transport_errors=" << total.transport_errors
+              << " failed=" << total.failed
+              << "\n  attempts=" << total.client.attempts
+              << " retries=" << total.client.retries
+              << " reconnects=" << total.client.reconnects
+              << " timeouts=" << total.client.timeouts
+              << " skipped_lines=" << total.client.skipped_lines
+              << " faults_injected=" << total.client.faults.injected
               << "\n  wall=" << wall << " s, throughput="
               << static_cast<double>(total.served + total.rejected) / wall
               << " req/s\n";
@@ -342,27 +346,33 @@ int main(int argc, char** argv) {
                 << " mean=" << latency.mean() << "\n";
   }
 
-  Client control;
+  // Control ops ride a clean (fault-free) connection: chaos on the
+  // shutdown frame would only test the harness, not the server.
+  server::ResilientClient control(socket_path);
   std::string error;
-  if ((want_stats || want_shutdown) && !control.connect(socket_path, &error)) {
+  if ((want_stats || want_shutdown) && !control.connect(&error)) {
     std::cerr << "krsp_loadgen: control connection: " << error << "\n";
     return 1;
   }
   if (want_stats) {
     std::string line;
-    if (control.request("{\"op\":\"stats\"}", &line, &error))
+    if (control.request("{\"op\":\"stats\"}", "", true, &line, &error))
       std::cout << "server stats: " << line << "\n";
   }
   if (want_shutdown) {
     std::string line;
-    if (!control.request("{\"op\":\"shutdown\"}", &line, &error)) {
+    if (!control.request("{\"op\":\"shutdown\"}", "", false, &line, &error)) {
       std::cerr << "krsp_loadgen: shutdown: " << error << "\n";
       return 1;
     }
     if (!quiet) std::cout << "server acknowledged shutdown: " << line << "\n";
   }
 
-  if (connect_failed || total.transport_errors > 0) return 1;
+  if (connect_failed || total.failed > 0) {
+    std::cerr << "krsp_loadgen: FAIL: " << total.failed
+              << " request(s) never got a response\n";
+    return 1;
+  }
   if (check && total.mismatches > 0) {
     std::cerr << "krsp_loadgen: FAIL: " << total.mismatches
               << " served response(s) diverged from direct solve\n";

@@ -1,6 +1,8 @@
 // Long-running solve service over a Unix-domain socket.
 //
 //   $ krsp_serve --socket=/tmp/krsp.sock [--threads=0] [--max-pending=256]
+//                [--max-pending-batch=0] [--degrade-wait=0]
+//                [--overload-eps-factor=2] [--overload-eps-cap=1]
 //                [--cache-capacity=1024] [--cache-shards=8] [--no-cache]
 //                [--no-deadline-admission] [--no-reuse] [--quiet]
 //
@@ -9,11 +11,20 @@
 // line (see krsp_loadgen for a conforming client). The process runs until
 // a client sends {"op":"shutdown"} or it receives SIGINT/SIGTERM, then
 // drains gracefully: no new work is admitted, every in-flight solve
-// finishes and is answered, and the final serving counters are printed.
+// finishes and is answered, and a final structured stats line —
+//   {"event":"final_stats","received":...,"interactive_admitted":...,...}
+// — is emitted on stdout (always, even with --quiet) so supervisors and
+// the chaos harness can scrape the terminal accounting of the run.
+//
+// SLA tiering: --max-pending-batch caps the batch class below the global
+// --max-pending (0 = batch may use the whole queue); --degrade-wait > 0
+// arms the interactive overload ladder (predicted waits at or above it
+// serve coarsened-eps / doubling-guess solves instead of rejecting).
 #include <csignal>
 #include <iostream>
 
 #include "server/transport.h"
+#include "server/wire.h"
 #include "util/cli.h"
 
 namespace {
@@ -22,6 +33,16 @@ krsp::server::SocketServer* g_server = nullptr;
 
 void on_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
+}
+
+void class_stats_fields(krsp::server::wire::ObjectWriter& w,
+                        const char* prefix,
+                        const krsp::api::SlaClassStats& cs) {
+  const std::string p(prefix);
+  w.field(p + "_admitted", cs.admitted);
+  w.field(p + "_rejected_queue_full", cs.rejected_queue_full);
+  w.field(p + "_rejected_deadline", cs.rejected_deadline);
+  w.field(p + "_degraded", cs.degraded);
 }
 
 }  // namespace
@@ -34,6 +55,11 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<int>(cli.get_int("threads", 0));
   options.max_pending =
       static_cast<std::size_t>(cli.get_int("max-pending", 256));
+  options.max_pending_batch =
+      static_cast<std::size_t>(cli.get_int("max-pending-batch", 0));
+  options.degrade_wait_seconds = cli.get_double("degrade-wait", 0.0);
+  options.overload_eps_factor = cli.get_double("overload-eps-factor", 2.0);
+  options.overload_eps_cap = cli.get_double("overload-eps-cap", 1.0);
   options.cache_capacity =
       static_cast<std::size_t>(cli.get_int("cache-capacity", 1024));
   options.cache_shards = static_cast<int>(cli.get_int("cache-shards", 8));
@@ -46,7 +72,9 @@ int main(int argc, char** argv) {
 
   if (socket_path.empty()) {
     std::cerr << "usage: krsp_serve --socket=<path> [--threads=0] "
-                 "[--max-pending=256] [--cache-capacity=1024] "
+                 "[--max-pending=256] [--max-pending-batch=0] "
+                 "[--degrade-wait=0] [--overload-eps-factor=2] "
+                 "[--overload-eps-cap=1] [--cache-capacity=1024] "
                  "[--cache-shards=8] [--no-cache] [--no-deadline-admission] "
                  "[--no-reuse] [--quiet]\n";
     return 2;
@@ -81,18 +109,28 @@ int main(int argc, char** argv) {
   service.drain();
   g_server = nullptr;
 
-  if (!quiet) {
+  // Terminal accounting: one JSON line, machine-parseable, emitted
+  // unconditionally so a supervisor scraping stdout always gets the
+  // final counters after SIGTERM/drain.
+  {
     const api::ServeStats s = service.stats();
-    std::cout << "krsp_serve: drained. received=" << s.received
-              << " served=" << s.served
-              << " rejected_queue_full=" << s.rejected_queue_full
-              << " rejected_deadline=" << s.rejected_deadline
-              << " rejected_draining=" << s.rejected_draining
-              << " cache_hits=" << s.cache_hits
-              << " cache_misses=" << s.cache_misses
-              << " cache_evictions=" << s.cache_evictions
-              << " peak_pending=" << s.peak_pending << " connections="
-              << socket_server.connections_accepted() << "\n";
+    server::wire::ObjectWriter w;
+    w.field("event", "final_stats");
+    w.field("received", s.received);
+    w.field("served", s.served);
+    w.field("rejected_queue_full", s.rejected_queue_full);
+    w.field("rejected_deadline", s.rejected_deadline);
+    w.field("rejected_draining", s.rejected_draining);
+    class_stats_fields(w, "interactive", s.interactive);
+    class_stats_fields(w, "batch", s.batch);
+    w.field("cache_hits", s.cache_hits);
+    w.field("cache_misses", s.cache_misses);
+    w.field("cache_evictions", s.cache_evictions);
+    w.field("peak_pending", static_cast<std::uint64_t>(s.peak_pending));
+    w.field("connections", socket_server.connections_accepted());
+    w.field("peer_resets", socket_server.peer_resets());
+    w.field("send_failures", socket_server.send_failures());
+    std::cout << w.done() << "\n" << std::flush;
   }
   return 0;
 }
