@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# End-to-end catalog smoke test for wire protocol v2: pack a text
+# instance into a .krspb container, assemble a catalog directory next to
+# the committed corpus files, boot krsp_serve --catalog on a temporary
+# Unix socket, and drive it with krsp_loadgen --topology --check (every
+# served response must be bit-identical to a direct in-process solve of
+# the same container).
+#
+#   usage: catalog_smoke.sh <krsp_serve> <krsp_loadgen> <krsp_gen>
+#          <krsp_pack> <corpus-dir>
+set -eu
+
+SERVE="$1"
+LOADGEN="$2"
+GEN="$3"
+PACK="$4"
+CORPUS="$5"
+
+DIR="$(mktemp -d /tmp/krsp_catalog.XXXXXX)"
+SOCK="$DIR/krsp.sock"
+CATALOG="$DIR/catalog"
+mkdir -p "$CATALOG"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# Leg 1: the pack pipeline. Generate a text instance, convert it with
+# krsp_pack, verify the container, and round-trip it back to text —
+# unpack(pack(x)) must be byte-identical to x.
+"$GEN" --family=waxman --n=40 --k=2 --slack=0.35 --seed=77 \
+       --out="$DIR/waxman.kri" >/dev/null
+"$PACK" --in="$DIR/waxman.kri" --out="$CATALOG/waxman40.krspb" >/dev/null
+"$PACK" --verify="$CATALOG/waxman40.krspb" >/dev/null
+"$PACK" --in="$CATALOG/waxman40.krspb" --out="$DIR/waxman_back.kri" >/dev/null
+if ! cmp -s "$DIR/waxman.kri" "$DIR/waxman_back.kri"; then
+  echo "catalog_smoke: unpack(pack(x)) != x" >&2
+  exit 1
+fi
+
+# Leg 2: serve the packed instance plus the committed corpus.
+cp "$CORPUS"/*.krspb "$CATALOG/"
+"$SERVE" --socket="$SOCK" --threads=2 --max-pending=64 \
+         --catalog="$CATALOG" &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "catalog_smoke: server never bound $SOCK" >&2
+    exit 1
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "catalog_smoke: server exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Repeated topology-reference requests: exercises the catalog lookup,
+# the fingerprint-prefix cache path, and checks every response against a
+# direct solve of the same container. phase1 keeps the corpus-scale
+# graphs cheap to verify.
+"$LOADGEN" --socket="$SOCK" --catalog="$CATALOG" \
+  --topology=waxman40,isp-backbone --requests=16 --connections=2 \
+  --mode=phase1 --check --stats --shutdown
+
+if ! wait "$SERVER_PID"; then
+  echo "catalog_smoke: server exited non-zero" >&2
+  exit 1
+fi
+echo "catalog_smoke: OK"

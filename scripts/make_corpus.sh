@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Regenerates data/corpus/ — the committed real-topology catalog shipped
+# with the repo in zero-copy .krspb form (store/format.h). Everything is
+# derived deterministically from fixed seeds, and CsrContainer::write_file
+# is bitwise deterministic, so running this script must reproduce the
+# committed files exactly (CI's catalog leg relies on that).
+#
+#   usage: make_corpus.sh <krsp_gen-binary> [out-dir]
+set -eu
+
+GEN="$1"
+OUT="${2:-$(dirname "$0")/../data/corpus}"
+mkdir -p "$OUT"
+
+# ISP-like hierarchy, well beyond the generator's defaults: a dense core
+# with many regional pods hanging off it — the shape of the paper's
+# motivating SLA-routing deployments.
+# (k=2: the regional pods hang off the core with few uplinks, so three
+# edge-disjoint region-to-region paths rarely exist.)
+"$GEN" --family=isp --core=28 --regions=14 --region-size=16 \
+       --k=2 --slack=0.35 --seed=1009 --out="$OUT/isp-backbone.krspb"
+
+# Road-network-like 64x64 grid (n=4096): sparse, high diameter, the
+# hard regime for delay-bounded disjoint routing.
+"$GEN" --family=grid --n=4096 --k=2 --slack=0.4 --seed=2003 \
+       --out="$OUT/road-grid64.krspb"
+
+# Scale-free (Barabasi-Albert, 2 arcs per new vertex): hub-dominated,
+# the opposite degree profile to the grid.
+"$GEN" --family=ba --n=4000 --attach=2 --k=2 --slack=0.3 --seed=3001 \
+       --out="$OUT/scalefree-ba4000.krspb"
+
+echo "corpus written to $OUT"

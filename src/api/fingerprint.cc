@@ -1,0 +1,87 @@
+#include "api/fingerprint.h"
+
+#include <bit>
+
+namespace krsp::api {
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t x) {
+    // Mix all 8 bytes, not just the low ones: edge weights are int64.
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+// splitmix64 accumulator: structurally unrelated to FNV-1a, so the pair
+// (key, verify) only collides when both independent 64-bit hashes
+// collide on the same two requests.
+struct SplitMix {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  void mix(std::uint64_t x) {
+    h += x + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+  }
+};
+
+template <class Hasher>
+void mix_graph(Hasher& f, const Instance& inst) {
+  f.mix(static_cast<std::uint64_t>(inst.graph.num_vertices()));
+  f.mix(static_cast<std::uint64_t>(inst.graph.num_edges()));
+  for (const auto& e : inst.graph.edges()) {
+    f.mix(static_cast<std::uint64_t>(e.from));
+    f.mix(static_cast<std::uint64_t>(e.to));
+    f.mix(static_cast<std::uint64_t>(e.cost));
+    f.mix(static_cast<std::uint64_t>(e.delay));
+  }
+}
+
+template <class Hasher>
+void mix_query(Hasher& f, const Instance& inst, const SolveRequest& request) {
+  f.mix(static_cast<std::uint64_t>(inst.s));
+  f.mix(static_cast<std::uint64_t>(inst.t));
+  f.mix(static_cast<std::uint64_t>(inst.k));
+  f.mix(static_cast<std::uint64_t>(inst.delay_bound));
+  f.mix(static_cast<std::uint64_t>(request.mode));
+  f.mix(static_cast<std::uint64_t>(request.guess));
+  f.mix(std::bit_cast<std::uint64_t>(request.eps1));
+  f.mix(std::bit_cast<std::uint64_t>(request.eps2));
+}
+
+}  // namespace
+
+GraphPrefix graph_fingerprint_prefix(const Instance& inst) {
+  Fnv f;
+  SplitMix s;
+  mix_graph(f, inst);
+  mix_graph(s, inst);
+  return GraphPrefix{f.h, s.h};
+}
+
+FingerprintPair request_fingerprints(const SolveRequest& request) {
+  const Instance& inst = request.instance_view();
+  Fnv f;
+  SplitMix s;
+  if (request.topology != nullptr) {
+    // Resume from the catalog's precomputed graph-prefix states; only the
+    // O(1) query suffix remains. Identical to the inline path below for
+    // the same effective instance because both hashes are sequential
+    // accumulators over the same word stream.
+    f.h = request.topology->fp_prefix;
+    s.h = request.topology->fp2_prefix;
+  } else {
+    mix_graph(f, inst);
+    mix_graph(s, inst);
+  }
+  mix_query(f, inst, request);
+  mix_query(s, inst, request);
+  return FingerprintPair{f.h, s.h};
+}
+
+}  // namespace krsp::api

@@ -1,0 +1,55 @@
+// Request fingerprinting for the result cache and catalog fast path.
+//
+// A deadline-free solve is a pure function of (graph, query, solver
+// knobs); the serving layer keys its result cache on two independent
+// 64-bit hashes of exactly those inputs (see server/result_cache.h for
+// the collision-guard rationale). Both hashes are *sequential
+// accumulators* — FNV-1a and splitmix64 — mixing, in order:
+//
+//   n, m, (from, to, cost, delay) per edge,        <- graph prefix
+//   s, t, k, D, mode, guess, eps1, eps2            <- query suffix
+//
+// That ordering is the load-bearing design point of the topology
+// catalog: the accumulator state after the graph words depends only on
+// the topology, so a catalog entry precomputes it once (GraphPrefix) and
+// every request that references the topology by id resumes from the
+// stored state and mixes only the O(1) query suffix. The resulting
+// fingerprints are *identical* to hashing the same instance inline,
+// which is what makes cache entries shared across wire protocol v1
+// (inline edges) and v2 (topology id) — the cross-form cache-hit
+// property ProtocolV2Test asserts.
+#pragma once
+
+#include <cstdint>
+
+#include "api/krsp.h"
+
+namespace krsp::api {
+
+/// Accumulator states after mixing the graph words (n, m, every edge).
+/// Precomputed per catalog topology; resumed per request.
+struct GraphPrefix {
+  std::uint64_t fnv = 0;
+  std::uint64_t splitmix = 0;
+};
+
+/// Both cache keys for one request: `key` indexes the cache, `verify` is
+/// stored alongside the entry and re-checked on lookup.
+struct FingerprintPair {
+  std::uint64_t key = 0;     // FNV-1a
+  std::uint64_t verify = 0;  // splitmix64
+};
+
+/// Hashes the graph words of `inst` (n, m, each edge's endpoints and
+/// weights) and returns both accumulator states. O(m).
+[[nodiscard]] GraphPrefix graph_fingerprint_prefix(const Instance& inst);
+
+/// Fingerprints a request. Inline requests hash the full instance, O(m);
+/// requests carrying a TopologyRef resume from its stored prefix and
+/// hash only the query suffix, O(1). The two paths produce identical
+/// values for identical effective instances. Tag, SLA class and
+/// deadline_seconds are excluded (metadata / cache-bypassing).
+[[nodiscard]] FingerprintPair request_fingerprints(
+    const SolveRequest& request);
+
+}  // namespace krsp::api

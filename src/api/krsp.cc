@@ -64,7 +64,7 @@ SolveResult solve_request(const SolveRequest& request,
   out.tag = request.tag;
   try {
     const core::KrspSolver solver(to_solver_options(request));
-    core::Solution sol = solver.solve(request.instance, deadline, ws);
+    core::Solution sol = solver.solve(request.instance_view(), deadline, ws);
     out.status = sol.status;
     out.paths = std::move(sol.paths);
     out.cost = sol.cost;

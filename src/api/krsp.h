@@ -98,11 +98,45 @@ enum class SlaClass { kInteractive, kBatch };
 /// Short stable name ("interactive", "batch") for wire and logs.
 [[nodiscard]] const char* sla_class_name(SlaClass cls);
 
+/// A named, immutable topology shared across requests — the API face of
+/// one catalog entry (store::TopologyCatalog materializes these from
+/// mmap'd `.krspb` containers at startup). Requests that reference a
+/// TopologyRef skip per-request graph shipping and parsing entirely, and
+/// the precomputed fingerprint prefixes make cache keying O(1) instead
+/// of O(m) (api/fingerprint.h explains why the values still match the
+/// inline path exactly).
+struct TopologyRef {
+  /// Catalog id (the container's filename stem for catalog entries).
+  std::string id;
+  /// Content digest from the container header; 0 for ad-hoc refs.
+  std::uint64_t digest = 0;
+  /// FNV-1a / splitmix64 accumulator states after the graph words
+  /// (api::graph_fingerprint_prefix of *instance).
+  std::uint64_t fp_prefix = 0;
+  std::uint64_t fp2_prefix = 0;
+  /// The materialized instance: graph plus the topology's default query.
+  /// Immutable and shared — every request referencing this topology reads
+  /// the same object concurrently.
+  std::shared_ptr<const Instance> instance;
+};
+
 /// One solve, self-contained: the instance plus every knob that affects
 /// the answer. Requests are value types — copy or move them freely; a
 /// batch may repeat the same instance under different parameters.
+///
+/// Two ways to name the graph:
+///   * inline — fill `instance` (the original v1 surface, still fully
+///     supported; see docs/API.md for the deprecation note on shipping
+///     large graphs inline through the serving layer);
+///   * by reference — set `topology` to a shared TopologyRef; `instance`
+///     is then ignored (leave it default-constructed to avoid carrying a
+///     dead copy).
+/// All consumers go through instance_view(), which picks the right one.
 struct SolveRequest {
   Instance instance;
+  /// When set, the solve runs against *topology->instance and `instance`
+  /// above is ignored.
+  std::shared_ptr<const TopologyRef> topology;
   Mode mode = Mode::kScaled;
   double eps1 = 0.25;  // delay slack (Theorem 4; kScaled only)
   double eps2 = 0.25;  // cost slack (Theorem 4; kScaled only)
@@ -118,6 +152,12 @@ struct SolveRequest {
   SlaClass sla = SlaClass::kBatch;
   /// Caller correlation id, echoed verbatim in the result.
   std::string tag;
+
+  /// The instance this request actually solves: the referenced topology's
+  /// when `topology` is set, the inline member otherwise.
+  [[nodiscard]] const Instance& instance_view() const {
+    return topology != nullptr ? *topology->instance : instance;
+  }
 };
 
 struct SolveResult {

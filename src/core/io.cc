@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "graph/io.h"
+#include "util/check.h"
 
 namespace krsp::core {
 
@@ -14,30 +15,55 @@ void write_instance(std::ostream& os, const Instance& inst) {
      << inst.delay_bound << '\n';
 }
 
-Instance read_instance(std::istream& is) {
-  // The graph reader consumes arc lines; the query line is read here, so
-  // parse the stream manually in one pass.
+namespace {
+
+// Single pass over the stream: graph lines go to the incremental parser,
+// the 'q' query line is handled here — all with real line numbers, so a
+// malformed token anywhere reports "line N, column C" of the original
+// stream (the old implementation buffered graph lines into a second
+// stream and lost the positions).
+Instance read_instance_impl(std::istream& is, std::string_view context) {
   Instance inst;
+  graph::GraphParser parser(context);
   std::string line;
-  std::ostringstream graph_part;
+  int line_number = 0;
   bool have_query = false;
+  int query_line = 0;
   while (std::getline(is, line)) {
-    if (!line.empty() && line[0] == 'q') {
-      std::istringstream ls(line);
-      char kind = 0;
-      ls >> kind >> inst.s >> inst.t >> inst.k >> inst.delay_bound;
-      KRSP_CHECK_MSG(!ls.fail(), "malformed query line: " << line);
-      have_query = true;
-    } else {
-      graph_part << line << '\n';
+    ++line_number;
+    graph::FieldScanner peek(line, line_number, context);
+    if (peek.at_end()) continue;
+    if (peek.kind() != 'q') {
+      parser.consume(line, line_number);
+      continue;
     }
+    // peek consumed the 'q'; continue scanning the same line.
+    if (have_query)
+      peek.error("duplicate query line (first at line " +
+                 std::to_string(query_line) + ")");
+    inst.s = static_cast<graph::VertexId>(peek.integer("source vertex"));
+    inst.t = static_cast<graph::VertexId>(peek.integer("target vertex"));
+    inst.k = static_cast<int>(peek.integer("path count k"));
+    inst.delay_bound = peek.integer("delay bound");
+    peek.expect_end();
+    have_query = true;
+    query_line = line_number;
   }
-  KRSP_CHECK_MSG(have_query, "instance stream missing query line");
-  std::istringstream gs(graph_part.str());
-  inst.graph = graph::read_graph(gs);
+  inst.graph = parser.finish();
+  if (!have_query) {
+    std::ostringstream os;
+    if (!context.empty()) os << context << ": ";
+    os << "line " << line_number << ": instance stream missing the query "
+       << "('q') line";
+    throw util::CheckError(os.str());
+  }
   inst.validate();
   return inst;
 }
+
+}  // namespace
+
+Instance read_instance(std::istream& is) { return read_instance_impl(is, ""); }
 
 void write_instance_file(const std::string& path, const Instance& inst) {
   std::ofstream os(path);
@@ -48,7 +74,7 @@ void write_instance_file(const std::string& path, const Instance& inst) {
 Instance read_instance_file(const std::string& path) {
   std::ifstream is(path);
   KRSP_CHECK_MSG(is.good(), "cannot open for read: " << path);
-  return read_instance(is);
+  return read_instance_impl(is, path);
 }
 
 void write_paths(std::ostream& os, const PathSet& paths) {

@@ -4,9 +4,14 @@
 // Bellman–Ford round; the pointer-chasing vector-of-vectors adjacency is
 // the bottleneck there. CsrView packs (head, cost, delay, id) per arc into
 // contiguous arrays grouped by tail — a read-only snapshot taken once per
-// residual graph.
+// residual graph. The `.krspb` instance store (store/container.h) keeps
+// the same arrays on disk in structure-of-arrays form; the section
+// constructor below assembles a view from them in one linear pass with
+// no text parsing.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -33,6 +38,25 @@ class CsrView {
       const auto& edge = g.edge(e);
       arcs_[at[edge.from]++] = Arc{edge.to, edge.cost, edge.delay, e};
     }
+  }
+
+  /// Assembles a view from CSR sections already grouped by tail (the
+  /// mmap'd layout of store/format.h): `first` has n+1 monotone row
+  /// starts, the arc arrays run parallel over m slots. Bounds are
+  /// KRSP_CHECKed; content is taken as validated by the caller (the
+  /// container's open() proves monotonicity, target ranges and the id
+  /// permutation before any view is built).
+  CsrView(int n, std::span<const std::uint64_t> first,
+          std::span<const std::int32_t> targets, std::span<const Cost> costs,
+          std::span<const Delay> delays, std::span<const std::int32_t> ids) {
+    KRSP_CHECK(n >= 0 && first.size() == static_cast<std::size_t>(n) + 1);
+    const std::size_t m = targets.size();
+    KRSP_CHECK(costs.size() == m && delays.size() == m && ids.size() == m);
+    first_.resize(n + 1);
+    for (int v = 0; v <= n; ++v) first_[v] = static_cast<int>(first[v]);
+    arcs_.resize(m);
+    for (std::size_t a = 0; a < m; ++a)
+      arcs_[a] = Arc{targets[a], costs[a], delays[a], ids[a]};
   }
 
   [[nodiscard]] int num_vertices() const {

@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -7,6 +8,127 @@
 #include "util/check.h"
 
 namespace krsp::graph {
+
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+}  // namespace
+
+void FieldScanner::fail(const std::string& why, std::size_t column) const {
+  std::ostringstream os;
+  if (!context_.empty()) os << context_ << ": ";
+  os << "line " << line_number_ << ", column " << (column + 1) << ": " << why;
+  throw util::CheckError(os.str());
+}
+
+void FieldScanner::skip_spaces() {
+  while (pos_ < line_.size() && is_space(line_[pos_])) ++pos_;
+}
+
+char FieldScanner::kind() {
+  skip_spaces();
+  if (pos_ >= line_.size()) fail("expected a line kind", pos_);
+  const char c = line_[pos_++];
+  if (pos_ < line_.size() && !is_space(line_[pos_]))
+    fail("line kind must be a single character", pos_ - 1);
+  return c;
+}
+
+std::int64_t FieldScanner::integer(const char* what) {
+  skip_spaces();
+  const std::size_t start = pos_;
+  if (pos_ >= line_.size())
+    fail(std::string("missing ") + what + " (expected an integer)", start);
+  if (line_[pos_] == '-' || line_[pos_] == '+') ++pos_;
+  while (pos_ < line_.size() && !is_space(line_[pos_])) ++pos_;
+  std::int64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(line_.data() + start, line_.data() + pos_, value);
+  if (ec == std::errc::result_out_of_range)
+    fail(std::string(what) + " overflows 64 bits", start);
+  if (ec != std::errc() || end != line_.data() + pos_)
+    fail(std::string("expected integer for ") + what + ", got \"" +
+             std::string(line_.substr(start, pos_ - start)) + "\"",
+         start);
+  return value;
+}
+
+std::string FieldScanner::word(const char* what) {
+  skip_spaces();
+  const std::size_t start = pos_;
+  while (pos_ < line_.size() && !is_space(line_[pos_])) ++pos_;
+  if (pos_ == start) fail(std::string("missing ") + what, start);
+  return std::string(line_.substr(start, pos_ - start));
+}
+
+void FieldScanner::expect_end() {
+  skip_spaces();
+  if (pos_ < line_.size())
+    fail("unexpected trailing content \"" + std::string(line_.substr(pos_)) +
+             "\"",
+         pos_);
+}
+
+bool FieldScanner::at_end() {
+  skip_spaces();
+  return pos_ >= line_.size();
+}
+
+void FieldScanner::error(const std::string& why) const { fail(why, pos_); }
+
+void GraphParser::consume(std::string_view line, int line_number) {
+  last_line_ = line_number;
+  FieldScanner scan(line, line_number, context_);
+  if (scan.at_end()) return;  // blank line
+  const char kind = scan.kind();
+  if (kind == 'c') return;  // comment; rest of line is free-form
+  if (kind == 'p') {
+    const std::string tag = scan.word("problem tag");
+    if (tag != "krsp") scan.error("unexpected problem tag \"" + tag + "\"");
+    const std::int64_t n = scan.integer("vertex count");
+    const std::int64_t m = scan.integer("edge count");
+    scan.expect_end();
+    if (n < 0 || m < 0)
+      scan.error("vertex/edge counts must be non-negative");
+    graph_.resize(static_cast<int>(n));
+    declared_edges_ = static_cast<int>(m);
+    have_header_ = true;
+    return;
+  }
+  if (kind == 'a') {
+    if (!have_header_)
+      scan.error("arc line before the problem ('p') line");
+    const std::int64_t u = scan.integer("arc tail");
+    const std::int64_t v = scan.integer("arc head");
+    const Cost c = scan.integer("arc cost");
+    const Delay d = scan.integer("arc delay");
+    scan.expect_end();
+    if (u < 0 || u >= graph_.num_vertices() || v < 0 ||
+        v >= graph_.num_vertices())
+      scan.error("arc endpoint out of range (graph has " +
+                 std::to_string(graph_.num_vertices()) + " vertices)");
+    graph_.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), c, d);
+    return;
+  }
+  scan.error(std::string("unknown line kind '") + kind + "'");
+}
+
+Digraph GraphParser::finish() {
+  const auto positioned = [&](const std::string& why) -> util::CheckError {
+    std::ostringstream os;
+    if (!context_.empty()) os << context_ << ": ";
+    os << "line " << last_line_ << ": " << why;
+    return util::CheckError(os.str());
+  };
+  if (!have_header_)
+    throw positioned("graph stream missing the problem ('p') line");
+  if (declared_edges_ != graph_.num_edges())
+    throw positioned("edge count mismatch: declared " +
+                     std::to_string(declared_edges_) + ", read " +
+                     std::to_string(graph_.num_edges()));
+  return std::move(graph_);
+}
 
 void write_graph(std::ostream& os, const Digraph& g) {
   os << "c krsp digraph, cost+delay per arc\n";
@@ -17,41 +139,11 @@ void write_graph(std::ostream& os, const Digraph& g) {
 }
 
 Digraph read_graph(std::istream& is) {
-  Digraph g;
+  GraphParser parser;
   std::string line;
-  int declared_edges = -1;
-  bool have_header = false;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == 'c') continue;
-    std::istringstream ls(line);
-    char kind = 0;
-    ls >> kind;
-    if (kind == 'p') {
-      std::string tag;
-      int n = 0, m = 0;
-      ls >> tag >> n >> m;
-      KRSP_CHECK_MSG(tag == "krsp", "unexpected problem tag: " << tag);
-      KRSP_CHECK(n >= 0 && m >= 0);
-      g.resize(n);
-      declared_edges = m;
-      have_header = true;
-    } else if (kind == 'a') {
-      KRSP_CHECK_MSG(have_header, "arc line before problem line");
-      VertexId u = kInvalidVertex, v = kInvalidVertex;
-      Cost c = 0;
-      Delay d = 0;
-      ls >> u >> v >> c >> d;
-      KRSP_CHECK_MSG(!ls.fail(), "malformed arc line: " << line);
-      g.add_edge(u, v, c, d);
-    } else {
-      KRSP_CHECK_MSG(false, "unknown line kind '" << kind << "' in: " << line);
-    }
-  }
-  KRSP_CHECK_MSG(have_header, "graph stream missing problem line");
-  KRSP_CHECK_MSG(declared_edges == g.num_edges(),
-                 "edge count mismatch: declared " << declared_edges << " read "
-                                                  << g.num_edges());
-  return g;
+  int line_number = 0;
+  while (std::getline(is, line)) parser.consume(line, ++line_number);
+  return parser.finish();
 }
 
 void write_graph_file(const std::string& path, const Digraph& g) {
@@ -63,7 +155,11 @@ void write_graph_file(const std::string& path, const Digraph& g) {
 Digraph read_graph_file(const std::string& path) {
   std::ifstream is(path);
   KRSP_CHECK_MSG(is.good(), "cannot open for read: " << path);
-  return read_graph(is);
+  GraphParser parser(path);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) parser.consume(line, ++line_number);
+  return parser.finish();
 }
 
 }  // namespace krsp::graph

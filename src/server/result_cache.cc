@@ -1,67 +1,17 @@
 #include "server/result_cache.h"
 
 #include <algorithm>
-#include <bit>
+
+#include "api/fingerprint.h"
 
 namespace krsp::server {
 
-namespace {
-
-struct Fnv {
-  std::uint64_t h = 14695981039346656037ull;
-  void mix(std::uint64_t x) {
-    // Mix all 8 bytes, not just the low ones: edge weights are int64.
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  }
-};
-
-// splitmix64 accumulator: structurally unrelated to FNV-1a, so the pair
-// (request_fingerprint, request_fingerprint2) only collides when both
-// independent 64-bit hashes collide on the same two requests.
-struct SplitMix {
-  std::uint64_t h = 0x9e3779b97f4a7c15ull;
-  void mix(std::uint64_t x) {
-    h += x + 0x9e3779b97f4a7c15ull;
-    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-    h ^= h >> 31;
-  }
-};
-
-template <class Hasher>
-std::uint64_t hash_request(const api::SolveRequest& request) {
-  Hasher f;
-  const auto& inst = request.instance;
-  f.mix(static_cast<std::uint64_t>(inst.graph.num_vertices()));
-  f.mix(static_cast<std::uint64_t>(inst.graph.num_edges()));
-  for (const auto& e : inst.graph.edges()) {
-    f.mix(static_cast<std::uint64_t>(e.from));
-    f.mix(static_cast<std::uint64_t>(e.to));
-    f.mix(static_cast<std::uint64_t>(e.cost));
-    f.mix(static_cast<std::uint64_t>(e.delay));
-  }
-  f.mix(static_cast<std::uint64_t>(inst.s));
-  f.mix(static_cast<std::uint64_t>(inst.t));
-  f.mix(static_cast<std::uint64_t>(inst.k));
-  f.mix(static_cast<std::uint64_t>(inst.delay_bound));
-  f.mix(static_cast<std::uint64_t>(request.mode));
-  f.mix(static_cast<std::uint64_t>(request.guess));
-  f.mix(std::bit_cast<std::uint64_t>(request.eps1));
-  f.mix(std::bit_cast<std::uint64_t>(request.eps2));
-  return f.h;
-}
-
-}  // namespace
-
 std::uint64_t request_fingerprint(const api::SolveRequest& request) {
-  return hash_request<Fnv>(request);
+  return api::request_fingerprints(request).key;
 }
 
 std::uint64_t request_fingerprint2(const api::SolveRequest& request) {
-  return hash_request<SplitMix>(request);
+  return api::request_fingerprints(request).verify;
 }
 
 ResultCache::ResultCache(std::size_t capacity, int shards)

@@ -38,6 +38,11 @@ namespace krsp::server {
 /// mode, guess strategy, and the exact eps1/eps2 bit patterns. The tag is
 /// deliberately excluded (it is echoed metadata, not an input) and so is
 /// deadline_seconds (deadline-bounded requests bypass the cache).
+///
+/// Compatibility wrapper over api::request_fingerprints (the hashing
+/// moved to api/fingerprint.h so the topology catalog can precompute
+/// graph prefixes); prefer that entry point, which produces both hashes
+/// in one pass. Requests carrying a TopologyRef fingerprint in O(1).
 [[nodiscard]] std::uint64_t request_fingerprint(
     const api::SolveRequest& request);
 
@@ -45,7 +50,8 @@ namespace krsp::server {
 /// Stored alongside each cache entry and re-checked on lookup, so a
 /// primary-key collision between distinct requests reads as a miss
 /// instead of silently serving the wrong result — a colliding pair would
-/// have to collide under both hash functions at once.
+/// have to collide under both hash functions at once. Same compatibility
+/// note as request_fingerprint.
 [[nodiscard]] std::uint64_t request_fingerprint2(
     const api::SolveRequest& request);
 

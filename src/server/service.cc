@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "api/fingerprint.h"
+
 namespace krsp::server {
 
 namespace {
@@ -79,8 +81,12 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
   std::uint64_t key = 0;
   std::uint64_t verify = 0;
   if (cacheable) {
-    key = request_fingerprint(request);
-    verify = request_fingerprint2(request);
+    // One pass computes both hashes; topology-referencing requests
+    // resume from the catalog's precomputed prefixes, making this O(1)
+    // instead of O(m) (api/fingerprint.h).
+    const api::FingerprintPair fp = api::request_fingerprints(request);
+    key = fp.key;
+    verify = fp.verify;
     if (auto hit = cache_.lookup(key, verify)) {
       resp.result = std::move(*hit);
       resp.result.tag = request.tag;  // cached entries store no tag

@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -61,20 +63,72 @@ std::string paths_json(const core::PathSet& paths) {
   return out;
 }
 
-std::string handle_solve(const wire::Value& req, SolveService& service) {
+std::string handle_solve(const wire::Value& req, SolveService& service,
+                         const store::TopologyCatalog* catalog) {
   const std::string id = req.get_string("id");
+  const wire::Value* topology = req.find("topology");
   const wire::Value* instance_text = req.find("instance");
-  if (instance_text == nullptr ||
-      instance_text->type != wire::Value::Type::kString)
-    return error_line("solve requires a string \"instance\" field", id);
 
   api::SolveRequest request;
   request.tag = id;
-  try {
-    std::istringstream is(instance_text->string);
-    request.instance = api::read_instance(is);
-  } catch (const std::exception& e) {
-    return error_line(std::string("bad instance: ") + e.what(), id);
+  if (topology != nullptr) {
+    // Protocol v2: graph by catalog reference. Every failure mode here is
+    // a structured error response — a bad topology request must never
+    // cost the client its connection.
+    if (topology->type != wire::Value::Type::kString)
+      return error_line("\"topology\" must be a string id", id);
+    if (instance_text != nullptr)
+      return error_line(
+          "request carries both \"topology\" and \"instance\"; pick one", id);
+    if (catalog == nullptr || catalog->empty())
+      return error_line(
+          "no topology catalog configured (serve with --catalog DIR)", id);
+    std::shared_ptr<const api::TopologyRef> ref = catalog->find(topology->string);
+    if (ref == nullptr)
+      return error_line("unknown topology: " + topology->string, id);
+    const auto s = static_cast<graph::VertexId>(
+        req.get_int("s", ref->instance->s));
+    const auto t = static_cast<graph::VertexId>(
+        req.get_int("t", ref->instance->t));
+    const int k = static_cast<int>(req.get_int("k", ref->instance->k));
+    const graph::Delay bound =
+        req.get_int("delay_bound", ref->instance->delay_bound);
+    if (s == ref->instance->s && t == ref->instance->t &&
+        k == ref->instance->k && bound == ref->instance->delay_bound) {
+      // Default query: share the catalog's instance as-is — no copy, no
+      // parse, O(1) fingerprinting off the stored prefixes.
+      request.topology = std::move(ref);
+    } else {
+      // Query override: the graph is copied once (O(m)) to host the new
+      // terminals; the fingerprint prefixes carry over untouched because
+      // they cover only the graph words, and the suffix hashes the
+      // overridden query (api/fingerprint.h).
+      auto inst = std::make_shared<core::Instance>(*ref->instance);
+      inst->s = s;
+      inst->t = t;
+      inst->k = k;
+      inst->delay_bound = bound;
+      try {
+        inst->validate();
+      } catch (const std::exception& e) {
+        return error_line(std::string("bad query override: ") + e.what(), id);
+      }
+      auto override_ref = std::make_shared<api::TopologyRef>(*ref);
+      override_ref->instance = std::move(inst);
+      request.topology = std::move(override_ref);
+    }
+  } else {
+    // Protocol v1: inline .kri instance (accepted indefinitely).
+    if (instance_text == nullptr ||
+        instance_text->type != wire::Value::Type::kString)
+      return error_line(
+          "solve requires a string \"instance\" or \"topology\" field", id);
+    try {
+      std::istringstream is(instance_text->string);
+      request.instance = api::read_instance(is);
+    } catch (const std::exception& e) {
+      return error_line(std::string("bad instance: ") + e.what(), id);
+    }
   }
 
   const std::string mode = req.get_string("mode", "scaled");
@@ -148,10 +202,73 @@ void class_stats_fields(wire::ObjectWriter& w, const char* prefix,
   w.field(p + "_ewma_service_ms", cs.ewma_service_seconds * 1e3);
 }
 
+// Digests are u64; JSON numbers round-trip exactly only through int64,
+// so they travel as fixed-width hex strings.
+std::string hex64(std::uint64_t x) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(x));
+  return buf;
+}
+
+void topology_info_fields(wire::ObjectWriter& w,
+                          const store::TopologyCatalog::Info& info) {
+  w.field("id", info.id);
+  w.field("n", static_cast<std::int64_t>(info.num_vertices));
+  w.field("m", static_cast<std::int64_t>(info.num_edges));
+  w.field("s", static_cast<std::int64_t>(info.s));
+  w.field("t", static_cast<std::int64_t>(info.t));
+  w.field("k", static_cast<std::int64_t>(info.k));
+  w.field("delay_bound", static_cast<std::int64_t>(info.delay_bound));
+  w.field("digest", hex64(info.digest));
+  w.field("file_bytes", info.file_bytes);
+}
+
+std::string handle_topologies(const store::TopologyCatalog* catalog) {
+  // No catalog behaves as an empty one: listing is a discovery op, so a
+  // catalog-less server answers "nothing here" rather than erroring.
+  const auto infos = catalog == nullptr
+                         ? std::vector<store::TopologyCatalog::Info>{}
+                         : catalog->list();
+  wire::ObjectWriter w;
+  w.field("ok", true);
+  w.field("protocol_version", static_cast<std::int64_t>(kProtocolVersion));
+  w.field("count", static_cast<std::int64_t>(infos.size()));
+  std::string arr = "[";
+  bool first = true;
+  for (const auto& info : infos) {
+    if (!first) arr.push_back(',');
+    first = false;
+    wire::ObjectWriter entry;
+    topology_info_fields(entry, info);
+    arr += entry.done();
+  }
+  arr.push_back(']');
+  w.raw("topologies", arr);
+  return w.done();
+}
+
+std::string handle_topology(const wire::Value& req,
+                            const store::TopologyCatalog* catalog) {
+  const std::string id = req.get_string("id");
+  if (id.empty()) return error_line("topology op requires an \"id\" field");
+  if (catalog != nullptr) {
+    for (const auto& info : catalog->list()) {
+      if (info.id != id) continue;
+      wire::ObjectWriter w;
+      w.field("ok", true);
+      topology_info_fields(w, info);
+      return w.done();
+    }
+  }
+  return error_line("unknown topology: " + id);
+}
+
 std::string handle_stats(SolveService& service) {
   const api::ServeStats s = service.stats();
   wire::ObjectWriter w;
   w.field("ok", true);
+  w.field("protocol_version", static_cast<std::int64_t>(kProtocolVersion));
   w.field("received", s.received);
   w.field("served", s.served);
   w.field("rejected_queue_full", s.rejected_queue_full);
@@ -181,8 +298,10 @@ std::string Protocol::handle_line(const std::string& line) {
     return error_line("request must be a json object");
 
   const std::string op = req->get_string("op", "solve");
-  if (op == "solve") return handle_solve(*req, service_);
+  if (op == "solve") return handle_solve(*req, service_, catalog_);
   if (op == "stats") return handle_stats(service_);
+  if (op == "topologies") return handle_topologies(catalog_);
+  if (op == "topology") return handle_topology(*req, catalog_);
   if (op == "ping")
     return wire::ObjectWriter().field("ok", true).field("pong", true).done();
   if (op == "shutdown") {
@@ -195,8 +314,9 @@ std::string Protocol::handle_line(const std::string& line) {
   return error_line("unknown op: " + op);
 }
 
-SocketServer::SocketServer(SolveService& service, std::string socket_path)
-    : protocol_(service), path_(std::move(socket_path)) {}
+SocketServer::SocketServer(SolveService& service, std::string socket_path,
+                           const store::TopologyCatalog* catalog)
+    : protocol_(service, catalog), path_(std::move(socket_path)) {}
 
 SocketServer::~SocketServer() {
   if (listen_fd_ >= 0) {

@@ -10,9 +10,22 @@
 // Request ops (field "op", default "solve"):
 //   {"op":"solve","id":"tag","instance":"<.kri text>","mode":"scaled",
 //    "eps1":0.25,"eps2":0.25,"guess":"binary","deadline":0.1}
+//   {"op":"solve","id":"tag","topology":"grid64","mode":"scaled",...}
+//                      → protocol v2: graph by catalog id (see below)
 //   {"op":"stats"}     → serving counters (api::ServeStats)
+//   {"op":"topologies"}→ catalog listing (id, n, m, default query, digest)
+//   {"op":"topology","id":"grid64"} → stat one catalog entry
 //   {"op":"ping"}      → liveness probe
 //   {"op":"shutdown"}  → ack, then the server begins its graceful drain
+//
+// Protocol versioning (docs/API.md "Wire protocol v2"): a solve request
+// with a "topology" key is v2 — the graph is looked up in the server's
+// TopologyCatalog instead of being shipped inline, and optional
+// "s"/"t"/"k"/"delay_bound" fields override the topology's stored
+// default query. A request without the key is v1 inline, accepted
+// forever and answered byte-identically to before. An unknown topology
+// id (or a v2 request against a server with no catalog) yields a
+// structured {"ok":false,"error":...} response — never a close.
 //
 // Solve responses echo "id" and carry either the result
 //   {"id":..,"ok":true,"served":true,"cache_hit":false,"status":"approx",
@@ -20,7 +33,11 @@
 //    "queue_ms":0.1,"total_ms":2.3}
 // or an admission rejection ("served":false,"reject":"queue-full"), or —
 // for malformed input — {"ok":false,"error":"..."}; the connection always
-// gets exactly one response line per request line.
+// gets exactly one response line per request line. Solve responses are
+// identical across v1 and v2 on purpose (no version marker), so clients
+// can switch forms without re-validating their response handling;
+// "protocol_version" appears in stats/topologies responses and in
+// krsp_serve's final_stats line instead.
 //
 // The "instance" payload is the library's own .kri text format
 // (core/io.h) embedded as a JSON string: one serializer for files, tools
@@ -36,14 +53,25 @@
 #include <vector>
 
 #include "server/service.h"
+#include "store/catalog.h"
 
 namespace krsp::server {
 
+/// Wire protocol version this build speaks (reported in stats,
+/// topologies, and krsp_serve final_stats). v2 added the topology-id
+/// request surface; v1 inline requests remain accepted indefinitely.
+inline constexpr int kProtocolVersion = 2;
+
 /// Transport-agnostic request/response logic. Thread-safe: handle_line
 /// may be called concurrently from any number of transport threads.
+/// `catalog` (optional, unowned, must outlive the protocol) enables the
+/// v2 topology ops; without one, v2 solve requests get a structured
+/// error and `topologies` lists nothing.
 class Protocol {
  public:
-  explicit Protocol(SolveService& service) : service_(service) {}
+  explicit Protocol(SolveService& service,
+                    const store::TopologyCatalog* catalog = nullptr)
+      : service_(service), catalog_(catalog) {}
 
   /// Handles one request line, returns one response line (no trailing
   /// newline). Malformed input yields an ok:false response, never a
@@ -57,13 +85,16 @@ class Protocol {
 
  private:
   SolveService& service_;
+  const store::TopologyCatalog* catalog_;
   std::atomic<bool> shutdown_{false};
 };
 
 /// In-process transport for tests: the full protocol without sockets.
 class LocalTransport {
  public:
-  explicit LocalTransport(SolveService& service) : protocol_(service) {}
+  explicit LocalTransport(SolveService& service,
+                          const store::TopologyCatalog* catalog = nullptr)
+      : protocol_(service, catalog) {}
 
   [[nodiscard]] std::string request(const std::string& line) {
     return protocol_.handle_line(line);
@@ -95,7 +126,8 @@ class SocketServer {
   /// Cap on simultaneously-open connections (== connection threads).
   static constexpr std::size_t kMaxConnections = 256;
 
-  SocketServer(SolveService& service, std::string socket_path);
+  SocketServer(SolveService& service, std::string socket_path,
+               const store::TopologyCatalog* catalog = nullptr);
   ~SocketServer();
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;

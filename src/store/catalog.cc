@@ -1,0 +1,68 @@
+#include "store/catalog.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "api/fingerprint.h"
+#include "store/container.h"
+#include "util/check.h"
+
+namespace krsp::store {
+
+TopologyCatalog TopologyCatalog::load(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const bool is_dir = fs::is_directory(dir, ec);
+  KRSP_CHECK_MSG(is_dir && !ec, dir << ": not a readable directory");
+
+  TopologyCatalog catalog;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".krspb")
+      continue;
+    const std::string id = entry.path().stem().string();
+    KRSP_CHECK_MSG(!catalog.entries_.contains(id),
+                   dir << ": duplicate topology id '" << id << "'");
+    const CsrContainer container = CsrContainer::open(entry.path().string());
+    auto instance =
+        std::make_shared<const core::Instance>(container.instance());
+    const api::GraphPrefix prefix = api::graph_fingerprint_prefix(*instance);
+
+    auto ref = std::make_shared<api::TopologyRef>();
+    ref->id = id;
+    ref->digest = container.digest();
+    ref->fp_prefix = prefix.fnv;
+    ref->fp2_prefix = prefix.splitmix;
+    ref->instance = std::move(instance);
+
+    Info info;
+    info.id = id;
+    info.num_vertices = container.num_vertices();
+    info.num_edges = container.num_edges();
+    info.s = container.s();
+    info.t = container.t();
+    info.k = container.k();
+    info.delay_bound = container.delay_bound();
+    info.digest = container.digest();
+    info.file_bytes = container.file_bytes();
+    catalog.entries_.emplace(id, Entry{std::move(ref), std::move(info)});
+    // The mapping is dropped here: the catalog serves from the
+    // materialized instance, so container lifetime ends with load. Tools
+    // that want raw zero-copy spans hold the CsrContainer directly.
+  }
+  return catalog;
+}
+
+std::shared_ptr<const api::TopologyRef> TopologyCatalog::find(
+    const std::string& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.ref;
+}
+
+std::vector<TopologyCatalog::Info> TopologyCatalog::list() const {
+  std::vector<Info> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+}  // namespace krsp::store

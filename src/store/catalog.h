@@ -1,0 +1,73 @@
+// Daemon-side registry of named topologies backed by `.krspb` containers.
+//
+// TopologyCatalog::load mmaps every container in a directory once at
+// startup, validates each (CsrContainer::open's full contract), and
+// materializes one shared api::TopologyRef per file — graph, default
+// query, content digest, and the precomputed fingerprint prefixes that
+// make per-request cache keying O(1). The id of a topology is its
+// filename stem: `data/corpus/grid64.krspb` serves as `"grid64"`.
+//
+// The catalog is immutable after load: find() and list() are const,
+// allocation-free on the lookup path, and safe to call from any number
+// of connection threads concurrently with no locking (the server's
+// ProtocolV2 tests exercise exactly that under TSan). Refreshing the
+// topology set means building a new catalog and swapping it at a higher
+// level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/krsp.h"
+
+namespace krsp::store {
+
+class TopologyCatalog {
+ public:
+  /// Summary row for the `topologies` / `topology` wire ops.
+  struct Info {
+    std::string id;
+    int num_vertices = 0;
+    int num_edges = 0;
+    graph::VertexId s = graph::kInvalidVertex;
+    graph::VertexId t = graph::kInvalidVertex;
+    int k = 1;
+    graph::Delay delay_bound = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t file_bytes = 0;
+  };
+
+  /// Empty catalog (no --catalog flag): every find() misses.
+  TopologyCatalog() = default;
+
+  /// Loads every `*.krspb` in `dir` (non-recursive). Throws
+  /// util::CheckError if the directory is unreadable, any container
+  /// fails validation, or two files map to the same id; a server should
+  /// fail fast at startup rather than serve a partial catalog.
+  static TopologyCatalog load(const std::string& dir);
+
+  /// Shared ref for `id`, or nullptr if unknown. Lock-free.
+  [[nodiscard]] std::shared_ptr<const api::TopologyRef> find(
+      const std::string& id) const;
+
+  /// All topologies, sorted by id.
+  [[nodiscard]] std::vector<Info> list() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const api::TopologyRef> ref;
+    Info info;
+  };
+
+  // std::map keeps list() ordering trivial; lookups are read-only after
+  // load so the tree never rebalances under readers.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace krsp::store

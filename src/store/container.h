@@ -1,0 +1,108 @@
+// Zero-copy access to one `.krspb` instance container (store/format.h).
+//
+// CsrContainer::open maps the file read-only and validates it — magic,
+// version, endianness, section bounds and alignment, CSR monotonicity,
+// target ranges, edge-id permutation, and the content digest — without
+// parsing a single edge from text. The accessors then hand out spans
+// over the mapped sections directly: no allocation, no copy, and the
+// kernel shares the pages across every process that maps the same file.
+//
+// Consumption tiers, cheapest first:
+//   * offsets()/targets()/costs()/delays()/edge_ids() — raw mapped spans;
+//   * csr_view() — a graph::CsrView assembled from the sections in one
+//     linear pass (the bicameral scan's preferred adjacency form);
+//   * instance() — a fully materialized core::Instance with edge ids
+//     restored to their original numbering, for the mutating solver
+//     internals (residual graphs, auxiliary layers).
+//
+// Lifetime: spans and csr_view() borrow the mapping and are valid only
+// while the container is alive; instance() owns its memory. The store
+// tests run under ASan/UBSan precisely because mmap lifetime and
+// alignment bugs are what sanitizers catch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/instance.h"
+#include "graph/csr.h"
+#include "store/format.h"
+
+namespace krsp::store {
+
+class CsrContainer {
+ public:
+  /// Serializes `inst` into a fresh container at `path` (overwrites).
+  /// Arcs are grouped by tail vertex with original edge ids preserved in
+  /// the ids section; the digest is computed over the exact bytes
+  /// written, so write_file → open round-trips bit-for-bit. Throws
+  /// util::CheckError on I/O failure or an invalid instance.
+  static void write_file(const std::string& path, const core::Instance& inst);
+
+  /// Opens and maps `path` read-only, validating the full format
+  /// contract. Throws util::CheckError naming the file and the first
+  /// violated invariant (bad magic, truncation, digest mismatch, ...);
+  /// a malformed file is a load error, never undefined behavior later.
+  static CsrContainer open(const std::string& path);
+
+  CsrContainer(CsrContainer&& other) noexcept;
+  CsrContainer& operator=(CsrContainer&& other) noexcept;
+  CsrContainer(const CsrContainer&) = delete;
+  CsrContainer& operator=(const CsrContainer&) = delete;
+  ~CsrContainer();
+
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(header_.num_vertices);
+  }
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(header_.num_edges);
+  }
+  [[nodiscard]] graph::VertexId s() const {
+    return static_cast<graph::VertexId>(header_.s);
+  }
+  [[nodiscard]] graph::VertexId t() const {
+    return static_cast<graph::VertexId>(header_.t);
+  }
+  [[nodiscard]] int k() const { return static_cast<int>(header_.k); }
+  [[nodiscard]] graph::Delay delay_bound() const {
+    return header_.delay_bound;
+  }
+  [[nodiscard]] std::uint64_t digest() const { return header_.digest; }
+  [[nodiscard]] std::uint64_t file_bytes() const {
+    return header_.file_bytes;
+  }
+
+  // Raw mapped sections (valid while the container lives).
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const;
+  [[nodiscard]] std::span<const std::int32_t> targets() const;
+  [[nodiscard]] std::span<const graph::Cost> costs() const;
+  [[nodiscard]] std::span<const graph::Delay> delays() const;
+  [[nodiscard]] std::span<const std::int32_t> edge_ids() const;
+
+  /// Adjacency view assembled from the mapped sections in one linear
+  /// pass (no text parsing, no Digraph construction).
+  [[nodiscard]] graph::CsrView csr_view() const;
+
+  /// Materializes the instance: a Digraph with edges restored to their
+  /// original id order, plus the stored default query. O(n + m), owns
+  /// its memory, outlives the container.
+  [[nodiscard]] core::Instance instance() const;
+
+ private:
+  CsrContainer() = default;
+
+  const void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  Header header_;
+};
+
+/// Digest over the header's query fields and all section words, exactly
+/// as write_file computes it; exposed so tests can confirm corruption
+/// detection and tools can print/verify digests.
+[[nodiscard]] std::uint64_t compute_digest(
+    const Header& header, std::span<const std::uint64_t> offsets,
+    std::span<const std::int32_t> targets, std::span<const graph::Cost> costs,
+    std::span<const graph::Delay> delays, std::span<const std::int32_t> ids);
+
+}  // namespace krsp::store

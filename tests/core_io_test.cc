@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/solver.h"
@@ -55,6 +56,70 @@ TEST(InstanceIo, MissingQueryLineThrows) {
   std::stringstream ss;
   graph::write_graph(ss, inst.graph);  // no q line
   EXPECT_THROW(read_instance(ss), util::CheckError);
+}
+
+// Positioned-error regressions for the query ('q') line, which the
+// instance reader parses itself — its errors must carry the real line
+// number of the original stream, not a renumbered graph-only stream.
+
+template <typename Fn>
+std::string error_message(Fn fn) {
+  try {
+    fn();
+  } catch (const util::CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected util::CheckError";
+  return "";
+}
+
+TEST(InstanceIo, MalformedQueryFieldNamesLineAndColumn) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 1\na 0 1 1 1\nq 0 x 2 5\n");
+    (void)read_instance(ss);
+  });
+  EXPECT_EQ(msg,
+            "line 3, column 5: expected integer for target vertex, got \"x\"");
+}
+
+TEST(InstanceIo, DuplicateQueryLineNamesTheFirst) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 1\na 0 1 1 1\nq 0 1 1 5\nq 0 1 1 5\n");
+    (void)read_instance(ss);
+  });
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate query line (first at line 3)"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(InstanceIo, QueryTrailingContentRejected) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 1\na 0 1 1 1\nq 0 1 1 5 9\n");
+    (void)read_instance(ss);
+  });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unexpected trailing content"), std::string::npos) << msg;
+}
+
+TEST(InstanceIo, MissingQueryErrorIsPositionedAtStreamEnd) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 1\na 0 1 1 1\n");
+    (void)read_instance(ss);
+  });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("missing the query"), std::string::npos) << msg;
+}
+
+TEST(InstanceIo, FileErrorsLeadWithThePath) {
+  const std::string path = testing::TempDir() + "/krsp_bad_instance.kri";
+  {
+    std::ofstream os(path);
+    os << "p krsp 2 1\na 0 1 1 oops\nq 0 1 1 5\n";
+  }
+  const std::string msg =
+      error_message([&] { (void)read_instance_file(path); });
+  EXPECT_EQ(msg.rfind(path + ": line 2", 0), 0u) << msg;
 }
 
 TEST(PathsIo, RoundTrip) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "graph/generators.h"
@@ -80,6 +81,104 @@ TEST(GraphIo, FileRoundTrip) {
 
 TEST(GraphIo, UnreadableFileThrows) {
   EXPECT_THROW(read_graph_file("/nonexistent/nope.gr"), util::CheckError);
+}
+
+// ------------------------------------------- positioned parse errors ---
+// Regression tests for the line/column error contract: a malformed file
+// must name where it is malformed, not just that it is.
+
+template <typename Fn>
+std::string error_message(Fn fn) {
+  try {
+    fn();
+  } catch (const util::CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected util::CheckError";
+  return "";
+}
+
+TEST(GraphIo, MalformedTokenNamesLineColumnAndField) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 3 1\na 0 1 x 5\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_EQ(msg, "line 2, column 7: expected integer for arc cost, got \"x\"");
+}
+
+TEST(GraphIo, IntegerOverflowIsDiagnosedNotWrapped) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 1\na 0 1 99999999999999999999 5\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(msg.find("line 2, column 7"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("arc cost overflows 64 bits"), std::string::npos) << msg;
+}
+
+TEST(GraphIo, SemanticErrorsArePositionedToo) {
+  const std::string out_of_range = error_message([] {
+    std::stringstream ss("p krsp 3 1\na 0 7 1 1\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(out_of_range.find("line 2"), std::string::npos) << out_of_range;
+  EXPECT_NE(out_of_range.find("arc endpoint out of range (graph has 3"),
+            std::string::npos)
+      << out_of_range;
+
+  const std::string bad_tag = error_message([] {
+    std::stringstream ss("p foo 2 1\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(bad_tag.find("line 1"), std::string::npos) << bad_tag;
+  EXPECT_NE(bad_tag.find("unexpected problem tag \"foo\""), std::string::npos)
+      << bad_tag;
+
+  const std::string unknown_kind = error_message([] {
+    std::stringstream ss("p krsp 2 0\nz 1 2\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(unknown_kind.find("line 2"), std::string::npos) << unknown_kind;
+  EXPECT_NE(unknown_kind.find("unknown line kind 'z'"), std::string::npos)
+      << unknown_kind;
+
+  const std::string early_arc = error_message([] {
+    std::stringstream ss("c no header yet\na 0 1 1 1\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(early_arc.find("line 2"), std::string::npos) << early_arc;
+  EXPECT_NE(early_arc.find("arc line before the problem"), std::string::npos)
+      << early_arc;
+}
+
+TEST(GraphIo, TrailingContentIsRejectedWithItsPosition) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 1 extra\na 0 1 1 1\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unexpected trailing content \"extra\""),
+            std::string::npos)
+      << msg;
+}
+
+TEST(GraphIo, EdgeCountMismatchReportsBothCounts) {
+  const std::string msg = error_message([] {
+    std::stringstream ss("p krsp 2 2\na 0 1 4 5\n");
+    (void)read_graph(ss);
+  });
+  EXPECT_NE(msg.find("declared 2, read 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(GraphIo, FileErrorsLeadWithThePath) {
+  const std::string path = testing::TempDir() + "/krsp_io_bad.gr";
+  {
+    std::ofstream os(path);
+    os << "p krsp 2 1\na 0 1 bad 5\n";
+  }
+  const std::string msg =
+      error_message([&] { (void)read_graph_file(path); });
+  EXPECT_EQ(msg.rfind(path + ": line 2", 0), 0u) << msg;
 }
 
 }  // namespace

@@ -1,0 +1,277 @@
+// Wire protocol v2: topology-reference solves must be byte-identical to
+// inline v1 solves of the same instance, the result cache must hit
+// across the two request forms (the fingerprint-prefix contract), query
+// overrides must solve the modified instance, and every v2 failure mode
+// must be a structured error response — never a dropped session.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "api/krsp.h"
+#include "server/service.h"
+#include "server/transport.h"
+#include "server/wire.h"
+#include "store/catalog.h"
+#include "store/container.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace krsp::server {
+namespace {
+
+api::Instance random_instance(std::uint64_t seed, int n = 14, int k = 2) {
+  util::Rng rng(seed);
+  api::RandomInstanceOptions opt;
+  opt.k = k;
+  opt.delay_slack = 0.3;
+  const auto inst = api::random_er_instance(rng, n, 0.35, opt);
+  KRSP_CHECK_MSG(inst.has_value(), "seed " << seed << " drew no instance");
+  return *inst;
+}
+
+/// Writes `inst` as `<id>.krspb` into a fresh catalog directory and
+/// loads it. Each call gets its own directory so tests stay independent.
+store::TopologyCatalog one_topology_catalog(const std::string& dir_name,
+                                            const std::string& id,
+                                            const api::Instance& inst) {
+  const std::string dir = testing::TempDir() + "/" + dir_name;
+  std::filesystem::create_directories(dir);
+  store::CsrContainer::write_file(dir + "/" + id + ".krspb", inst);
+  return store::TopologyCatalog::load(dir);
+}
+
+std::string inline_line(const api::Instance& inst, const std::string& id,
+                        const std::string& mode = "exact") {
+  std::ostringstream kri;
+  api::write_instance(kri, inst);
+  return wire::ObjectWriter()
+      .field("op", "solve")
+      .field("id", id)
+      .field("instance", kri.str())
+      .field("mode", mode)
+      .done();
+}
+
+std::string topology_line(const std::string& topology, const std::string& id,
+                          const std::string& mode = "exact") {
+  return wire::ObjectWriter()
+      .field("op", "solve")
+      .field("id", id)
+      .field("topology", topology)
+      .field("mode", mode)
+      .done();
+}
+
+/// Removes the per-request timing fields (the only legitimately
+/// nondeterministic bytes) so the rest of the response line can be
+/// compared with operator== — the bit-identity contract.
+std::string strip_timing(std::string line) {
+  for (const char* key : {"\"queue_ms\":", "\"total_ms\":"}) {
+    const std::size_t pos = line.find(key);
+    if (pos == std::string::npos) continue;
+    const std::size_t end = line.find_first_of(",}", pos + std::strlen(key));
+    KRSP_CHECK(end != std::string::npos);
+    KRSP_CHECK(pos > 0 && line[pos - 1] == ',');
+    line.erase(pos - 1, end - (pos - 1));
+  }
+  return line;
+}
+
+TEST(ProtocolV2Test, CatalogSolveIsBitIdenticalToInlineV1) {
+  const api::Instance inst = random_instance(101);
+  const store::TopologyCatalog catalog =
+      one_topology_catalog("v2_identity", "net", inst);
+
+  for (const std::string mode : {"exact", "scaled"}) {
+    // Two fresh services so neither side can see the other's cache —
+    // this compares cold solves, not cached bytes.
+    SolveService v1_service(api::ServerOptions{.num_threads = 1});
+    SolveService v2_service(api::ServerOptions{.num_threads = 1});
+    LocalTransport v1(v1_service);
+    LocalTransport v2(v2_service, &catalog);
+
+    const std::string a = v1.request(inline_line(inst, "same-id", mode));
+    const std::string b = v2.request(topology_line("net", "same-id", mode));
+    EXPECT_EQ(strip_timing(a), strip_timing(b)) << "mode " << mode;
+    const auto parsed = wire::parse(b);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->get_bool("served", false)) << "mode " << mode;
+  }
+}
+
+TEST(ProtocolV2Test, CacheHitsCrossProtocolForms) {
+  const api::Instance inst = random_instance(103);
+  const store::TopologyCatalog catalog =
+      one_topology_catalog("v2_cache", "net", inst);
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service, &catalog);
+
+  // Inline v1 first (miss), then the same solve by topology id: the v2
+  // request must hit the entry the v1 request inserted.
+  const auto miss = wire::parse(transport.request(inline_line(inst, "a")));
+  ASSERT_TRUE(miss->get_bool("served", false));
+  EXPECT_FALSE(miss->get_bool("cache_hit", true));
+  const auto hit = wire::parse(transport.request(topology_line("net", "b")));
+  ASSERT_TRUE(hit->get_bool("served", false));
+  EXPECT_TRUE(hit->get_bool("cache_hit", false));
+  EXPECT_EQ(hit->get_int("cost", -1), miss->get_int("cost", -2));
+  EXPECT_EQ(hit->get_int("delay", -1), miss->get_int("delay", -2));
+
+  // And the reverse direction, distinguished by mode so it cannot reuse
+  // the entry above: v2 inserts, v1 hits.
+  const auto miss2 =
+      wire::parse(transport.request(topology_line("net", "c", "scaled")));
+  ASSERT_TRUE(miss2->get_bool("served", false));
+  EXPECT_FALSE(miss2->get_bool("cache_hit", true));
+  const auto hit2 =
+      wire::parse(transport.request(inline_line(inst, "d", "scaled")));
+  ASSERT_TRUE(hit2->get_bool("served", false));
+  EXPECT_TRUE(hit2->get_bool("cache_hit", false));
+}
+
+TEST(ProtocolV2Test, QueryOverridesSolveTheModifiedInstance) {
+  const api::Instance inst = random_instance(107);
+  const store::TopologyCatalog catalog =
+      one_topology_catalog("v2_override", "net", inst);
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service, &catalog);
+
+  // Override k and the delay bound; the graph and terminals stay.
+  api::Instance modified = inst;
+  modified.k = 1;
+  modified.delay_bound = inst.delay_bound * 2;
+  const std::string v2_line = wire::ObjectWriter()
+                                  .field("op", "solve")
+                                  .field("id", "ov")
+                                  .field("topology", "net")
+                                  .field("k", std::int64_t{1})
+                                  .field("delay_bound", modified.delay_bound)
+                                  .field("mode", "exact")
+                                  .done();
+  const std::string direct =
+      transport.request(inline_line(modified, "ov", "exact"));
+  const std::string via_override = transport.request(v2_line);
+  const auto parsed = wire::parse(via_override);
+  ASSERT_TRUE(parsed->get_bool("served", false));
+  // The inline solve of the modified instance ran first, so the override
+  // request must land on its cache entry — same fingerprint despite the
+  // catalog prefix being computed for the *unmodified* default query.
+  EXPECT_TRUE(parsed->get_bool("cache_hit", false));
+  EXPECT_EQ(wire::parse(direct)->get_int("cost", -1),
+            parsed->get_int("cost", -2));
+
+  // An override that breaks instance invariants is a structured error.
+  const std::string bad = wire::ObjectWriter()
+                              .field("op", "solve")
+                              .field("id", "bad")
+                              .field("topology", "net")
+                              .field("s", std::int64_t{inst.t})
+                              .field("t", std::int64_t{inst.t})
+                              .done();
+  const auto err = wire::parse(transport.request(bad));
+  EXPECT_FALSE(err->get_bool("ok", true));
+  EXPECT_NE(err->get_string("error").find("bad query override"),
+            std::string::npos);
+}
+
+TEST(ProtocolV2Test, FailureModesAreStructuredErrorsNotCloses) {
+  const api::Instance inst = random_instance(109);
+  const store::TopologyCatalog catalog =
+      one_topology_catalog("v2_errors", "net", inst);
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service, &catalog);
+
+  const auto expect_error = [&](const std::string& line,
+                                const std::string& needle) {
+    const auto resp = wire::parse(transport.request(line));
+    ASSERT_TRUE(resp.has_value()) << line;
+    EXPECT_FALSE(resp->get_bool("ok", true)) << line;
+    EXPECT_NE(resp->get_string("error").find(needle), std::string::npos)
+        << "response: " << transport.request(line);
+  };
+  expect_error(topology_line("ghost", "e1"), "unknown topology");
+  expect_error(R"({"op":"solve","id":"e2","topology":7})",
+               "\"topology\" must be a string id");
+  std::ostringstream kri;
+  api::write_instance(kri, inst);
+  expect_error(wire::ObjectWriter()
+                   .field("op", "solve")
+                   .field("id", "e3")
+                   .field("topology", "net")
+                   .field("instance", kri.str())
+                   .done(),
+               "both \"topology\" and \"instance\"");
+
+  // A transport with no catalog rejects v2 requests with a hint, and v2
+  // requests against it must not disturb v1 service.
+  LocalTransport bare(service);
+  const auto no_cat = wire::parse(bare.request(topology_line("net", "e4")));
+  EXPECT_FALSE(no_cat->get_bool("ok", true));
+  EXPECT_NE(no_cat->get_string("error").find("no topology catalog"),
+            std::string::npos);
+
+  // None of the errors above reached the solver, and the session still
+  // answers: errors are responses, not closes.
+  const auto pong = wire::parse(transport.request(R"({"op":"ping"})"));
+  EXPECT_TRUE(pong->get_bool("pong", false));
+  EXPECT_EQ(service.stats().received, 0u);
+}
+
+TEST(ProtocolV2Test, TopologyDiscoveryOps) {
+  const std::string dir = testing::TempDir() + "/v2_discovery";
+  std::filesystem::create_directories(dir);
+  const api::Instance small = random_instance(113, 10);
+  const api::Instance large = random_instance(127, 20);
+  store::CsrContainer::write_file(dir + "/beta.krspb", large);
+  store::CsrContainer::write_file(dir + "/alpha.krspb", small);
+  const store::TopologyCatalog catalog = store::TopologyCatalog::load(dir);
+  SolveService service(api::ServerOptions{.num_threads = 1});
+  LocalTransport transport(service, &catalog);
+
+  const auto list = wire::parse(transport.request(R"({"op":"topologies"})"));
+  ASSERT_TRUE(list.has_value());
+  EXPECT_TRUE(list->get_bool("ok", false));
+  EXPECT_EQ(list->get_int("protocol_version", -1), kProtocolVersion);
+  EXPECT_EQ(list->get_int("count", -1), 2);
+  const wire::Value* items = list->find("topologies");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->items.size(), 2u);
+  EXPECT_EQ(items->items[0].get_string("id"), "alpha");  // sorted by id
+  EXPECT_EQ(items->items[1].get_string("id"), "beta");
+  EXPECT_EQ(items->items[0].get_int("n", -1), small.graph.num_vertices());
+  EXPECT_EQ(items->items[0].get_int("m", -1), small.graph.num_edges());
+  EXPECT_EQ(items->items[0].get_int("k", -1), small.k);
+
+  // The advertised digest is the container's content digest, as hex.
+  const store::CsrContainer c = store::CsrContainer::open(dir + "/alpha.krspb");
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(c.digest()));
+  EXPECT_EQ(items->items[0].get_string("digest"), hex);
+
+  const auto one =
+      wire::parse(transport.request(R"({"op":"topology","id":"beta"})"));
+  ASSERT_TRUE(one.has_value());
+  EXPECT_TRUE(one->get_bool("ok", false));
+  EXPECT_EQ(one->get_string("id"), "beta");
+  EXPECT_EQ(one->get_int("n", -1), large.graph.num_vertices());
+  const auto missing =
+      wire::parse(transport.request(R"({"op":"topology","id":"nope"})"));
+  EXPECT_FALSE(missing->get_bool("ok", true));
+
+  // A catalog-less transport lists an empty catalog rather than erroring.
+  LocalTransport bare(service);
+  const auto empty = wire::parse(bare.request(R"({"op":"topologies"})"));
+  EXPECT_TRUE(empty->get_bool("ok", false));
+  EXPECT_EQ(empty->get_int("count", -1), 0);
+
+  const auto stats = wire::parse(transport.request(R"({"op":"stats"})"));
+  EXPECT_EQ(stats->get_int("protocol_version", -1), kProtocolVersion);
+}
+
+}  // namespace
+}  // namespace krsp::server

@@ -1,16 +1,21 @@
-// Command-line instance generator: writes a kRSP instance file (see
-// core/io.h for the format) drawn from any of the library's workload
-// families.
+// Command-line instance generator: writes a kRSP instance drawn from any
+// of the library's workload families, as text (.kri, core/io.h) or as a
+// zero-copy binary container (.krspb, store/format.h) chosen by the
+// --out suffix.
 //
 //   $ krsp_gen --family=waxman --n=30 --k=2 --slack=0.3 --seed=7
 //              --out=instance.kri
+//   $ krsp_gen --family=ba --n=4000 --attach=2 --k=2 --out=scalefree.krspb
 //
-// Families: er, waxman, grid, layered, isp, chains.
+// Families: er, waxman, grid, layered, isp, ba, chains.
+//   --attach        (ba)  preferential-attachment arcs per new vertex
+//   --core, --regions, --region-size  (isp)  topology sizing
 #include <cmath>
 #include <iostream>
 
 #include "core/io.h"
 #include "graph/generators.h"
+#include "store/container.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -20,6 +25,10 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(cli.get_int("n", 20));
   const int k = static_cast<int>(cli.get_int("k", 2));
   const double slack = cli.get_double("slack", 0.3);
+  const int attach = static_cast<int>(cli.get_int("attach", 2));
+  const int core = static_cast<int>(cli.get_int("core", 8));
+  const int regions = static_cast<int>(cli.get_int("regions", 4));
+  const int region_size = static_cast<int>(cli.get_int("region-size", 5));
   const std::string out = cli.get_string("out", "instance.kri");
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
   cli.reject_unknown();
@@ -42,7 +51,14 @@ int main(int argc, char** argv) {
     }
     if (family == "layered")
       return gen::layered_dag(r, std::max(2, n / 6), 5, 0.4, k);
-    if (family == "isp") return gen::isp_like(r);
+    if (family == "isp") {
+      gen::IspParams p;
+      p.core_size = core;
+      p.region_count = regions;
+      p.region_size = region_size;
+      return gen::isp_like(r, p);
+    }
+    if (family == "ba") return gen::barabasi_albert(r, n, attach);
     if (family == "chains") return gen::tradeoff_chains(r, k, 4, 8, 6);
     KRSP_CHECK_MSG(false, "unknown family: " << family);
   };
@@ -53,7 +69,13 @@ int main(int argc, char** argv) {
               << ", n=" << n << ", k=" << k << ")\n";
     return 1;
   }
-  core::write_instance_file(out, *inst);
-  std::cout << "wrote " << out << ": " << inst->summary() << "\n";
+  const bool binary = out.size() >= 6 && out.ends_with(".krspb");
+  if (binary) {
+    store::CsrContainer::write_file(out, *inst);
+  } else {
+    core::write_instance_file(out, *inst);
+  }
+  std::cout << "wrote " << out << (binary ? " (container)" : "") << ": "
+            << inst->summary() << "\n";
   return 0;
 }

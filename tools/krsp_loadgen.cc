@@ -2,6 +2,7 @@
 //
 //   $ krsp_loadgen --socket=/tmp/krsp.sock [--requests=64] [--connections=4]
 //                  [--rate=0] [--pool=8] [--n=12] [--k=2] [--seed=17]
+//                  [--topology=id1,id2,...] [--catalog=DIR]
 //                  [--mode=exact] [--eps1=0.25] [--eps2=0.25]
 //                  [--deadline=0] [--class=batch]
 //                  [--retries=0] [--retry-base-ms=10] [--retry-max-ms=500]
@@ -11,6 +12,12 @@
 //
 // Generates a pool of seeded random instances, serializes each once, and
 // issues solve requests round-robin over the pool across N connections.
+// --topology switches the pool to protocol-v2 requests referencing the
+// named catalog entries of a server started with krsp_serve --catalog;
+// each request line then carries a few dozen bytes instead of the whole
+// edge list. With --check, --catalog=DIR names the same container
+// directory so the reference solves run on the locally mmap'd instances
+// (the v2 leg of the CI conformance matrix).
 // --rate > 0 runs open-loop: arrival times are fixed up front at the given
 // aggregate requests/sec and latency is measured from the *scheduled*
 // arrival (late starts count against the server, as they would for a real
@@ -45,6 +52,7 @@
 #include "api/krsp.h"
 #include "server/client.h"
 #include "server/wire.h"
+#include "store/container.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -106,6 +114,8 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(cli.get_int("n", 12));
   const int k = static_cast<int>(cli.get_int("k", 2));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  const std::string topology = cli.get_string("topology", "");
+  const std::string catalog_dir = cli.get_string("catalog", "");
   const std::string mode = cli.get_string("mode", "exact");
   const double eps1 = cli.get_double("eps1", 0.25);
   const double eps2 = cli.get_double("eps2", 0.25);
@@ -129,12 +139,18 @@ int main(int argc, char** argv) {
       pool_size < 1) {
     std::cerr << "usage: krsp_loadgen --socket=<path> [--requests=64] "
                  "[--connections=4] [--rate=0] [--pool=8] [--n=12] [--k=2] "
-                 "[--seed=17] [--mode=exact|scaled|phase1] [--eps1] [--eps2] "
+                 "[--seed=17] [--topology=id1,id2,...] [--catalog=<dir>] "
+                 "[--mode=exact|scaled|phase1] [--eps1] [--eps2] "
                  "[--deadline=0] [--class=interactive|batch] [--retries=0] "
                  "[--retry-base-ms=10] [--retry-max-ms=500] "
                  "[--retry-budget-ms=0] [--timeout-ms=0] [--fault-rate=0] "
                  "[--fault-seed=1] [--check] [--stats] [--shutdown] "
                  "[--quiet]\n";
+    return 2;
+  }
+  if (check && !topology.empty() && catalog_dir.empty()) {
+    std::cerr << "krsp_loadgen: --check with --topology needs --catalog=<dir> "
+                 "for the local reference instances\n";
     return 2;
   }
   api::Mode api_mode;
@@ -156,12 +172,54 @@ int main(int argc, char** argv) {
     std::cerr << "krsp_loadgen: note: --fault-rate without --retries will "
                  "fail requests on the first injected fault\n";
 
-  // Build the pool: seeded instances, serialized once; reference solves
-  // when checking (deadline-free so the oracle is deterministic).
+  // Build the pool. --topology: protocol-v2 request lines naming catalog
+  // entries (a few dozen bytes each), references solved from the locally
+  // opened containers. Otherwise: seeded random instances shipped inline,
+  // serialized once. Reference solves are deadline-free so the oracle is
+  // deterministic.
   util::Rng rng(seed);
   std::vector<PoolEntry> pool;
+  if (!topology.empty()) {
+    std::istringstream ids(topology);
+    for (std::string id; std::getline(ids, id, ',');) {
+      if (id.empty()) continue;
+      PoolEntry entry;
+      entry.id = "topo-" + std::to_string(pool.size());
+      wire::ObjectWriter w;
+      w.field("op", "solve");
+      w.field("id", entry.id);
+      w.field("topology", id);
+      w.field("mode", mode);
+      w.field("class", sla_class);
+      w.field("eps1", eps1);
+      w.field("eps2", eps2);
+      if (deadline > 0.0) w.field("deadline", deadline);
+      entry.request_line = w.done();
+      if (check) {
+        api::SolveRequest req;
+        try {
+          req.instance =
+              store::CsrContainer::open(catalog_dir + "/" + id + ".krspb")
+                  .instance();
+        } catch (const std::exception& e) {
+          std::cerr << "krsp_loadgen: --topology " << id << ": " << e.what()
+                    << "\n";
+          return 2;
+        }
+        req.mode = api_mode;
+        req.eps1 = eps1;
+        req.eps2 = eps2;
+        entry.reference = api::Solver::solve(req);
+      }
+      pool.push_back(std::move(entry));
+    }
+    if (pool.empty()) {
+      std::cerr << "krsp_loadgen: --topology lists no ids\n";
+      return 2;
+    }
+  }
   pool.reserve(pool_size);
-  while (static_cast<int>(pool.size()) < pool_size) {
+  while (topology.empty() && static_cast<int>(pool.size()) < pool_size) {
     api::RandomInstanceOptions io;
     io.k = k;
     io.delay_slack = 0.25;

@@ -1,10 +1,18 @@
 // Long-running solve service over a Unix-domain socket.
 //
-//   $ krsp_serve --socket=/tmp/krsp.sock [--threads=0] [--max-pending=256]
-//                [--max-pending-batch=0] [--degrade-wait=0]
-//                [--overload-eps-factor=2] [--overload-eps-cap=1]
-//                [--cache-capacity=1024] [--cache-shards=8] [--no-cache]
-//                [--no-deadline-admission] [--no-reuse] [--quiet]
+//   $ krsp_serve --socket=/tmp/krsp.sock [--catalog=DIR] [--threads=0]
+//                [--max-pending=256] [--max-pending-batch=0]
+//                [--degrade-wait=0] [--overload-eps-factor=2]
+//                [--overload-eps-cap=1] [--cache-capacity=1024]
+//                [--cache-shards=8] [--no-cache] [--no-deadline-admission]
+//                [--no-reuse] [--quiet]
+//
+// --catalog=DIR mmaps every `.krspb` container in DIR at startup
+// (store/catalog.h) and enables the protocol-v2 topology surface:
+// clients may send {"op":"solve","topology":"<id>",...} instead of an
+// inline instance, plus {"op":"topologies"} / {"op":"topology"} for
+// discovery. A bad container fails startup loudly; an unknown id at
+// runtime is a per-request error response.
 //
 // Speaks the newline-framed JSON protocol of server/transport.h: clients
 // connect, write one JSON request per line, and read one JSON response per
@@ -25,6 +33,7 @@
 
 #include "server/transport.h"
 #include "server/wire.h"
+#include "store/catalog.h"
 #include "util/cli.h"
 
 namespace {
@@ -51,6 +60,7 @@ int main(int argc, char** argv) {
   using namespace krsp;
   const util::Cli cli(argc, argv);
   const std::string socket_path = cli.get_string("socket", "");
+  const std::string catalog_dir = cli.get_string("catalog", "");
   api::ServerOptions options;
   options.num_threads = static_cast<int>(cli.get_int("threads", 0));
   options.max_pending =
@@ -71,8 +81,8 @@ int main(int argc, char** argv) {
   cli.reject_unknown();
 
   if (socket_path.empty()) {
-    std::cerr << "usage: krsp_serve --socket=<path> [--threads=0] "
-                 "[--max-pending=256] [--max-pending-batch=0] "
+    std::cerr << "usage: krsp_serve --socket=<path> [--catalog=<dir>] "
+                 "[--threads=0] [--max-pending=256] [--max-pending-batch=0] "
                  "[--degrade-wait=0] [--overload-eps-factor=2] "
                  "[--overload-eps-cap=1] [--cache-capacity=1024] "
                  "[--cache-shards=8] [--no-cache] [--no-deadline-admission] "
@@ -80,8 +90,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Fail fast on a bad catalog: a daemon serving a partial or corrupt
+  // topology set is worse than one that refuses to start.
+  store::TopologyCatalog catalog;
+  if (!catalog_dir.empty()) {
+    try {
+      catalog = store::TopologyCatalog::load(catalog_dir);
+    } catch (const std::exception& e) {
+      std::cerr << "krsp_serve: --catalog: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   server::SolveService service(options);
-  server::SocketServer socket_server(service, socket_path);
+  server::SocketServer socket_server(service, socket_path, &catalog);
   std::string error;
   if (!socket_server.start(&error)) {
     std::cerr << "krsp_serve: " << error << "\n";
@@ -102,7 +124,12 @@ int main(int argc, char** argv) {
               << (options.cache_capacity > 0
                       ? std::to_string(options.cache_capacity) + " entries"
                       : std::string("off"))
-              << ", max pending " << options.max_pending << "\n"
+              << ", max pending " << options.max_pending << ", catalog "
+              << (catalog.empty() ? std::string("off")
+                                  : std::to_string(catalog.size()) +
+                                        " topolog" +
+                                        (catalog.size() == 1 ? "y" : "ies"))
+              << "\n"
               << std::flush;
 
   socket_server.serve_forever();  // returns after shutdown op / signal
@@ -116,6 +143,9 @@ int main(int argc, char** argv) {
     const api::ServeStats s = service.stats();
     server::wire::ObjectWriter w;
     w.field("event", "final_stats");
+    w.field("protocol_version",
+            static_cast<std::int64_t>(server::kProtocolVersion));
+    w.field("catalog_topologies", static_cast<std::uint64_t>(catalog.size()));
     w.field("received", s.received);
     w.field("served", s.served);
     w.field("rejected_queue_full", s.rejected_queue_full);
