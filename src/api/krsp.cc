@@ -1,6 +1,8 @@
 #include "api/krsp.h"
 
 #include "engine/batch_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 
 namespace krsp::api {
@@ -57,9 +59,24 @@ const char* status_name(SolveStatus status) {
 
 namespace {
 
+// Resolved once per mode: the registry lookup is get-or-create under a
+// mutex, too heavy for the per-solve path.
+obs::Histogram& solve_wall_histogram(Mode mode) {
+  static obs::Histogram* per_mode[] = {
+      &obs::Registry::global().histogram("krsp_solve_wall_ns",
+                                         "mode=\"scaled\""),
+      &obs::Registry::global().histogram("krsp_solve_wall_ns",
+                                         "mode=\"exact\""),
+      &obs::Registry::global().histogram("krsp_solve_wall_ns",
+                                         "mode=\"phase1\""),
+  };
+  return *per_mode[static_cast<int>(mode)];
+}
+
 SolveResult solve_request(const SolveRequest& request,
                           const util::Deadline& deadline,
                           core::SolveWorkspace* ws) {
+  KRSP_OBS_SPAN("solve");
   SolveResult out;
   out.tag = request.tag;
   try {
@@ -74,6 +91,9 @@ SolveResult solve_request(const SolveRequest& request,
     out.status = SolveStatus::kFailed;
     out.error = e.what();
   }
+  solve_wall_histogram(request.mode)
+      .record(static_cast<std::uint64_t>(
+          std::max(0.0, out.telemetry.wall_seconds) * 1e9));
   return out;
 }
 

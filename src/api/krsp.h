@@ -171,6 +171,10 @@ struct SolveResult {
   /// pruned, SCCs skipped outright, and the DP-table high-water mark
   /// peak_dp_bytes — see core::BicameralStats and docs/PERF.md.
   SolveTelemetry telemetry;
+  /// Time the request sat in the engine queue before a worker claimed it
+  /// (0 for direct Solver::solve calls). Observability only: not part of
+  /// the computation, the cache payload comparison, or the fingerprint.
+  double queue_wait_seconds = 0.0;
   /// Diagnostic for status == kFailed (invariant trip, invalid instance).
   std::string error;
 
@@ -386,6 +390,9 @@ struct ServeStats {
   std::uint64_t cache_insertions = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t cache_entries = 0;       // gauge
+  /// Gauge: live entries per cache shard (index = shard). The spread
+  /// shows whether the key partition balances; a hot shard caps hit rate.
+  std::vector<std::size_t> cache_shard_entries;
   std::size_t pending = 0;             // gauge: admitted, not completed
   std::size_t peak_pending = 0;
   double ewma_service_seconds = 0.0;   // admission's service-time estimate

@@ -10,6 +10,7 @@
 #include "graph/algorithms.h"
 #include "graph/csr.h"
 #include "graph/cycles.h"
+#include "obs/trace.h"
 
 namespace krsp::core {
 
@@ -630,6 +631,9 @@ std::optional<FoundCycle> BicameralCycleFinder::find(
     // rotation works and the negative-delay arc's head is a seed).
     const int num_signs = budget == 0 ? 1 : 2;
     for (int sign = 0; sign < num_signs; ++sign) {
+      // One anchor DP batch: every anchor of this (budget, sign) pass,
+      // serial or OpenMP, timed from the driver thread.
+      KRSP_OBS_SPAN("anchor_dp_batch");
       const graph::Cost start_layer = sign == 0 ? 0 : budget;
       // Pruned mode scans only the seed anchors; the ablation scans every
       // vertex (the pre-rewrite execution cost), ordered seeds-first so the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "flow/decompose.h"
+#include "obs/trace.h"
 
 namespace krsp::core {
 
@@ -32,6 +33,7 @@ CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
   // storage survives across iterations (same shape every time).
   std::optional<ResidualGraph> residual;
   while (out.delay > inst.delay_bound) {
+    KRSP_OBS_SPAN("cycle_cancel_round");
     if (out.telemetry.iterations >= max_iterations) {
       out.status = CancelStatus::kIterationLimit;
       return out;
@@ -70,8 +72,15 @@ CycleCancelResult cancel_cycles(const Instance& inst, const PathSet& start,
     } else {
       residual->rebuild(out.paths.all_edges());
     }
-    const auto cycle =
-        finder.find(*residual, query, &out.telemetry.finder_stats, finder_ws);
+    // The finder is this implementation's RSP oracle: each round delegates
+    // the restricted (cost-capped) negative-cycle search to the bicameral
+    // walk DP over the residual graph, the role Algorithm 1 assigns to an
+    // RSP invocation.
+    const auto cycle = [&] {
+      KRSP_OBS_SPAN("rsp_oracle");
+      return finder.find(*residual, query, &out.telemetry.finder_stats,
+                         finder_ws);
+    }();
     if (!cycle) {
       out.status = CancelStatus::kNoBicameralCycle;
       return out;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "flow/disjoint.h"
+#include "obs/trace.h"
 
 namespace krsp::core {
 
@@ -22,6 +23,7 @@ struct Candidate {
 Phase1Result phase1_lagrangian(const Instance& inst,
                                const util::Deadline& deadline,
                                flow::McfWorkspace* ws) {
+  KRSP_OBS_SPAN("phase1");
   inst.validate();
   Phase1Result out;
 

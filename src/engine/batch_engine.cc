@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace krsp::engine {
 
 namespace {
@@ -71,6 +73,7 @@ api::Ticket BatchEngine::enqueue(api::SolveRequest request,
     job.deadline = *dl;
     job.deadline_override = true;
   }
+  job.enqueued = std::chrono::steady_clock::now();
   api::Ticket ticket(submitted_++, job.promise.get_future());
   queue_.push_back(std::move(job));
   lock.unlock();
@@ -134,6 +137,16 @@ void BatchEngine::worker_loop(int worker_index) {
     lock.unlock();
     space_cv_.notify_one();
 
+    const auto claimed = std::chrono::steady_clock::now();
+    const double queue_wait =
+        std::chrono::duration<double>(claimed - job.enqueued).count();
+    // The queue-wait span spans two threads; reconstruct the start from
+    // the wait measured against the same steady clock.
+    const std::int64_t claim_ns = KRSP_OBS_NOW_NS();
+    KRSP_OBS_RECORD(
+        "queue_wait",
+        claim_ns - static_cast<std::int64_t>(queue_wait * 1e9), claim_ns);
+
     // Solve outside the lock; the promise is exclusively ours and the
     // future handshake publishes the result to the ticket holder.
     api::SolveResult result;
@@ -149,6 +162,7 @@ void BatchEngine::worker_loop(int worker_index) {
                    ? api::Solver::solve(job.request, job.deadline, fresh)
                    : api::Solver::solve(job.request, fresh);
     }
+    result.queue_wait_seconds = queue_wait;
     job.promise.set_value(std::move(result));
 
     lock.lock();

@@ -34,6 +34,7 @@
 // tests under -fsanitize=thread).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
@@ -87,6 +88,9 @@ class BatchEngine {
     util::Deadline deadline;  // meaningful only when deadline_override
     bool deadline_override = false;
     std::promise<api::SolveResult> promise;
+    /// Stamped at enqueue; the worker charges [enqueued, claim) to
+    /// SolveResult::queue_wait_seconds and the "queue_wait" span.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   api::Ticket enqueue(api::SolveRequest request, const util::Deadline* dl);

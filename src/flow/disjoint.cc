@@ -1,12 +1,14 @@
 #include "flow/disjoint.h"
 
 #include "flow/decompose.h"
+#include "obs/trace.h"
 
 namespace krsp::flow {
 
 std::optional<DisjointPaths> min_weight_disjoint_paths(
     const graph::Digraph& g, graph::VertexId s, graph::VertexId t, int k,
     std::int64_t w_cost, std::int64_t w_delay, McfWorkspace* ws) {
+  KRSP_OBS_SPAN("mcmf");
   KRSP_CHECK(w_cost >= 0 && w_delay >= 0);
   const auto flow = min_weight_unit_flow(g, s, t, k, w_cost, w_delay, ws);
   if (!flow) return std::nullopt;

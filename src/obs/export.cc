@@ -1,0 +1,50 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace krsp::obs {
+
+namespace {
+
+// Microseconds with nanosecond precision kept as a fraction.
+std::string us(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanRecord>& spans) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << s.name << "\",\"cat\":\"krsp\",\"ph\":\"X\""
+        << ",\"ts\":" << us(s.start_ns) << ",\"dur\":" << us(s.dur_ns)
+        << ",\"pid\":1,\"tid\":" << s.tid << '}';
+  }
+  out << "]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  write_chrome_trace(out, Tracer::global().snapshot());
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace krsp::obs

@@ -1,0 +1,28 @@
+// krsp::obs — trace exporters.
+//
+// Chrome trace-event JSON ("X" complete events, microsecond timestamps):
+// load the file in chrome://tracing or https://ui.perfetto.dev for a
+// flamegraph-style view of one run. The format is the stable subset
+// every trace viewer accepts: {"traceEvents":[{"name","ph","ts","dur",
+// "pid","tid"}...]}.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace krsp::obs {
+
+/// Serializes spans as Chrome trace-event JSON. Span names must be the
+/// tracer's static identifiers (no JSON escaping is applied).
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanRecord>& spans);
+
+/// Snapshots the global tracer and writes it to `path`. Returns false
+/// (with *error set, when given) if the file cannot be written.
+bool write_chrome_trace_file(const std::string& path,
+                             std::string* error = nullptr);
+
+}  // namespace krsp::obs

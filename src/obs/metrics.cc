@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace krsp::obs {
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [0, count]; the sample at cumulative position `target`
+  // (1-based, fractional) is the quantile.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    const double cum_after = static_cast<double>(cum + in_bucket);
+    if (cum_after >= target) {
+      const auto lo = static_cast<double>(bucket_lower(i));
+      const auto hi = static_cast<double>(bucket_upper(i));
+      // Fraction of this bucket's mass below the target rank.
+      const double frac =
+          std::clamp((target - static_cast<double>(cum)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  // All mass consumed without reaching target (q == 1 rounding): top
+  // non-empty bucket's upper bound.
+  for (int i = kBuckets - 1; i >= 0; --i)
+    if (buckets[static_cast<std::size_t>(i)] != 0)
+      return static_cast<double>(bucket_upper(i));
+  return 0.0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  // Concurrent recorders can leave count_ ahead of the bucket array (or
+  // behind); pin the snapshot's count to the bucket mass so quantile()
+  // sees a self-consistent distribution.
+  std::uint64_t mass = 0;
+  for (const auto b : s.buckets) mass += b;
+  s.count = mass;
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& family,
+                           const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{family, labels}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& family, const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key{family, labels}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& family,
+                               const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key{family, labels}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+std::string sample_name(const std::string& family, const std::string& labels,
+                        const std::string& extra_label = "") {
+  std::string out = family;
+  if (labels.empty() && extra_label.empty()) return out;
+  out.push_back('{');
+  out += labels;
+  if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+  out += extra_label;
+  out.push_back('}');
+  return out;
+}
+
+// %.17g round-trips doubles; trailing noise digits are fine for an
+// exposition consumed by monitoring, not by equality checks.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  std::string last_family;
+  for (const auto& [key, c] : counters_) {
+    if (key.first != last_family) {
+      out << "# TYPE " << key.first << " counter\n";
+      last_family = key.first;
+    }
+    out << sample_name(key.first, key.second) << ' ' << c->value() << '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, g] : gauges_) {
+    if (key.first != last_family) {
+      out << "# TYPE " << key.first << " gauge\n";
+      last_family = key.first;
+    }
+    out << sample_name(key.first, key.second) << ' ' << g->value() << '\n';
+  }
+  last_family.clear();
+  static constexpr std::pair<const char*, double> kQuantiles[] = {
+      {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+  for (const auto& [key, h] : histograms_) {
+    if (key.first != last_family) {
+      out << "# TYPE " << key.first << " summary\n";
+      last_family = key.first;
+    }
+    const Histogram::Snapshot s = h->snapshot();
+    for (const auto& [label, q] : kQuantiles)
+      out << sample_name(key.first, key.second,
+                         std::string("quantile=\"") + label + '"')
+          << ' ' << fmt(s.quantile(q)) << '\n';
+    out << sample_name(key.first + "_sum", key.second) << ' ' << s.sum << '\n';
+    out << sample_name(key.first + "_count", key.second) << ' ' << s.count
+        << '\n';
+  }
+  return out.str();
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+}  // namespace krsp::obs

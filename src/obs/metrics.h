@@ -1,0 +1,147 @@
+// krsp::obs — lock-free metrics: counters, gauges, and log-bucketed
+// latency histograms with p50/p90/p99/p999 extraction, exported as
+// Prometheus-style text exposition (the `metrics` wire op and
+// docs/OBSERVABILITY.md).
+//
+// All recording paths are wait-free relaxed atomics: a Counter::inc or
+// Histogram::record is a handful of fetch_adds, safe from any thread,
+// never blocking a solve or a transport. Rendering walks the registry
+// under its mutex but only reads the atomics, so recorders are never
+// paused.
+//
+// Histogram buckets are powers of two: bucket 0 holds the value 0,
+// bucket i >= 1 holds [2^(i-1), 2^i), and the top bucket is open-ended
+// (values beyond it clamp in, keeping record() total). Quantiles
+// interpolate linearly inside the landing bucket, which makes them
+// monotone in q by construction (obs_test.cc property-tests this) at
+// the cost of at most a 2x value error — the right trade for latency
+// percentiles spanning nanoseconds to minutes in 48 fixed slots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace krsp::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous signed level.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram of non-negative integer samples (latencies are
+/// recorded in nanoseconds by convention; the unit is the caller's).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void record(std::uint64_t value) {
+    buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bucket 0 <- {0}; bucket i in [1, kBuckets-1) <- [2^(i-1), 2^i); the
+  /// top bucket absorbs everything at or beyond 2^(kBuckets-2).
+  [[nodiscard]] static int bucket_index(std::uint64_t value) {
+    if (value == 0) return 0;
+    const int w = std::bit_width(value);  // in [1, 64]
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lower(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Exclusive upper bound of bucket i (the top bucket reports twice its
+  /// lower bound — a rendering convention, not a recording limit).
+  [[nodiscard]] static std::uint64_t bucket_upper(int i) {
+    return i == 0 ? 1 : std::uint64_t{1} << i;
+  }
+
+  /// Point-in-time copy; quantiles are computed on the snapshot so one
+  /// exposition renders a consistent set.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// q in [0, 1]. Linear interpolation inside the landing bucket;
+    /// 0 when the histogram is empty. Monotone in q.
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Named metric registry. Metrics are identified by (family, labels)
+/// where `labels` is a ready-to-emit Prometheus label body, e.g.
+/// `class="interactive"` — empty for unlabeled metrics. Lookup is
+/// get-or-create under a mutex; returned references are stable for the
+/// registry's lifetime, so hot paths resolve once and cache the pointer.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& family, const std::string& labels = "");
+  Gauge& gauge(const std::string& family, const std::string& labels = "");
+  Histogram& histogram(const std::string& family,
+                       const std::string& labels = "");
+
+  /// Prometheus-style text exposition: counters and gauges as single
+  /// samples, histograms as summaries with quantile="0.5|0.9|0.99|0.999"
+  /// plus _sum and _count. Families sort lexicographically; one # TYPE
+  /// line per family.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// Zeros every registered metric (benches and tests; registration and
+  /// cached references survive).
+  void reset();
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace krsp::obs

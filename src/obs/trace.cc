@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <string>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <x86intrin.h>
+#define KRSP_OBS_HAVE_TSC 1
+#endif
+
+namespace krsp::obs {
+
+namespace {
+
+#if defined(KRSP_OBS_HAVE_TSC)
+// The TSC fast path is only sound when the kernel itself trusts the TSC
+// as its clocksource (constant rate, synchronized across cores — the
+// same conditions under which clock_gettime is vDSO-fast). When the
+// kernel picked something else (hpet, acpi_pm, a VM without invariant
+// TSC), rdtsc may drift or jump, so the tracer falls back to the
+// steady-clock path.
+bool kernel_clocksource_is_tsc() {
+  std::ifstream in(
+      "/sys/devices/system/clocksource/clocksource0/current_clocksource");
+  std::string source;
+  in >> source;
+  return source == "tsc";
+}
+#endif
+
+}  // namespace
+
+// Each recording thread owns one buffer. The mutex is uncontended in
+// steady state (only the owner locks it per record); snapshot()/clear()
+// take it briefly from the draining thread. Buffers are shared_ptr-held
+// by the registry so spans survive thread exit.
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+  // Sampling state; touched only by the owning thread.
+  std::uint32_t sample_counter = 0;
+};
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+#if defined(KRSP_OBS_HAVE_TSC)
+  if (!kernel_clocksource_is_tsc()) return;
+  // Calibrate ticks -> ns once against the steady clock over a ~500 us
+  // window: clock-read noise (~2 x 30 ns) over that window bounds the
+  // scale error near 0.01%, far below what span timings resolve. The
+  // spin is a one-time cost at first Tracer::global() use.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t c0 = __rdtsc();
+  auto t1 = t0;
+  do {
+    t1 = std::chrono::steady_clock::now();
+  } while (t1 - t0 < std::chrono::microseconds(500));
+  const std::uint64_t c1 = __rdtsc();
+  if (c1 <= c0) return;  // migration across unsynced sockets; stay safe
+  tsc_epoch_ = c0;
+  ns_per_tick_ = static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t1 - t0)
+                         .count()) /
+                 static_cast<double>(c1 - c0);
+  epoch_ = t0;  // keep the two timebases anchored to the same instant
+#endif
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::now_ns() const {
+#if defined(KRSP_OBS_HAVE_TSC)
+  // Fast path: one unserialized rdtsc plus a multiply (~8 ns) instead of
+  // a vDSO clock_gettime (~30 ns hot, worse when its page is cold).
+  // Unserialized reads can reorder a few instructions either way; spans
+  // here are microseconds long, so that slack is invisible. double holds
+  // tick deltas exactly up to 2^53 (~a month of uptime at 3 GHz).
+  if (ns_per_tick_ > 0.0)
+    return static_cast<std::int64_t>(
+        static_cast<double>(__rdtsc() - tsc_epoch_) * ns_per_tick_);
+#endif
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tl;
+  if (tl == nullptr) {
+    tl = std::make_shared<ThreadBuffer>();
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    tl->tid = next_tid_++;
+    buffers_.push_back(tl);
+  }
+  return *tl;
+}
+
+void Tracer::record(const char* name, std::int64_t start_ns,
+                    std::int64_t end_ns) {
+  if (!enabled()) return;
+  ThreadBuffer& b = local_buffer();
+  const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every > 1 && (b.sample_counter++ % every) != 0) return;
+  const std::size_t cap = max_spans_per_thread_.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(b.mu);
+  if (b.spans.size() >= cap) {
+    ++b.dropped;
+    return;
+  }
+  b.spans.push_back(SpanRecord{name, start_ns, end_ns - start_ns, b.tid});
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mu);
+    out.insert(out.end(), b->spans.begin(), b->spans.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mu);
+    b->spans.clear();
+    b->dropped = 0;
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mu);
+    total += b->dropped;
+  }
+  return total;
+}
+
+}  // namespace krsp::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/trace.h"
 #include "paths/dijkstra.h"
 
 namespace krsp::paths {
@@ -128,6 +129,7 @@ std::optional<RspResult> make_result(const Digraph& g,
 
 std::optional<RspResult> rsp_exact(const Digraph& g, VertexId s, VertexId t,
                                    graph::Delay D) {
+  KRSP_OBS_SPAN("rsp_oracle");
   KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t) && D >= 0);
   const auto dp =
       BudgetedDp::run(g, s, D, EdgeWeight::delay(), EdgeWeight::cost());
@@ -137,6 +139,7 @@ std::optional<RspResult> rsp_exact(const Digraph& g, VertexId s, VertexId t,
 
 std::optional<RspResult> rsp_fptas(const Digraph& g, VertexId s, VertexId t,
                                    graph::Delay D, double eps) {
+  KRSP_OBS_SPAN("rsp_oracle");
   KRSP_CHECK(g.is_vertex(s) && g.is_vertex(t) && D >= 0);
   KRSP_CHECK_MSG(eps > 0, "rsp_fptas requires eps > 0");
   const int n = g.num_vertices();

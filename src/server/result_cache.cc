@@ -74,6 +74,16 @@ void ResultCache::insert(std::uint64_t key, std::uint64_t verify,
   }
 }
 
+std::vector<std::size_t> ResultCache::shard_entries() const {
+  std::vector<std::size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    out.push_back(shard->lru.size());
+  }
+  return out;
+}
+
 CacheStats ResultCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {

@@ -84,6 +84,9 @@ class ResultCache {
               api::SolveResult result);
 
   [[nodiscard]] CacheStats stats() const;  // aggregated over shards
+  /// Live entry count per shard (index = shard id): the occupancy spread
+  /// behind the aggregate `entries` gauge.
+  [[nodiscard]] std::vector<std::size_t> shard_entries() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "api/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace krsp::server {
 
@@ -14,6 +18,48 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Per-SLA-class serve-latency histograms (ns, end-to-end inside
+/// serve()); the `metrics` wire op renders their p50/p90/p99/p999.
+/// Registry refs resolve once — recording is pure atomics.
+obs::Histogram& serve_latency_histogram(api::SlaClass sla) {
+  static obs::Histogram* per_class[] = {
+      &obs::Registry::global().histogram("krsp_serve_latency_ns",
+                                         "class=\"interactive\""),
+      &obs::Registry::global().histogram("krsp_serve_latency_ns",
+                                         "class=\"batch\""),
+  };
+  return *per_class[static_cast<int>(sla)];
+}
+
+/// Request-outcome counters per (class, ServeStatus), resolved once.
+obs::Counter& serve_outcome_counter(api::SlaClass sla, ServeStatus status) {
+  static const auto make = [](const char* cls, const char* outcome) {
+    return &obs::Registry::global().counter(
+        "krsp_serve_requests_total",
+        std::string("class=\"") + cls + "\",outcome=\"" + outcome + '"');
+  };
+  // Indexed by [SlaClass][ServeStatus]; the enum orders are pinned by the
+  // definitions in api/krsp.h and service.h.
+  static obs::Counter* table[2][4] = {
+      {make("interactive", "served"),
+       make("interactive", "rejected-queue-full"),
+       make("interactive", "rejected-deadline"),
+       make("interactive", "rejected-draining")},
+      {make("batch", "served"), make("batch", "rejected-queue-full"),
+       make("batch", "rejected-deadline"),
+       make("batch", "rejected-draining")},
+  };
+  return *table[static_cast<int>(sla)][static_cast<int>(status)];
+}
+
+/// Every serve() exit path funnels through here: end-to-end latency into
+/// the per-class histogram, outcome into the per-(class, status) counter.
+void note_outcome(const ServeResponse& resp) {
+  serve_latency_histogram(resp.sla).record(static_cast<std::uint64_t>(
+      std::max(0.0, resp.total_seconds) * 1e9));
+  serve_outcome_counter(resp.sla, resp.status).inc();
 }
 
 api::EngineOptions engine_options(const api::ServerOptions& options) {
@@ -72,6 +118,7 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
     rejected_draining_.fetch_add(1, std::memory_order_relaxed);
     resp.status = ServeStatus::kRejectedDraining;
     resp.total_seconds = seconds_since(t0);
+    note_outcome(resp);
     return resp;
   }
 
@@ -81,24 +128,38 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
   std::uint64_t key = 0;
   std::uint64_t verify = 0;
   if (cacheable) {
-    // One pass computes both hashes; topology-referencing requests
-    // resume from the catalog's precomputed prefixes, making this O(1)
-    // instead of O(m) (api/fingerprint.h).
-    const api::FingerprintPair fp = api::request_fingerprints(request);
-    key = fp.key;
-    verify = fp.verify;
-    if (auto hit = cache_.lookup(key, verify)) {
+    const auto lookup0 = Clock::now();
+    std::optional<api::SolveResult> hit;
+    {
+      KRSP_OBS_SPAN("cache_lookup");
+      // One pass computes both hashes; topology-referencing requests
+      // resume from the catalog's precomputed prefixes, making this O(1)
+      // instead of O(m) (api/fingerprint.h).
+      const api::FingerprintPair fp = api::request_fingerprints(request);
+      key = fp.key;
+      verify = fp.verify;
+      hit = cache_.lookup(key, verify);
+    }
+    resp.cache_lookup_seconds = seconds_since(lookup0);
+    if (hit) {
       resp.result = std::move(*hit);
       resp.result.tag = request.tag;  // cached entries store no tag
       resp.cache_hit = true;
       served_.fetch_add(1, std::memory_order_relaxed);
       resp.total_seconds = seconds_since(t0);
+      note_outcome(resp);
       return resp;
     }
   }
 
   const api::SlaClass sla = request.sla;
-  switch (admission_.admit(request.deadline_seconds, sla)) {
+  const auto admit0 = Clock::now();
+  const AdmitDecision decision = [&] {
+    KRSP_OBS_SPAN("admission");
+    return admission_.admit(request.deadline_seconds, sla);
+  }();
+  resp.admission_seconds = seconds_since(admit0);
+  switch (decision) {
     case AdmitDecision::kAdmit:
       break;
     case AdmitDecision::kAdmitDegraded:
@@ -118,10 +179,12 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
     case AdmitDecision::kRejectQueueFull:
       resp.status = ServeStatus::kRejectedQueueFull;
       resp.total_seconds = seconds_since(t0);
+      note_outcome(resp);
       return resp;
     case AdmitDecision::kRejectDeadline:
       resp.status = ServeStatus::kRejectedDeadline;
       resp.total_seconds = seconds_since(t0);
+      note_outcome(resp);
       return resp;
   }
 
@@ -147,6 +210,7 @@ ServeResponse SolveService::serve(api::SolveRequest request) {
   resp.total_seconds = seconds_since(t0);
   resp.wait_seconds =
       std::max(0.0, resp.total_seconds - resp.result.telemetry.wall_seconds);
+  note_outcome(resp);
   return resp;
 }
 
@@ -185,6 +249,7 @@ api::ServeStats SolveService::stats() const {
   s.cache_insertions = cs.insertions;
   s.cache_evictions = cs.evictions;
   s.cache_entries = cs.entries;
+  s.cache_shard_entries = cache_.shard_entries();
   return s;
 }
 

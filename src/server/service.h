@@ -56,6 +56,13 @@ struct ServeResponse {
   /// total minus the solver's own wall clock — queueing + dispatch
   /// overhead (0 for cache hits and rejections).
   double wait_seconds = 0.0;
+  /// Per-request breakdown (always measured; the wire layer echoes it
+  /// only when the request sets the "timing" flag). cache_lookup covers
+  /// fingerprint + shard probe; admission the admit decision; the queue
+  /// wait and solve wall live in result (queue_wait_seconds,
+  /// telemetry.wall_seconds).
+  double cache_lookup_seconds = 0.0;
+  double admission_seconds = 0.0;
   /// Meaningful only when status == kServed.
   api::SolveResult result;
 

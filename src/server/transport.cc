@@ -6,17 +6,65 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/wire.h"
 
 namespace krsp::server {
 
 namespace {
+
+/// Per-op request counter + handle-latency histogram, resolved once per
+/// known op (unknown ops share the "other" slot so hostile op names
+/// cannot grow the registry without bound).
+struct WireOpMetrics {
+  obs::Counter& requests;
+  obs::Histogram& handle_ns;
+};
+
+WireOpMetrics& wire_op_metrics(const std::string& op) {
+  static const auto make = [](const char* name) {
+    const std::string labels = std::string("op=\"") + name + '"';
+    return new WireOpMetrics{
+        obs::Registry::global().counter("krsp_wire_requests_total", labels),
+        obs::Registry::global().histogram("krsp_wire_handle_ns", labels)};
+  };
+  static WireOpMetrics* const solve = make("solve");
+  static WireOpMetrics* const stats = make("stats");
+  static WireOpMetrics* const metrics = make("metrics");
+  static WireOpMetrics* const topologies = make("topologies");
+  static WireOpMetrics* const topology = make("topology");
+  static WireOpMetrics* const ping = make("ping");
+  static WireOpMetrics* const shutdown = make("shutdown");
+  static WireOpMetrics* const other = make("other");
+  if (op == "solve") return *solve;
+  if (op == "stats") return *stats;
+  if (op == "metrics") return *metrics;
+  if (op == "topologies") return *topologies;
+  if (op == "topology") return *topology;
+  if (op == "ping") return *ping;
+  if (op == "shutdown") return *shutdown;
+  return *other;
+}
+
+obs::Counter& transport_bytes_in() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "krsp_transport_bytes_total", "direction=\"in\"");
+  return c;
+}
+
+obs::Counter& transport_bytes_out() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "krsp_transport_bytes_total", "direction=\"out\"");
+  return c;
+}
 
 std::string error_line(const std::string& what, const std::string& id = "") {
   wire::ObjectWriter w;
@@ -161,8 +209,21 @@ std::string handle_solve(const wire::Value& req, SolveService& service,
   request.eps1 = req.get_number("eps1", eps);
   request.eps2 = req.get_number("eps2", eps);
   request.deadline_seconds = req.get_number("deadline", 0.0);
+  // Opt-in per-request breakdown: echoed only on demand so the default
+  // response shape (and the loadgen's identity check) is unchanged.
+  const bool want_timing = req.get_bool("timing", false);
 
   const ServeResponse r = service.serve(std::move(request));
+
+  const auto timing_json = [&r] {
+    wire::ObjectWriter t;
+    t.field("cache_lookup_ms", r.cache_lookup_seconds * 1e3);
+    t.field("admission_ms", r.admission_seconds * 1e3);
+    t.field("queue_wait_ms", r.result.queue_wait_seconds * 1e3);
+    t.field("solve_ms", r.result.telemetry.wall_seconds * 1e3);
+    t.field("total_ms", r.total_seconds * 1e3);
+    return t.done();
+  };
 
   wire::ObjectWriter w;
   w.field("id", id);
@@ -172,6 +233,7 @@ std::string handle_solve(const wire::Value& req, SolveService& service,
   if (!r.served()) {
     w.field("reject", serve_status_name(r.status));
     w.field("total_ms", r.total_seconds * 1e3);
+    if (want_timing) w.raw("timing", timing_json());
     return w.done();
   }
   w.field("cache_hit", r.cache_hit);
@@ -188,6 +250,7 @@ std::string handle_solve(const wire::Value& req, SolveService& service,
     w.field("error", r.result.error);
   w.field("queue_ms", r.wait_seconds * 1e3);
   w.field("total_ms", r.total_seconds * 1e3);
+  if (want_timing) w.raw("timing", timing_json());
   return w.done();
 }
 
@@ -279,6 +342,13 @@ std::string handle_stats(SolveService& service) {
   w.field("cache_insertions", s.cache_insertions);
   w.field("cache_evictions", s.cache_evictions);
   w.field("cache_entries", static_cast<std::uint64_t>(s.cache_entries));
+  std::string shard_arr = "[";
+  for (std::size_t i = 0; i < s.cache_shard_entries.size(); ++i) {
+    if (i != 0) shard_arr.push_back(',');
+    shard_arr += std::to_string(s.cache_shard_entries[i]);
+  }
+  shard_arr.push_back(']');
+  w.raw("cache_shard_entries", shard_arr);
   w.field("pending", static_cast<std::uint64_t>(s.pending));
   w.field("peak_pending", static_cast<std::uint64_t>(s.peak_pending));
   w.field("ewma_service_ms", s.ewma_service_seconds * 1e3);
@@ -288,9 +358,21 @@ std::string handle_stats(SolveService& service) {
   return w.done();
 }
 
+std::string handle_metrics() {
+  // The exposition travels as one JSON string field; ObjectWriter escapes
+  // the newlines, so the framing stays one object per line.
+  wire::ObjectWriter w;
+  w.field("ok", true);
+  w.field("protocol_version", static_cast<std::int64_t>(kProtocolVersion));
+  w.field("metrics", obs::Registry::global().render_prometheus());
+  return w.done();
+}
+
 }  // namespace
 
 std::string Protocol::handle_line(const std::string& line) {
+  KRSP_OBS_SPAN("wire_handle");
+  const auto t0 = std::chrono::steady_clock::now();
   std::string parse_error;
   const auto req = wire::parse(line, &parse_error);
   if (!req.has_value()) return error_line("bad json: " + parse_error);
@@ -298,20 +380,35 @@ std::string Protocol::handle_line(const std::string& line) {
     return error_line("request must be a json object");
 
   const std::string op = req->get_string("op", "solve");
-  if (op == "solve") return handle_solve(*req, service_, catalog_);
-  if (op == "stats") return handle_stats(service_);
-  if (op == "topologies") return handle_topologies(catalog_);
-  if (op == "topology") return handle_topology(*req, catalog_);
-  if (op == "ping")
-    return wire::ObjectWriter().field("ok", true).field("pong", true).done();
-  if (op == "shutdown") {
+  WireOpMetrics& m = wire_op_metrics(op);
+  m.requests.inc();
+  std::string resp;
+  if (op == "solve") {
+    resp = handle_solve(*req, service_, catalog_);
+  } else if (op == "stats") {
+    resp = handle_stats(service_);
+  } else if (op == "metrics") {
+    resp = handle_metrics();
+  } else if (op == "topologies") {
+    resp = handle_topologies(catalog_);
+  } else if (op == "topology") {
+    resp = handle_topology(*req, catalog_);
+  } else if (op == "ping") {
+    resp = wire::ObjectWriter().field("ok", true).field("pong", true).done();
+  } else if (op == "shutdown") {
     shutdown_.store(true, std::memory_order_release);
-    return wire::ObjectWriter()
-        .field("ok", true)
-        .field("draining", true)
-        .done();
+    resp = wire::ObjectWriter()
+               .field("ok", true)
+               .field("draining", true)
+               .done();
+  } else {
+    resp = error_line("unknown op: " + op);
   }
-  return error_line("unknown op: " + op);
+  m.handle_ns.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return resp;
 }
 
 SocketServer::SocketServer(SolveService& service, std::string socket_path,
@@ -455,9 +552,16 @@ void SocketServer::connection_loop(int fd) {
       if (stopping()) break;
       continue;
     }
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;  // signal, not a dead client
+    ssize_t n;
+    int read_errno = 0;
+    {
+      KRSP_OBS_SPAN("transport_read");
+      n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0) read_errno = errno;  // before the span dtor can clobber it
+    }
+    if (n < 0 && read_errno == EINTR) continue;  // signal, not a dead client
     if (n <= 0) break;  // EOF or error: client is gone
+    transport_bytes_in().inc(static_cast<std::uint64_t>(n));
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
     bool client_gone = false;
@@ -467,7 +571,15 @@ void SocketServer::connection_loop(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (note_send(send_all(fd, protocol_.handle_line(line) + "\n")) != 0) {
+      const std::string response = protocol_.handle_line(line) + "\n";
+      int send_err;
+      {
+        KRSP_OBS_SPAN("transport_write");
+        send_err = send_all(fd, response);
+      }
+      if (send_err == 0)
+        transport_bytes_out().inc(response.size());
+      if (note_send(send_err) != 0) {
         client_gone = true;  // client stopped reading
         break;
       }

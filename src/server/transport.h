@@ -13,10 +13,19 @@
 //   {"op":"solve","id":"tag","topology":"grid64","mode":"scaled",...}
 //                      → protocol v2: graph by catalog id (see below)
 //   {"op":"stats"}     → serving counters (api::ServeStats)
+//   {"op":"metrics"}   → Prometheus-style text exposition (obs registry:
+//                        per-class latency quantiles, per-op wire
+//                        counters) in a "metrics" string field; v2 only —
+//                        v1 servers answer the structured unknown-op error
 //   {"op":"topologies"}→ catalog listing (id, n, m, default query, digest)
 //   {"op":"topology","id":"grid64"} → stat one catalog entry
 //   {"op":"ping"}      → liveness probe
 //   {"op":"shutdown"}  → ack, then the server begins its graceful drain
+//
+// A solve request may set "timing":true to receive a per-request
+// breakdown object in the response: {"timing":{"cache_lookup_ms":..,
+// "admission_ms":..,"queue_wait_ms":..,"solve_ms":..,"total_ms":..}}.
+// Off by default so the standard response shape is unchanged.
 //
 // Protocol versioning (docs/API.md "Wire protocol v2"): a solve request
 // with a "topology" key is v2 — the graph is looked up in the server's

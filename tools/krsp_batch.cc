@@ -5,7 +5,14 @@
 //   $ krsp_batch --instances=a.kri,b.kri [--repeat=4] [--threads=0]
 //                [--mode=scaled|exact|phase1] [--eps1=0.25] [--eps2=0.25]
 //                [--deadline=0.1] [--guess=binary|doubling]
-//                [--no-reuse] [--quiet]
+//                [--no-reuse] [--trace-out=trace.json] [--trace-sample=1]
+//                [--quiet]
+//
+// --trace-out enables the obs tracer for the run and writes every
+// worker's span timeline (solve, phase1, mcmf, rsp_oracle,
+// cycle_cancel_round, anchor_dp_batch, queue_wait) as Chrome trace-event
+// JSON: the per-thread lanes make engine utilization and queueing
+// visible at a glance. --trace-sample=N keeps every Nth span per thread.
 //
 // The request list is the cross product instances × repeat, in file order,
 // so results are reproducible: the engine guarantees the same output for
@@ -18,7 +25,9 @@
 // as soon as it and everything before it have finished, so output order
 // matches submission order (ticket order) while solves overlap with
 // printing.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <iostream>
 #include <map>
@@ -28,6 +37,8 @@
 #include <vector>
 
 #include "api/krsp.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 
 namespace {
@@ -58,6 +69,8 @@ int main(int argc, char** argv) {
   const double deadline = cli.get_double("deadline", 0.0);
   const std::string guess = cli.get_string("guess", "binary");
   const bool no_reuse = cli.get_bool("no-reuse", false);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const auto trace_sample = cli.get_int("trace-sample", 1);
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
 
@@ -66,8 +79,14 @@ int main(int argc, char** argv) {
                  "[--repeat=1] [--threads=0] [--mode=scaled|exact|phase1] "
                  "[--eps1=0.25] [--eps2=0.25] [--eps=0.25] "
                  "[--deadline=<seconds>] [--guess=binary|doubling] "
-                 "[--no-reuse] [--quiet]\n";
+                 "[--no-reuse] [--trace-out=<file>] [--trace-sample=1] "
+                 "[--quiet]\n";
     return 2;
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::global().set_sample_every(
+        static_cast<std::uint32_t>(std::max<std::int64_t>(1, trace_sample)));
+    obs::Tracer::global().enable();
   }
 
   api::Mode api_mode;
@@ -170,6 +189,15 @@ int main(int argc, char** argv) {
     std::cout << "degraded (deadline ladder engaged): " << degraded << "\n";
   std::cout << "wall: " << wall << " s\nthroughput: "
             << static_cast<double>(completed) / wall << " solves/sec\n";
+
+  if (!trace_out.empty()) {
+    std::string trace_error;
+    if (!obs::write_chrome_trace_file(trace_out, &trace_error)) {
+      std::cerr << "krsp_batch: --trace-out: " << trace_error << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace " << trace_out << "\n";
+  }
 
   // Non-zero exit only for failures the caller should not ignore;
   // infeasible instances are a valid answer, not an error.

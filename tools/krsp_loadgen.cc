@@ -8,7 +8,14 @@
 //                  [--retries=0] [--retry-base-ms=10] [--retry-max-ms=500]
 //                  [--retry-budget-ms=0] [--timeout-ms=0]
 //                  [--fault-rate=0] [--fault-seed=1]
+//                  [--latency-out=FILE]
 //                  [--check] [--stats] [--shutdown] [--quiet]
+//
+// --latency-out writes one CSV row per request (header:
+// request,connection,pool,outcome,latency_ms,cache_hit,degraded) so tail
+// behavior can be analyzed offline instead of through the summary
+// percentiles; latency is measured from the scheduled arrival, exactly
+// as the printed p50/p95/p99 are.
 //
 // Generates a pool of seeded random instances, serializes each once, and
 // issues solve requests round-robin over the pool across N connections.
@@ -40,8 +47,10 @@
 //
 // --shutdown sends {"op":"shutdown"} at the end (the server then drains);
 // --stats prints the server's counters before that.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -91,8 +100,20 @@ bool paths_match(const wire::Value& response,
   return true;
 }
 
+/// One --latency-out CSV row: every request's outcome and latency.
+struct RequestSample {
+  int request = 0;  // global request index (also the CSV sort key)
+  int connection = 0;
+  std::size_t pool_index = 0;
+  const char* outcome = "served";  // served | rejected | failed
+  double latency_ms = 0.0;
+  bool cache_hit = false;
+  bool degraded = false;
+};
+
 struct WorkerReport {
   std::vector<double> latency_ms;
+  std::vector<RequestSample> samples;  // filled only with --latency-out
   std::uint64_t served = 0;
   std::uint64_t rejected = 0;
   std::uint64_t degraded = 0;
@@ -129,6 +150,7 @@ int main(int argc, char** argv) {
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   const auto fault_seed =
       static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  const std::string latency_out = cli.get_string("latency-out", "");
   const bool check = cli.get_bool("check", false);
   const bool want_stats = cli.get_bool("stats", false);
   const bool want_shutdown = cli.get_bool("shutdown", false);
@@ -144,8 +166,8 @@ int main(int argc, char** argv) {
                  "[--deadline=0] [--class=interactive|batch] [--retries=0] "
                  "[--retry-base-ms=10] [--retry-max-ms=500] "
                  "[--retry-budget-ms=0] [--timeout-ms=0] [--fault-rate=0] "
-                 "[--fault-seed=1] [--check] [--stats] [--shutdown] "
-                 "[--quiet]\n";
+                 "[--fault-seed=1] [--latency-out=<file>] [--check] "
+                 "[--stats] [--shutdown] [--quiet]\n";
     return 2;
   }
   if (check && !topology.empty() && catalog_dir.empty()) {
@@ -303,11 +325,27 @@ int main(int argc, char** argv) {
         }
         const std::size_t pool_index =
             static_cast<std::size_t>(r) % pool.size();
+        RequestSample sample;
+        sample.request = r;
+        sample.connection = c;
+        sample.pool_index = pool_index;
+        const auto note_sample = [&](const char* outcome) {
+          if (latency_out.empty()) return;
+          // Open-loop latency counts from the scheduled arrival for every
+          // outcome, failures (retry exhaustion) included.
+          sample.outcome = outcome;
+          sample.latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        arrival)
+                  .count();
+          rep.samples.push_back(sample);
+        };
         std::string response_line;
         if (!client.request(pool[pool_index].request_line,
                             pool[pool_index].id, idempotent, &response_line,
                             &error)) {
           ++rep.failed;
+          note_sample("failed");
           const std::lock_guard<std::mutex> lock(io_mu);
           std::cerr << "krsp_loadgen: request " << r << " failed: " << error
                     << "\n";
@@ -321,16 +359,21 @@ int main(int argc, char** argv) {
         const auto response = wire::parse(response_line);
         if (!response.has_value() || !response->get_bool("ok", false)) {
           ++rep.failed;
+          note_sample("failed");
           continue;
         }
         if (!response->get_bool("served", false)) {
           ++rep.rejected;
+          note_sample("rejected");
           continue;
         }
         ++rep.served;
         rep.latency_ms.push_back(latency_ms);
         if (response->get_bool("cache_hit", false)) ++rep.cache_hits;
         if (response->get_bool("degraded", false)) ++rep.degraded;
+        sample.cache_hit = response->get_bool("cache_hit", false);
+        sample.degraded = response->get_bool("degraded", false);
+        note_sample("served");
         if (check && deadline <= 0.0 &&
             !response->get_bool("degraded", false)) {
           const api::SolveResult& ref = pool[pool_index].reference;
@@ -376,6 +419,30 @@ int main(int argc, char** argv) {
     total.client.give_ups += rep.client.give_ups;
     total.client.faults.injected += rep.client.faults.injected;
     for (const double x : rep.latency_ms) latency.add(x);
+  }
+
+  if (!latency_out.empty()) {
+    std::vector<RequestSample> all;
+    for (const auto& rep : reports)
+      all.insert(all.end(), rep.samples.begin(), rep.samples.end());
+    std::sort(all.begin(), all.end(),
+              [](const RequestSample& a, const RequestSample& b) {
+                return a.request < b.request;
+              });
+    std::ofstream os(latency_out);
+    if (!os.good()) {
+      std::cerr << "krsp_loadgen: cannot open --latency-out file: "
+                << latency_out << "\n";
+      return 1;
+    }
+    os << "request,connection,pool,outcome,latency_ms,cache_hit,degraded\n";
+    for (const auto& s : all)
+      os << s.request << ',' << s.connection << ',' << s.pool_index << ','
+         << s.outcome << ',' << s.latency_ms << ',' << (s.cache_hit ? 1 : 0)
+         << ',' << (s.degraded ? 1 : 0) << '\n';
+    if (!quiet)
+      std::cout << "krsp_loadgen: wrote " << all.size()
+                << " latency sample(s) to " << latency_out << "\n";
   }
 
   if (!quiet) {

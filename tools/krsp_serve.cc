@@ -5,7 +5,16 @@
 //                [--degrade-wait=0] [--overload-eps-factor=2]
 //                [--overload-eps-cap=1] [--cache-capacity=1024]
 //                [--cache-shards=8] [--no-cache] [--no-deadline-admission]
-//                [--no-reuse] [--quiet]
+//                [--no-reuse] [--trace-out=FILE] [--trace-sample=1]
+//                [--quiet]
+//
+// --trace-out=FILE enables the obs tracer for the whole run and, after
+// the drain, writes every captured span (solve phases, queue waits,
+// cache lookups, admission decisions, wire handling) as Chrome
+// trace-event JSON — load it in chrome://tracing or ui.perfetto.dev.
+// --trace-sample=N keeps every Nth span per thread to bound the buffer
+// on long runs. Live metrics are always on: the {"op":"metrics"} wire op
+// returns the Prometheus-style exposition at any time.
 //
 // --catalog=DIR mmaps every `.krspb` container in DIR at startup
 // (store/catalog.h) and enables the protocol-v2 topology surface:
@@ -28,9 +37,13 @@
 // --max-pending (0 = batch may use the whole queue); --degrade-wait > 0
 // arms the interactive overload ladder (predicted waits at or above it
 // serve coarsened-eps / doubling-guess solves instead of rejecting).
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <iostream>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "server/transport.h"
 #include "server/wire.h"
 #include "store/catalog.h"
@@ -77,6 +90,8 @@ int main(int argc, char** argv) {
   options.deadline_aware_admission =
       !cli.get_bool("no-deadline-admission", false);
   options.reuse_workspaces = !cli.get_bool("no-reuse", false);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const auto trace_sample = cli.get_int("trace-sample", 1);
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
 
@@ -86,8 +101,15 @@ int main(int argc, char** argv) {
                  "[--degrade-wait=0] [--overload-eps-factor=2] "
                  "[--overload-eps-cap=1] [--cache-capacity=1024] "
                  "[--cache-shards=8] [--no-cache] [--no-deadline-admission] "
-                 "[--no-reuse] [--quiet]\n";
+                 "[--no-reuse] [--trace-out=FILE] [--trace-sample=1] "
+                 "[--quiet]\n";
     return 2;
+  }
+
+  if (!trace_out.empty()) {
+    obs::Tracer::global().set_sample_every(
+        static_cast<std::uint32_t>(std::max<std::int64_t>(1, trace_sample)));
+    obs::Tracer::global().enable();
   }
 
   // Fail fast on a bad catalog: a daemon serving a partial or corrupt
@@ -155,12 +177,31 @@ int main(int argc, char** argv) {
     class_stats_fields(w, "batch", s.batch);
     w.field("cache_hits", s.cache_hits);
     w.field("cache_misses", s.cache_misses);
+    w.field("cache_insertions", s.cache_insertions);
     w.field("cache_evictions", s.cache_evictions);
+    w.field("cache_entries", static_cast<std::uint64_t>(s.cache_entries));
+    std::string shard_arr = "[";
+    for (std::size_t i = 0; i < s.cache_shard_entries.size(); ++i) {
+      if (i != 0) shard_arr.push_back(',');
+      shard_arr += std::to_string(s.cache_shard_entries[i]);
+    }
+    shard_arr.push_back(']');
+    w.raw("cache_shard_entries", shard_arr);
     w.field("peak_pending", static_cast<std::uint64_t>(s.peak_pending));
     w.field("connections", socket_server.connections_accepted());
     w.field("peer_resets", socket_server.peer_resets());
     w.field("send_failures", socket_server.send_failures());
     std::cout << w.done() << "\n" << std::flush;
+  }
+
+  if (!trace_out.empty()) {
+    std::string trace_error;
+    if (!obs::write_chrome_trace_file(trace_out, &trace_error)) {
+      std::cerr << "krsp_serve: --trace-out: " << trace_error << "\n";
+      return 1;
+    }
+    if (!quiet)
+      std::cout << "krsp_serve: wrote trace to " << trace_out << "\n";
   }
   return 0;
 }

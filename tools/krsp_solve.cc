@@ -4,14 +4,20 @@
 //
 //   $ krsp_solve --instance=instance.kri [--mode=scaled|exact|phase1]
 //                [--eps1=0.25] [--eps2=0.25] [--deadline=0.5]
-//                [--guess=binary|doubling] [--out=solution.krp] [--verbose]
+//                [--guess=binary|doubling] [--out=solution.krp]
+//                [--trace-out=trace.json] [--verbose]
 //
 // --eps remains as a back-compat alias that sets both eps1 and eps2;
-// explicit --eps1/--eps2 win over it.
+// explicit --eps1/--eps2 win over it. --trace-out enables the obs tracer
+// and writes the solve's span timeline (phase1, mcmf, rsp_oracle,
+// cycle_cancel_round, anchor_dp_batch) as Chrome trace-event JSON for
+// chrome://tracing / ui.perfetto.dev.
 #include <fstream>
 #include <iostream>
 
 #include "api/krsp.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -25,6 +31,7 @@ int main(int argc, char** argv) {
   const double deadline = cli.get_double("deadline", 0.0);
   const std::string guess = cli.get_string("guess", "binary");
   const std::string out = cli.get_string("out", "");
+  const std::string trace_out = cli.get_string("trace-out", "");
   const bool verbose = cli.get_bool("verbose", false);
   cli.reject_unknown();
 
@@ -32,9 +39,10 @@ int main(int argc, char** argv) {
     std::cerr << "usage: krsp_solve --instance=<file> [--mode=scaled|exact|"
                  "phase1] [--eps1=0.25] [--eps2=0.25] [--eps=0.25] "
                  "[--deadline=<seconds>] [--guess=binary|doubling] "
-                 "[--out=<file>] [--verbose]\n";
+                 "[--out=<file>] [--trace-out=<file>] [--verbose]\n";
     return 2;
   }
+  if (!trace_out.empty()) obs::Tracer::global().enable();
 
   api::SolveRequest request;
   request.instance = api::read_instance_file(path);
@@ -112,6 +120,14 @@ int main(int argc, char** argv) {
     KRSP_CHECK_MSG(os.good(), "cannot open for write: " << out);
     api::write_paths(os, result.paths);
     std::cout << "wrote " << out << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::string trace_error;
+    if (!obs::write_chrome_trace_file(trace_out, &trace_error)) {
+      std::cerr << "krsp_solve: --trace-out: " << trace_error << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace " << trace_out << "\n";
   }
   return 0;
 }
