@@ -146,7 +146,8 @@ with open(sys.argv[2]) as f:
     rows = list(csv.DictReader(f))
 assert rows, "latency CSV is empty"
 assert set(rows[0]) == {"request", "connection", "pool", "outcome",
-                        "latency_ms", "cache_hit", "degraded"}, rows[0]
+                        "latency_ms", "cache_hit", "degraded",
+                        "shard"}, rows[0]
 served = [r for r in rows if r["outcome"] == "served"]
 assert len(served) == 12, "expected 12 served rows, got %d" % len(served)
 assert all(float(r["latency_ms"]) >= 0.0 for r in rows)

@@ -20,7 +20,7 @@ CORPUS="${KRSP_CORPUS:-data/corpus}"
 # are absent and the bench must be skipped.
 bench_args() {
   case "$1" in
-    bench_catalog)
+    bench_catalog|bench_fleet)
       [ -d "$CORPUS" ] || return 1
       echo "--corpus=$CORPUS"
       ;;

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Pins run_all_experiments.sh's input handling: bench_catalog must run
-# with --corpus when the committed corpus exists, and must be skipped
-# cleanly — not abort the sweep under `set -e` — when it does not.
+# Pins run_all_experiments.sh's input handling: the corpus-consuming
+# benches (bench_catalog, bench_fleet) must run with --corpus when the
+# committed corpus exists, and must be skipped cleanly — not abort the
+# sweep under `set -e` — when it does not.
 #
 #   usage: run_all_plan_test.sh <repo-root>
 set -eu
@@ -10,11 +11,13 @@ ROOT="$1"
 SCRIPT="$ROOT/scripts/run_all_experiments.sh"
 
 PLAN="$("$SCRIPT" --plan)"
-if ! echo "$PLAN" | grep -q "^run bench_catalog --corpus="; then
-  echo "FAIL: expected bench_catalog to run with --corpus; plan was:" >&2
-  echo "$PLAN" >&2
-  exit 1
-fi
+for bench in bench_catalog bench_fleet; do
+  if ! echo "$PLAN" | grep -q "^run $bench --corpus="; then
+    echo "FAIL: expected $bench to run with --corpus; plan was:" >&2
+    echo "$PLAN" >&2
+    exit 1
+  fi
+done
 if echo "$PLAN" | grep -q "^skip"; then
   echo "FAIL: nothing should be skipped with the corpus present:" >&2
   echo "$PLAN" >&2
@@ -22,15 +25,17 @@ if echo "$PLAN" | grep -q "^skip"; then
 fi
 
 PLAN_NO_CORPUS="$(KRSP_CORPUS=/nonexistent-krsp-corpus "$SCRIPT" --plan)"
-if ! echo "$PLAN_NO_CORPUS" | grep -q "^skip bench_catalog "; then
-  echo "FAIL: expected bench_catalog to be skipped without a corpus:" >&2
-  echo "$PLAN_NO_CORPUS" >&2
-  exit 1
-fi
-if echo "$PLAN_NO_CORPUS" | grep -q "^run bench_catalog"; then
-  echo "FAIL: bench_catalog must not run without a corpus:" >&2
-  echo "$PLAN_NO_CORPUS" >&2
-  exit 1
-fi
+for bench in bench_catalog bench_fleet; do
+  if ! echo "$PLAN_NO_CORPUS" | grep -q "^skip $bench "; then
+    echo "FAIL: expected $bench to be skipped without a corpus:" >&2
+    echo "$PLAN_NO_CORPUS" >&2
+    exit 1
+  fi
+  if echo "$PLAN_NO_CORPUS" | grep -q "^run $bench"; then
+    echo "FAIL: $bench must not run without a corpus:" >&2
+    echo "$PLAN_NO_CORPUS" >&2
+    exit 1
+  fi
+done
 
 echo "run_all_plan_test: OK"

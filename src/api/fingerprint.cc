@@ -43,11 +43,15 @@ void mix_graph(Hasher& f, const Instance& inst) {
 }
 
 template <class Hasher>
-void mix_query(Hasher& f, const Instance& inst, const SolveRequest& request) {
-  f.mix(static_cast<std::uint64_t>(inst.s));
-  f.mix(static_cast<std::uint64_t>(inst.t));
-  f.mix(static_cast<std::uint64_t>(inst.k));
-  f.mix(static_cast<std::uint64_t>(inst.delay_bound));
+void mix_query(Hasher& f, const SolveRequest& request) {
+  // effective_query() honors a pending (unmaterialized) query override,
+  // so an override request hashes identically to the inline form of the
+  // same modified instance — without ever copying the graph.
+  const QueryOverride q = request.effective_query();
+  f.mix(static_cast<std::uint64_t>(q.s));
+  f.mix(static_cast<std::uint64_t>(q.t));
+  f.mix(static_cast<std::uint64_t>(q.k));
+  f.mix(static_cast<std::uint64_t>(q.delay_bound));
   f.mix(static_cast<std::uint64_t>(request.mode));
   f.mix(static_cast<std::uint64_t>(request.guess));
   f.mix(std::bit_cast<std::uint64_t>(request.eps1));
@@ -65,7 +69,6 @@ GraphPrefix graph_fingerprint_prefix(const Instance& inst) {
 }
 
 FingerprintPair request_fingerprints(const SolveRequest& request) {
-  const Instance& inst = request.instance_view();
   Fnv f;
   SplitMix s;
   if (request.topology != nullptr) {
@@ -76,11 +79,12 @@ FingerprintPair request_fingerprints(const SolveRequest& request) {
     f.h = request.topology->fp_prefix;
     s.h = request.topology->fp2_prefix;
   } else {
+    const Instance& inst = request.instance_view();
     mix_graph(f, inst);
     mix_graph(s, inst);
   }
-  mix_query(f, inst, request);
-  mix_query(s, inst, request);
+  mix_query(f, request);
+  mix_query(s, request);
   return FingerprintPair{f.h, s.h};
 }
 

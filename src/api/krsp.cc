@@ -57,6 +57,18 @@ const char* status_name(SolveStatus status) {
   return "unknown";
 }
 
+core::Instance SolveRequest::materialized_instance() const {
+  core::Instance inst = instance_view();  // O(m) graph copy
+  if (topology != nullptr && query_override) {
+    inst.s = query_override->s;
+    inst.t = query_override->t;
+    inst.k = query_override->k;
+    inst.delay_bound = query_override->delay_bound;
+    inst.validate();
+  }
+  return inst;
+}
+
 namespace {
 
 // Resolved once per mode: the registry lookup is get-or-create under a
@@ -81,7 +93,17 @@ SolveResult solve_request(const SolveRequest& request,
   out.tag = request.tag;
   try {
     const core::KrspSolver solver(to_solver_options(request));
-    core::Solution sol = solver.solve(request.instance_view(), deadline, ws);
+    // A pending query override materializes here — the first (and only)
+    // point that needs the concrete instance. Cache hits and routing
+    // decisions upstream key on the override symbolically and never pay
+    // this copy. A bad override throws and lands in the catch below.
+    const bool deferred =
+        request.topology != nullptr && request.query_override.has_value();
+    const core::Instance materialized =
+        deferred ? request.materialized_instance() : core::Instance{};
+    const core::Instance& inst =
+        deferred ? materialized : request.instance_view();
+    core::Solution sol = solver.solve(inst, deadline, ws);
     out.status = sol.status;
     out.paths = std::move(sol.paths);
     out.cost = sol.cost;

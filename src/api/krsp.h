@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,19 @@ struct TopologyRef {
   std::shared_ptr<const Instance> instance;
 };
 
+/// A deferred query override for topology-referencing requests: the four
+/// query fields to apply on top of `topology->instance`'s graph. Kept
+/// symbolic instead of eagerly copying the instance so the serving hot
+/// path stays O(1) — fingerprints mix these values directly after the
+/// stored graph prefix, and the O(m) graph copy happens only when a solve
+/// actually runs (a cache hit or a routing decision never pays it).
+struct QueryOverride {
+  graph::VertexId s = 0;
+  graph::VertexId t = 0;
+  int k = 1;
+  graph::Delay delay_bound = 0;
+};
+
 /// One solve, self-contained: the instance plus every knob that affects
 /// the answer. Requests are value types — copy or move them freely; a
 /// batch may repeat the same instance under different parameters.
@@ -137,6 +151,12 @@ struct SolveRequest {
   /// When set, the solve runs against *topology->instance and `instance`
   /// above is ignored.
   std::shared_ptr<const TopologyRef> topology;
+  /// Deferred query override; meaningful only with `topology` set. When
+  /// present the effective query is these four fields, not the topology's
+  /// defaults — instance_view() still returns the shared default instance
+  /// (same graph), so consumers that need the query go through
+  /// effective_query() or materialized_instance().
+  std::optional<QueryOverride> query_override;
   Mode mode = Mode::kScaled;
   double eps1 = 0.25;  // delay slack (Theorem 4; kScaled only)
   double eps2 = 0.25;  // cost slack (Theorem 4; kScaled only)
@@ -154,10 +174,27 @@ struct SolveRequest {
   std::string tag;
 
   /// The instance this request actually solves: the referenced topology's
-  /// when `topology` is set, the inline member otherwise.
+  /// when `topology` is set, the inline member otherwise. Note a pending
+  /// query_override is NOT applied here — the view keeps the topology's
+  /// default query fields; see effective_query()/materialized_instance().
   [[nodiscard]] const Instance& instance_view() const {
     return topology != nullptr ? *topology->instance : instance;
   }
+
+  /// The query this request actually asks: the override when one is
+  /// pending, the viewed instance's fields otherwise. O(1); this is what
+  /// fingerprints and routing key on.
+  [[nodiscard]] QueryOverride effective_query() const {
+    if (topology != nullptr && query_override) return *query_override;
+    const Instance& inst = instance_view();
+    return QueryOverride{inst.s, inst.t, inst.k, inst.delay_bound};
+  }
+
+  /// Folds a pending override into a concrete Instance (an O(m) graph
+  /// copy) and validates it. Call only when the solve actually runs —
+  /// cache hits and ring-key computation never need it. Throws
+  /// util::CheckError if the override breaks instance invariants.
+  [[nodiscard]] Instance materialized_instance() const;
 };
 
 struct SolveResult {

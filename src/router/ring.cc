@@ -1,0 +1,103 @@
+#include "router/ring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace krsp::router {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t HashRing::point(const std::string& name, int vnode) {
+  std::uint64_t state = fnv1a(name);
+  std::uint64_t p = 0;
+  for (int j = 0; j <= vnode; ++j) p = util::splitmix64(state);
+  return p;
+}
+
+HashRing::HashRing(std::vector<std::string> shard_names, int vnodes)
+    : names_(std::move(shard_names)), vnodes_(vnodes) {
+  KRSP_CHECK_MSG(vnodes_ > 0, "HashRing: vnodes must be positive");
+  points_.reserve(names_.size() * static_cast<std::size_t>(vnodes_));
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    // One splitmix64 stream per shard, seeded by the name alone: the
+    // same shard lands on the same points in every router that knows it,
+    // whatever else is in the fleet.
+    std::uint64_t state = fnv1a(names_[i]);
+    for (int j = 0; j < vnodes_; ++j)
+      points_.push_back({util::splitmix64(state), i});
+  }
+  // Position collisions across shards are ~impossible (64-bit points) but
+  // the shard tiebreak keeps even that case deterministic.
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+}
+
+std::size_t HashRing::pick(std::uint64_t key) const {
+  KRSP_CHECK_MSG(!points_.empty(), "HashRing::pick on an empty ring");
+  // Owner = first point at or clockwise of the key, wrapping at the top.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.position < k; });
+  return (it == points_.end() ? points_.front() : *it).shard;
+}
+
+std::vector<std::size_t> HashRing::successors(std::uint64_t key,
+                                              std::size_t limit) const {
+  std::vector<std::size_t> order;
+  if (points_.empty()) return order;
+  if (limit == 0 || limit > names_.size()) limit = names_.size();
+  order.reserve(limit);
+  std::vector<bool> seen(names_.size(), false);
+  const auto first = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.position < k; });
+  const std::size_t start =
+      first == points_.end()
+          ? 0
+          : static_cast<std::size_t>(first - points_.begin());
+  for (std::size_t step = 0;
+       step < points_.size() && order.size() < limit; ++step) {
+    const std::size_t shard =
+        points_[(start + step) % points_.size()].shard;
+    if (seen[shard]) continue;
+    seen[shard] = true;
+    order.push_back(shard);
+  }
+  return order;
+}
+
+double HashRing::keyspace_share(std::size_t shard) const {
+  KRSP_CHECK_MSG(shard < names_.size(), "keyspace_share: bad shard index");
+  if (points_.empty()) return 0.0;
+  if (points_.size() == 1)  // sole point owns everything; the arc math
+    return points_[0].shard == shard ? 1.0 : 0.0;  // below would wrap to 0
+  // Point p owns the arc (previous point, p]; unsigned subtraction wraps
+  // mod 2^64, which is exactly the first point's wrap-around arc from
+  // the last. Arcs are summed in long double (each < 2^64; total 2^64).
+  long double owned = 0.0L;
+  std::uint64_t prev = points_.back().position;
+  for (const Point& p : points_) {
+    if (p.shard == shard)
+      owned += static_cast<long double>(p.position - prev);
+    prev = p.position;
+  }
+  return static_cast<double>(owned / 18446744073709551616.0L);  // / 2^64
+}
+
+}  // namespace krsp::router

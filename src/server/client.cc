@@ -1,5 +1,7 @@
 #include "server/client.h"
 
+#include <cerrno>
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -16,11 +18,22 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+/// "Refused": the dial itself was rejected, so no request bytes can have
+/// reached a server. ECONNREFUSED is the live-host-no-listener case for
+/// both families; ENOENT is its Unix-path twin (daemon not started yet,
+/// or its socket file already unlinked by shutdown).
+bool errno_is_refused(int err) { return err == ECONNREFUSED || err == ENOENT; }
+
 }  // namespace
 
 ResilientClient::ResilientClient(std::string socket_path, RetryOptions retry,
                                  FaultOptions faults)
-    : path_(std::move(socket_path)),
+    : ResilientClient(Endpoint::unix_socket(std::move(socket_path)), retry,
+                      faults) {}
+
+ResilientClient::ResilientClient(Endpoint endpoint, RetryOptions retry,
+                                 FaultOptions faults)
+    : endpoint_(std::move(endpoint)),
       retry_(retry),
       fault_options_(faults),
       chaos_rng_(faults.seed),
@@ -41,8 +54,15 @@ void ResilientClient::close() {
 
 bool ResilientClient::dial(std::string* error) {
   close();
-  const int fd = connect_unix(path_, error);
-  if (fd < 0) return false;
+  int dial_errno = 0;
+  const int fd = connect_endpoint(endpoint_, error, &dial_errno);
+  if (fd < 0) {
+    last_dial_refused_ = errno_is_refused(dial_errno);
+    if (last_dial_refused_)
+      counters_.connect_refused += 1;
+    return false;
+  }
+  last_dial_refused_ = false;
   fd_stream_ = std::make_unique<FdStream>(fd);
   // Rate 0 keeps the decorator inert (no RNG draws), so a fault-free
   // client is byte-identical to an undecorated one.
@@ -120,6 +140,7 @@ bool ResilientClient::request(const std::string& line, const std::string& id,
 
     bool maybe_delivered = false;
     bool ok = false;
+    bool dial_refused = false;
     if (connected() || dial(&attempt_error)) {
       // From here on, bytes may reach the server even if send() reports
       // failure (an injected truncate sends a prefix first) — the
@@ -137,13 +158,29 @@ bool ResilientClient::request(const std::string& line, const std::string& id,
         }
         ok = read_matching(id, timeout_ms, response_line, &attempt_error);
       }
+    } else {
+      dial_refused = last_dial_refused_;
     }
-    if (ok) return true;
+    if (ok) {
+      last_failure_refused_ = false;
+      return true;
+    }
     // Any failed exchange leaves the connection in an unknown framing
     // state (a late response could alias the next request) — drop it.
     close();
 
+    if (dial_refused && retry_.fail_fast_on_refused) {
+      // The server is down and nothing was sent: fail now so a caller
+      // with alternatives (the router) retries elsewhere instead of
+      // waiting out a backoff aimed at this dead endpoint.
+      ++counters_.give_ups;
+      last_failure_refused_ = true;
+      if (error != nullptr)
+        *error = "connection refused (fail-fast): " + attempt_error;
+      return false;
+    }
     if (!idempotent && maybe_delivered) {
+      last_failure_refused_ = false;
       ++counters_.give_ups;
       if (error != nullptr)
         *error = "non-idempotent request failed after possible delivery "
@@ -156,6 +193,7 @@ bool ResilientClient::request(const std::string& line, const std::string& id,
         budget_ms > 0.0 && ms_since(t0) >= budget_ms;
     if (out_of_retries || out_of_budget) {
       ++counters_.give_ups;
+      last_failure_refused_ = dial_refused;
       if (error != nullptr)
         *error = (out_of_retries ? "retries exhausted: "
                                  : "retry budget exhausted: ") +

@@ -1,7 +1,8 @@
 // Resilient newline-framed JSON client for the solve service.
 //
-// ResilientClient wraps one Unix-socket connection to krsp_serve with the
-// failure handling a real caller needs against a faulty network:
+// ResilientClient wraps one connection to krsp_serve — Unix socket or
+// TCP (server/fault.h Endpoint) — with the failure handling a real
+// caller needs against a faulty network:
 //
 //   * per-attempt timeout — a stalled server or a fault-eaten frame turns
 //     into a bounded wait, not a hang;
@@ -49,6 +50,13 @@ struct RetryOptions {
   double request_timeout_ms = 0.0;
   /// Seed for backoff jitter (independent of the fault schedule).
   std::uint64_t jitter_seed = 1;
+  /// Refused-at-connect (ECONNREFUSED / ENOENT on a Unix path) means the
+  /// server is down and nothing was delivered — with this set, request()
+  /// fails immediately instead of burning the backoff budget, so a
+  /// caller holding alternatives (the router's ring walk) can retry
+  /// elsewhere at once. Off by default: a single-server client's only
+  /// "elsewhere" is waiting for the restart, which is what backoff does.
+  bool fail_fast_on_refused = false;
 };
 
 struct ClientCounters {
@@ -58,12 +66,17 @@ struct ClientCounters {
   std::uint64_t timeouts = 0;     // attempts abandoned on request_timeout
   std::uint64_t skipped_lines = 0;  // non-matching responses discarded
   std::uint64_t give_ups = 0;     // requests that exhausted the policy
+  std::uint64_t connect_refused = 0;  // dials refused (server down)
   FaultCounters faults;           // injected chaos (when faults enabled)
 };
 
 class ResilientClient {
  public:
+  /// Back-compat ctor: the string is always a Unix socket path.
   explicit ResilientClient(std::string socket_path, RetryOptions retry = {},
+                           FaultOptions faults = {});
+  /// Endpoint ctor: Unix socket or TCP (the fleet transport).
+  explicit ResilientClient(Endpoint endpoint, RetryOptions retry = {},
                            FaultOptions faults = {});
   ~ResilientClient();
   ResilientClient(const ResilientClient&) = delete;
@@ -84,6 +97,13 @@ class ResilientClient {
 
   [[nodiscard]] const ClientCounters& counters() const { return counters_; }
   [[nodiscard]] bool connected() const;
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+  /// True iff the last request() failure was a refused dial with nothing
+  /// ever delivered — safe to retry on another server even when the
+  /// request is not idempotent.
+  [[nodiscard]] bool last_failure_refused() const {
+    return last_failure_refused_;
+  }
   void close();
 
  private:
@@ -94,7 +114,7 @@ class ResilientClient {
                                    std::string* response_line,
                                    std::string* error);
 
-  const std::string path_;
+  const Endpoint endpoint_;
   const RetryOptions retry_;
   const FaultOptions fault_options_;
   util::Rng chaos_rng_;   // threads one fault schedule across reconnects
@@ -104,6 +124,8 @@ class ResilientClient {
   std::string buffer_;  // partial-line carry between reads
   ClientCounters counters_;
   bool ever_connected_ = false;
+  bool last_dial_refused_ = false;
+  bool last_failure_refused_ = false;
 };
 
 }  // namespace krsp::server

@@ -1,5 +1,8 @@
 #include "server/fault.h"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -11,6 +14,7 @@
 #include <cstring>
 #include <optional>
 #include <thread>
+#include <utility>
 
 namespace krsp::server {
 
@@ -73,7 +77,9 @@ void FdStream::close() {
   }
 }
 
-int connect_unix(const std::string& path, std::string* error) {
+int connect_unix(const std::string& path, std::string* error,
+                 int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -83,18 +89,114 @@ int connect_unix(const std::string& path, std::string* error) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
+    if (out_errno != nullptr) *out_errno = errno;
     if (error != nullptr)
       *error = std::string("socket(): ") + std::strerror(errno);
     return -1;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
+    if (out_errno != nullptr) *out_errno = errno;
     if (error != nullptr)
       *error = "connect(" + path + "): " + std::strerror(errno);
     ::close(fd);
     return -1;
   }
   return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port,
+                std::string* error, int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_ADDRCONFIG;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (gai != 0) {
+    if (error != nullptr)
+      *error = "resolve(" + host + "): " + ::gai_strerror(gai);
+    return -1;
+  }
+  int last_errno = 0;
+  int fd = -1;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    if (out_errno != nullptr) *out_errno = last_errno;
+    if (error != nullptr)
+      *error = "connect(" + host + ":" + service +
+               "): " + std::strerror(last_errno);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Endpoint Endpoint::unix_socket(std::string path) {
+  Endpoint ep;
+  ep.kind = Kind::kUnixSocket;
+  ep.path = std::move(path);
+  return ep;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  // Unix socket paths contain '/' in practice (and every path can be
+  // spelled with one: ./name); only a slash-free spec whose final ':'
+  // introduces a valid numeric port is TCP.
+  const std::size_t colon = spec.rfind(':');
+  if (spec.find('/') == std::string::npos && colon != std::string::npos &&
+      colon != 0 && colon + 1 < spec.size()) {
+    const std::string digits = spec.substr(colon + 1);
+    bool numeric = true;
+    long value = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      value = value * 10 + (c - '0');
+      if (value > 65535) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric)
+      return tcp(spec.substr(0, colon), static_cast<std::uint16_t>(value));
+  }
+  return unix_socket(spec);
+}
+
+std::string Endpoint::describe() const {
+  return kind == Kind::kTcp ? "tcp:" + host + ":" + std::to_string(port)
+                            : "unix:" + path;
+}
+
+int connect_endpoint(const Endpoint& ep, std::string* error, int* out_errno) {
+  return ep.kind == Endpoint::Kind::kTcp
+             ? connect_tcp(ep.host, ep.port, error, out_errno)
+             : connect_unix(ep.path, error, out_errno);
 }
 
 const char* fault_kind_name(FaultKind kind) {

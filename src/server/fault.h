@@ -79,8 +79,48 @@ class FdStream final : public ByteStream {
   int fd_ = -1;
 };
 
-/// Connects to a Unix-domain socket; returns the fd or -1 with *error set.
-[[nodiscard]] int connect_unix(const std::string& path, std::string* error);
+/// Connects to a Unix-domain socket; returns the fd or -1 with *error
+/// set. On failure *out_errno (optional) receives the connect/socket
+/// errno so callers can classify refused-at-connect vs anything else.
+[[nodiscard]] int connect_unix(const std::string& path, std::string* error,
+                               int* out_errno = nullptr);
+
+/// Connects over TCP (numeric address or hostname; TCP_NODELAY set —
+/// one-line-per-direction framing never wants Nagle). Returns the fd or
+/// -1 with *error set and *out_errno (optional) the dial errno.
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port,
+                              std::string* error, int* out_errno = nullptr);
+
+/// A dialable server address: a Unix-domain socket path or a TCP
+/// host:port.
+struct Endpoint {
+  enum class Kind { kUnixSocket, kTcp };
+  Kind kind = Kind::kUnixSocket;
+  std::string path;  // kUnixSocket
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static Endpoint unix_socket(std::string path);
+  [[nodiscard]] static Endpoint tcp(std::string host, std::uint16_t port);
+
+  /// "host:port" (last ':' followed by a valid numeric port, no '/'
+  /// anywhere) parses as TCP; everything else is a Unix socket path, so
+  /// existing path-valued flags keep their meaning.
+  [[nodiscard]] static Endpoint parse(const std::string& spec);
+
+  /// "unix:<path>" or "tcp:<host>:<port>" — for logs and error messages.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const Endpoint& other) const {
+    return kind == other.kind && path == other.path && host == other.host &&
+           port == other.port;
+  }
+};
+
+/// Dials an endpoint of either kind; same contract as connect_unix /
+/// connect_tcp.
+[[nodiscard]] int connect_endpoint(const Endpoint& ep, std::string* error,
+                                   int* out_errno = nullptr);
 
 enum class FaultKind {
   kNone,

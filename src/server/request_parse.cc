@@ -1,0 +1,126 @@
+#include "server/request_parse.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace krsp::server {
+
+bool parse_solve_request(const wire::Value& req,
+                         const store::TopologyCatalog* catalog,
+                         api::SolveRequest* out, bool* want_timing,
+                         std::string* error) {
+  const auto fail = [error](std::string what) {
+    *error = std::move(what);
+    return false;
+  };
+
+  const std::string id = req.get_string("id");
+  const wire::Value* topology = req.find("topology");
+  const wire::Value* instance_text = req.find("instance");
+
+  api::SolveRequest request;
+  request.tag = id;
+  if (topology != nullptr) {
+    // Protocol v2: graph by catalog reference. Every failure mode here is
+    // a structured error response — a bad topology request must never
+    // cost the client its connection.
+    if (topology->type != wire::Value::Type::kString)
+      return fail("\"topology\" must be a string id");
+    if (instance_text != nullptr)
+      return fail(
+          "request carries both \"topology\" and \"instance\"; pick one");
+    if (catalog == nullptr || catalog->empty())
+      return fail("no topology catalog configured (serve with --catalog DIR)");
+    std::shared_ptr<const api::TopologyRef> ref =
+        catalog->find(topology->string);
+    if (ref == nullptr) return fail("unknown topology: " + topology->string);
+    const auto s =
+        static_cast<graph::VertexId>(req.get_int("s", ref->instance->s));
+    const auto t =
+        static_cast<graph::VertexId>(req.get_int("t", ref->instance->t));
+    const int k = static_cast<int>(req.get_int("k", ref->instance->k));
+    const graph::Delay bound =
+        req.get_int("delay_bound", ref->instance->delay_bound);
+    if (s == ref->instance->s && t == ref->instance->t &&
+        k == ref->instance->k && bound == ref->instance->delay_bound) {
+      // Default query: share the catalog's instance as-is — no copy, no
+      // parse, O(1) fingerprinting off the stored prefixes.
+      request.topology = std::move(ref);
+    } else {
+      // Query override: kept symbolic — the graph is never copied here.
+      // Fingerprints mix the override values directly after the stored
+      // graph prefix (api/fingerprint.h), so cache lookups and routing
+      // stay O(1); the O(m) instance copy happens only when a solve
+      // actually runs (api::SolveRequest::materialized_instance on a
+      // cache miss). The instance invariants the override could break
+      // are checked up front so a bad override is still a parse-time
+      // structured error, never a failed solve.
+      std::ostringstream what;
+      if (!ref->instance->graph.is_vertex(s))
+        what << "bad source " << s;
+      else if (!ref->instance->graph.is_vertex(t))
+        what << "bad sink " << t;
+      else if (s == t)
+        what << "s == t";
+      else if (k < 1)
+        what << "k = " << k;
+      else if (bound < 0)
+        what << "D = " << bound;
+      if (!what.str().empty())
+        return fail("bad query override: " + what.str());
+      request.topology = std::move(ref);
+      request.query_override = api::QueryOverride{s, t, k, bound};
+    }
+  } else {
+    // Protocol v1: inline .kri instance (accepted indefinitely).
+    if (instance_text == nullptr ||
+        instance_text->type != wire::Value::Type::kString)
+      return fail("solve requires a string \"instance\" or \"topology\" field");
+    try {
+      std::istringstream is(instance_text->string);
+      request.instance = api::read_instance(is);
+    } catch (const std::exception& e) {
+      return fail(std::string("bad instance: ") + e.what());
+    }
+  }
+
+  const std::string mode = req.get_string("mode", "scaled");
+  if (mode == "scaled") {
+    request.mode = api::Mode::kScaled;
+  } else if (mode == "exact") {
+    request.mode = api::Mode::kExactWeights;
+  } else if (mode == "phase1") {
+    request.mode = api::Mode::kPhase1Only;
+  } else {
+    return fail("unknown mode: " + mode);
+  }
+  const std::string guess = req.get_string("guess", "binary");
+  if (guess == "binary") {
+    request.guess = api::GuessStrategy::kBinarySearch;
+  } else if (guess == "doubling") {
+    request.guess = api::GuessStrategy::kDoubling;
+  } else {
+    return fail("unknown guess: " + guess);
+  }
+  const std::string sla = req.get_string("class", "batch");
+  if (sla == "interactive") {
+    request.sla = api::SlaClass::kInteractive;
+  } else if (sla == "batch") {
+    request.sla = api::SlaClass::kBatch;
+  } else {
+    return fail("unknown class: " + sla);
+  }
+  const double eps = req.get_number("eps", 0.25);  // alias, as in the CLIs
+  request.eps1 = req.get_number("eps1", eps);
+  request.eps2 = req.get_number("eps2", eps);
+  request.deadline_seconds = req.get_number("deadline", 0.0);
+  // Opt-in per-request breakdown: echoed only on demand so the default
+  // response shape (and the loadgen's identity check) is unchanged.
+  if (want_timing != nullptr) *want_timing = req.get_bool("timing", false);
+
+  *out = std::move(request);
+  return true;
+}
+
+}  // namespace krsp::server

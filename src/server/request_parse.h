@@ -1,0 +1,34 @@
+// Shared solve-request parsing: wire JSON object → api::SolveRequest.
+//
+// Extracted from Protocol::handle_solve so the router tier
+// (krsp::router) lowers a request exactly the way a shard will: both
+// forms of the same query (v1 inline instance, v2 topology reference,
+// with or without overrides) parse to SolveRequests whose
+// api::request_fingerprints() agree, which is what gives the
+// consistent-hash ring cross-form shard affinity.
+//
+// Error strings returned here are part of the wire contract (pinned by
+// protocol_v2_test) — changing them changes every client's error
+// handling.
+#pragma once
+
+#include <string>
+
+#include "api/krsp.h"
+#include "server/wire.h"
+#include "store/catalog.h"
+
+namespace krsp::server {
+
+/// Fills *out from the solve fields of `req` (id, topology|instance,
+/// s/t/k/delay_bound overrides, mode, guess, class, eps/eps1/eps2,
+/// deadline). Returns false with *error set to the structured-error
+/// message (message only — the caller owns response framing and the
+/// echoed id). `want_timing` receives the per-request "timing" opt-in
+/// flag; pass nullptr when not needed.
+[[nodiscard]] bool parse_solve_request(const wire::Value& req,
+                                       const store::TopologyCatalog* catalog,
+                                       api::SolveRequest* out,
+                                       bool* want_timing, std::string* error);
+
+}  // namespace krsp::server

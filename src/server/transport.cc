@@ -1,5 +1,7 @@
 #include "server/transport.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -15,6 +17,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/request_parse.h"
 #include "server/wire.h"
 
 namespace krsp::server {
@@ -114,104 +117,15 @@ std::string paths_json(const core::PathSet& paths) {
 std::string handle_solve(const wire::Value& req, SolveService& service,
                          const store::TopologyCatalog* catalog) {
   const std::string id = req.get_string("id");
-  const wire::Value* topology = req.find("topology");
-  const wire::Value* instance_text = req.find("instance");
 
+  // Parsing lives in request_parse.{h,cc} so the router lowers requests
+  // exactly the way this shard-side path does (error strings included).
   api::SolveRequest request;
-  request.tag = id;
-  if (topology != nullptr) {
-    // Protocol v2: graph by catalog reference. Every failure mode here is
-    // a structured error response — a bad topology request must never
-    // cost the client its connection.
-    if (topology->type != wire::Value::Type::kString)
-      return error_line("\"topology\" must be a string id", id);
-    if (instance_text != nullptr)
-      return error_line(
-          "request carries both \"topology\" and \"instance\"; pick one", id);
-    if (catalog == nullptr || catalog->empty())
-      return error_line(
-          "no topology catalog configured (serve with --catalog DIR)", id);
-    std::shared_ptr<const api::TopologyRef> ref = catalog->find(topology->string);
-    if (ref == nullptr)
-      return error_line("unknown topology: " + topology->string, id);
-    const auto s = static_cast<graph::VertexId>(
-        req.get_int("s", ref->instance->s));
-    const auto t = static_cast<graph::VertexId>(
-        req.get_int("t", ref->instance->t));
-    const int k = static_cast<int>(req.get_int("k", ref->instance->k));
-    const graph::Delay bound =
-        req.get_int("delay_bound", ref->instance->delay_bound);
-    if (s == ref->instance->s && t == ref->instance->t &&
-        k == ref->instance->k && bound == ref->instance->delay_bound) {
-      // Default query: share the catalog's instance as-is — no copy, no
-      // parse, O(1) fingerprinting off the stored prefixes.
-      request.topology = std::move(ref);
-    } else {
-      // Query override: the graph is copied once (O(m)) to host the new
-      // terminals; the fingerprint prefixes carry over untouched because
-      // they cover only the graph words, and the suffix hashes the
-      // overridden query (api/fingerprint.h).
-      auto inst = std::make_shared<core::Instance>(*ref->instance);
-      inst->s = s;
-      inst->t = t;
-      inst->k = k;
-      inst->delay_bound = bound;
-      try {
-        inst->validate();
-      } catch (const std::exception& e) {
-        return error_line(std::string("bad query override: ") + e.what(), id);
-      }
-      auto override_ref = std::make_shared<api::TopologyRef>(*ref);
-      override_ref->instance = std::move(inst);
-      request.topology = std::move(override_ref);
-    }
-  } else {
-    // Protocol v1: inline .kri instance (accepted indefinitely).
-    if (instance_text == nullptr ||
-        instance_text->type != wire::Value::Type::kString)
-      return error_line(
-          "solve requires a string \"instance\" or \"topology\" field", id);
-    try {
-      std::istringstream is(instance_text->string);
-      request.instance = api::read_instance(is);
-    } catch (const std::exception& e) {
-      return error_line(std::string("bad instance: ") + e.what(), id);
-    }
-  }
-
-  const std::string mode = req.get_string("mode", "scaled");
-  if (mode == "scaled") {
-    request.mode = api::Mode::kScaled;
-  } else if (mode == "exact") {
-    request.mode = api::Mode::kExactWeights;
-  } else if (mode == "phase1") {
-    request.mode = api::Mode::kPhase1Only;
-  } else {
-    return error_line("unknown mode: " + mode, id);
-  }
-  const std::string guess = req.get_string("guess", "binary");
-  if (guess == "binary") {
-    request.guess = api::GuessStrategy::kBinarySearch;
-  } else if (guess == "doubling") {
-    request.guess = api::GuessStrategy::kDoubling;
-  } else {
-    return error_line("unknown guess: " + guess, id);
-  }
-  const std::string sla = req.get_string("class", "batch");
-  if (sla == "interactive") {
-    request.sla = api::SlaClass::kInteractive;
-  } else if (sla == "batch") {
-    request.sla = api::SlaClass::kBatch;
-  } else {
-    return error_line("unknown class: " + sla, id);
-  }
-  const double eps = req.get_number("eps", 0.25);  // alias, as in the CLIs
-  request.eps1 = req.get_number("eps1", eps);
-  request.eps2 = req.get_number("eps2", eps);
-  request.deadline_seconds = req.get_number("deadline", 0.0);
-  // Opt-in per-request breakdown: echoed only on demand so the default
-  // response shape (and the loadgen's identity check) is unchanged.
-  const bool want_timing = req.get_bool("timing", false);
+  bool want_timing = false;
+  std::string parse_error;
+  if (!parse_solve_request(req, catalog, &request, &want_timing,
+                           &parse_error))
+    return error_line(parse_error, id);
 
   const ServeResponse r = service.serve(std::move(request));
 
@@ -327,11 +241,16 @@ std::string handle_topology(const wire::Value& req,
   return error_line("unknown topology: " + id);
 }
 
-std::string handle_stats(SolveService& service) {
+std::string handle_stats(SolveService& service, std::uint64_t solves_v1,
+                         std::uint64_t solves_v2) {
   const api::ServeStats s = service.stats();
   wire::ObjectWriter w;
   w.field("ok", true);
   w.field("protocol_version", static_cast<std::int64_t>(kProtocolVersion));
+  // Adoption counters by request wire form (v1 inline instance vs v2
+  // topology reference) — additive fields, safe for v1 stats readers.
+  w.field("solves_v1", solves_v1);
+  w.field("solves_v2", solves_v2);
   w.field("received", s.received);
   w.field("served", s.served);
   w.field("rejected_queue_full", s.rejected_queue_full);
@@ -384,9 +303,14 @@ std::string Protocol::handle_line(const std::string& line) {
   m.requests.inc();
   std::string resp;
   if (op == "solve") {
+    // Wire-form adoption counter: the "topology" key is the v2 marker
+    // (handle_solve applies the same rule), counted request-side so a
+    // malformed v2 attempt still shows up as v2 traffic.
+    auto& form = req->find("topology") != nullptr ? solves_v2_ : solves_v1_;
+    form.fetch_add(1, std::memory_order_relaxed);
     resp = handle_solve(*req, service_, catalog_);
   } else if (op == "stats") {
-    resp = handle_stats(service_);
+    resp = handle_stats(service_, solves_v1(), solves_v2());
   } else if (op == "metrics") {
     resp = handle_metrics();
   } else if (op == "topologies") {
@@ -413,16 +337,35 @@ std::string Protocol::handle_line(const std::string& line) {
 
 SocketServer::SocketServer(SolveService& service, std::string socket_path,
                            const store::TopologyCatalog* catalog)
-    : protocol_(service, catalog), path_(std::move(socket_path)) {}
+    : protocol_(std::in_place, service, catalog),
+      handler_(&*protocol_),
+      path_(std::move(socket_path)) {}
+
+SocketServer::SocketServer(SolveService& service, std::uint16_t tcp_port,
+                           const store::TopologyCatalog* catalog)
+    : protocol_(std::in_place, service, catalog),
+      handler_(&*protocol_),
+      tcp_(true),
+      port_(tcp_port) {}
+
+SocketServer::SocketServer(LineHandler& handler, std::string socket_path)
+    : handler_(&handler), path_(std::move(socket_path)) {}
+
+SocketServer::SocketServer(LineHandler& handler, std::uint16_t tcp_port)
+    : handler_(&handler), tcp_(true), port_(tcp_port) {}
 
 SocketServer::~SocketServer() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
-    ::unlink(path_.c_str());
+    if (!tcp_) ::unlink(path_.c_str());
   }
 }
 
 bool SocketServer::start(std::string* error) {
+  return tcp_ ? start_tcp(error) : start_unix(error);
+}
+
+bool SocketServer::start_unix(std::string* error) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path_.size() >= sizeof(addr.sun_path)) {
@@ -459,9 +402,56 @@ bool SocketServer::start(std::string* error) {
   return true;
 }
 
+bool SocketServer::start_tcp(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  // SO_REUSEADDR: a restarted daemon must rebind its port without waiting
+  // out the previous incarnation's TIME_WAIT connections.
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = "bind(tcp port " + std::to_string(port_) +
+               "): " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr)
+      *error = std::string("listen(): ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  // Resolve the bound port: with port 0 the kernel picked an ephemeral
+  // one, and callers (tests, fleet_smoke.sh) need to learn it.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    if (error != nullptr)
+      *error = std::string("getsockname(): ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+  return true;
+}
+
 bool SocketServer::stopping() const {
   return stop_.load(std::memory_order_acquire) ||
-         protocol_.shutdown_requested();
+         handler_->shutdown_requested();
 }
 
 void SocketServer::serve_forever() {
@@ -475,6 +465,12 @@ void SocketServer::serve_forever() {
     if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (tcp_) {
+      // One request line → one response line: always worth flushing
+      // immediately rather than letting Nagle batch against the ACK clock.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
     // Reap threads whose connections have closed so a long-running server
     // with many short-lived clients holds O(live connections) handles,
     // and enforce the concurrency cap on what remains.
@@ -571,7 +567,7 @@ void SocketServer::connection_loop(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      const std::string response = protocol_.handle_line(line) + "\n";
+      const std::string response = handler_->handle_line(line) + "\n";
       int send_err;
       {
         KRSP_OBS_SPAN("transport_write");

@@ -4,8 +4,10 @@
 // The protocol logic (parse request → SolveService::serve → serialize
 // response) lives in Protocol, which is transport-agnostic: tests drive
 // it through LocalTransport (no sockets, no threads), and krsp_serve
-// wraps it in SocketServer, a Unix-domain-socket listener with one thread
-// per connection.
+// wraps it in SocketServer, a stream-socket listener (Unix domain or
+// TCP — same wire bytes either way) with one thread per connection.
+// krsp_router reuses SocketServer over its own LineHandler to front a
+// fleet of shards.
 //
 // Request ops (field "op", default "solve"):
 //   {"op":"solve","id":"tag","instance":"<.kri text>","mode":"scaled",
@@ -57,6 +59,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,31 +74,60 @@ namespace krsp::server {
 /// request surface; v1 inline requests remain accepted indefinitely.
 inline constexpr int kProtocolVersion = 2;
 
+/// One newline-framed request line in, one response line out — the
+/// contract every listener (LocalTransport, SocketServer) drives.
+/// Protocol implements it over a SolveService; krsp::router::Router
+/// implements it by forwarding to a shard fleet. Implementations must be
+/// thread-safe: transports call handle_line concurrently from any number
+/// of connection threads.
+class LineHandler {
+ public:
+  virtual ~LineHandler() = default;
+
+  /// Handles one request line, returns one response line (no trailing
+  /// newline). Malformed input yields an ok:false response, never a
+  /// throw.
+  [[nodiscard]] virtual std::string handle_line(const std::string& line) = 0;
+
+  /// True once a "shutdown" op has been accepted; the transport owns the
+  /// actual drain so in-flight connections finish first.
+  [[nodiscard]] virtual bool shutdown_requested() const = 0;
+};
+
 /// Transport-agnostic request/response logic. Thread-safe: handle_line
 /// may be called concurrently from any number of transport threads.
 /// `catalog` (optional, unowned, must outlive the protocol) enables the
 /// v2 topology ops; without one, v2 solve requests get a structured
 /// error and `topologies` lists nothing.
-class Protocol {
+class Protocol final : public LineHandler {
  public:
   explicit Protocol(SolveService& service,
                     const store::TopologyCatalog* catalog = nullptr)
       : service_(service), catalog_(catalog) {}
 
-  /// Handles one request line, returns one response line (no trailing
-  /// newline). Malformed input yields an ok:false response, never a
-  /// throw. A "shutdown" op sets the flag (the transport owns the actual
-  /// drain so in-flight connections finish first).
-  [[nodiscard]] std::string handle_line(const std::string& line);
+  [[nodiscard]] std::string handle_line(const std::string& line) override;
 
-  [[nodiscard]] bool shutdown_requested() const {
+  [[nodiscard]] bool shutdown_requested() const override {
     return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Solve requests served per wire-protocol form: v1 carried an inline
+  /// "instance", v2 a "topology" reference. Reported in the stats op and
+  /// krsp_serve's final_stats so a fleet rollout can verify v2 adoption
+  /// shard by shard.
+  [[nodiscard]] std::uint64_t solves_v1() const {
+    return solves_v1_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t solves_v2() const {
+    return solves_v2_.load(std::memory_order_relaxed);
   }
 
  private:
   SolveService& service_;
   const store::TopologyCatalog* catalog_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> solves_v1_{0};
+  std::atomic<std::uint64_t> solves_v2_{0};
 };
 
 /// In-process transport for tests: the full protocol without sockets.
@@ -116,9 +148,18 @@ class LocalTransport {
   Protocol protocol_;
 };
 
-/// Unix-domain-socket server: accept loop + one thread per connection.
-/// serve_forever() returns after a shutdown op (or request_stop), once
-/// every connection has closed; the caller then drains the service.
+/// Stream-socket server: accept loop + one thread per connection, over
+/// either a Unix domain socket (path ctors) or TCP (port ctors; the
+/// fleet transport — SO_REUSEADDR, TCP_NODELAY on accepted connections,
+/// port 0 binds an ephemeral port reported by bound_port()). The wire
+/// is byte-identical across both: newline-framed JSON with the same
+/// EINTR/MSG_NOSIGNAL hardening. serve_forever() returns after a
+/// shutdown op (or request_stop), once every connection has closed; the
+/// caller then drains the service.
+///
+/// The request logic is any LineHandler: the service ctors build an
+/// owned Protocol (krsp_serve), the LineHandler ctors serve an external
+/// handler (krsp_router fronting a shard fleet).
 ///
 /// Robustness contract for a long-running daemon: responses are written
 /// with MSG_NOSIGNAL so a client that disconnects mid-response yields
@@ -137,6 +178,10 @@ class SocketServer {
 
   SocketServer(SolveService& service, std::string socket_path,
                const store::TopologyCatalog* catalog = nullptr);
+  SocketServer(SolveService& service, std::uint16_t tcp_port,
+               const store::TopologyCatalog* catalog = nullptr);
+  SocketServer(LineHandler& handler, std::string socket_path);
+  SocketServer(LineHandler& handler, std::uint16_t tcp_port);
   ~SocketServer();
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
@@ -144,6 +189,18 @@ class SocketServer {
   /// Binds and listens. False (with *error set) on failure — path too
   /// long, bind refused, etc.
   [[nodiscard]] bool start(std::string* error);
+
+  /// TCP mode only: the port actually bound (== the requested port, or
+  /// the kernel-assigned one when constructed with port 0). Valid after
+  /// start(); 0 in Unix-socket mode.
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+
+  /// The owned Protocol when constructed from a SolveService (for its
+  /// solves_v1/solves_v2 counters in final_stats); nullptr when serving
+  /// an external LineHandler.
+  [[nodiscard]] const Protocol* protocol() const {
+    return protocol_.has_value() ? &*protocol_ : nullptr;
+  }
 
   /// Accept/serve until shutdown; joins all connection threads, unlinks
   /// the socket path. Call start() first.
@@ -170,6 +227,8 @@ class SocketServer {
   }
 
  private:
+  [[nodiscard]] bool start_unix(std::string* error);
+  [[nodiscard]] bool start_tcp(std::string* error);
   void connection_loop(int fd);
   [[nodiscard]] bool stopping() const;
   /// Classifies a send_all() result into the reset/failure counters;
@@ -179,8 +238,12 @@ class SocketServer {
   /// number of threads still live afterwards (the concurrency gauge).
   std::size_t reap_finished();
 
-  Protocol protocol_;
-  std::string path_;
+  std::optional<Protocol> protocol_;  // owned when built from a service
+  LineHandler* handler_;              // always valid; == &*protocol_ if owned
+  std::string path_;                  // empty in TCP mode
+  bool tcp_ = false;
+  std::uint16_t port_ = 0;        // requested TCP port (0 = ephemeral)
+  std::uint16_t bound_port_ = 0;  // resolved by start() in TCP mode
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> connections_accepted_{0};

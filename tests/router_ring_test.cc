@@ -1,0 +1,176 @@
+// Properties of the router's consistent-hash ring (router/ring.h), the
+// three the header promises plus a pinned golden assignment:
+//
+//   * the point formula (splitmix64 stream seeded with FNV-1a of the
+//     shard name) is pinned against an independent reimplementation AND
+//     hard-coded golden values — a silent formula change would reshuffle
+//     every fleet's cache affinity on upgrade, so it must be loud here;
+//   * balance: 128 vnodes keeps the max keyspace share under 2/|shards|;
+//   * minimal disruption: removing a shard remaps only its own keys.
+//
+// Suite names carry "Router" so the CI TSan leg's -R filter includes
+// them alongside Engine/Server/Chaos.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "router/ring.h"
+#include "util/rng.h"
+
+namespace krsp::router {
+namespace {
+
+/// Independent reimplementation of the documented point formula: a
+/// splitmix64 stream seeded with FNV-1a(name), advanced vnode+1 steps.
+/// Deliberately not calling util:: helpers — this is the *spec*.
+std::uint64_t reference_point(const std::string& name, int vnode) {
+  std::uint64_t seed = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    seed ^= static_cast<unsigned char>(c);
+    seed *= 0x100000001b3ULL;
+  }
+  std::uint64_t out = 0;
+  for (int i = 0; i <= vnode; ++i) {
+    seed += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    out = z ^ (z >> 31);
+  }
+  return out;
+}
+
+TEST(RouterRing, PointFormulaMatchesReferenceImplementation) {
+  for (const std::string name :
+       {"alpha", "unix:/tmp/a.sock", "tcp:127.0.0.1:4701", ""})
+    for (const int vnode : {0, 1, 7, 127})
+      EXPECT_EQ(HashRing::point(name, vnode), reference_point(name, vnode))
+          << name << " vnode " << vnode;
+}
+
+TEST(RouterRing, GoldenPointsArePinned) {
+  // Hard-coded values: if these move, every deployed fleet's shard
+  // assignment moves with them. Regenerate only with a migration story.
+  EXPECT_EQ(HashRing::point("alpha", 0), 1320619409127077649ULL);
+  EXPECT_EQ(HashRing::point("alpha", 1), 10475257336574687358ULL);
+  EXPECT_EQ(HashRing::point("beta", 0), 15360936801050238129ULL);
+  EXPECT_EQ(HashRing::point("unix:/tmp/a.sock", 0), 3207339653676784350ULL);
+}
+
+TEST(RouterRing, GoldenAssignmentIsPinned) {
+  const HashRing ring({"alpha", "beta", "gamma"}, 128);
+  const std::map<std::uint64_t, std::string> golden = {
+      {0x0ULL, "alpha"},
+      {0x1ULL, "alpha"},
+      {0x2aULL, "alpha"},
+      {0x9e3779b97f4a7c15ULL, "gamma"},
+      {0xdeadbeefdeadbeefULL, "beta"},
+      {0xffffffffffffffffULL, "alpha"},
+      {0x1cf977871ULL, "alpha"},
+      {0x123456789abcdef0ULL, "alpha"},
+  };
+  for (const auto& [key, owner] : golden)
+    EXPECT_EQ(ring.shard_names()[ring.pick(key)], owner) << "key " << key;
+}
+
+TEST(RouterRing, AssignmentIsIndependentOfMembershipOrder) {
+  const HashRing a({"alpha", "beta", "gamma", "delta"});
+  const HashRing b({"delta", "gamma", "beta", "alpha"});
+  util::Rng rng(20260809);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng();
+    EXPECT_EQ(a.shard_names()[a.pick(key)], b.shard_names()[b.pick(key)]);
+  }
+}
+
+TEST(RouterRing, KeyspaceSharesAreBalancedAndSumToOne) {
+  const std::vector<std::string> names = {"unix:/tmp/a.sock",
+                                          "unix:/tmp/b.sock",
+                                          "tcp:10.0.0.1:4701",
+                                          "tcp:10.0.0.2:4701"};
+  const HashRing ring(names, 128);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const double share = ring.keyspace_share(i);
+    EXPECT_GT(share, 0.0);
+    // The balance contract from the header: < 2/|shards| at 128 vnodes.
+    EXPECT_LT(share, 2.0 / static_cast<double>(names.size())) << names[i];
+    sum += share;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  // Sampled ownership agrees with the exact arc accounting.
+  std::vector<double> sampled(names.size(), 0.0);
+  util::Rng rng(7);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) sampled[ring.pick(rng())] += 1.0;
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_NEAR(sampled[i] / trials, ring.keyspace_share(i), 0.02)
+        << names[i];
+}
+
+TEST(RouterRing, RemovingOneShardRemapsOnlyItsOwnKeys) {
+  const std::vector<std::string> full = {"a", "b", "c", "d", "e"};
+  const HashRing before(full, 128);
+  // Drop "c": survivors must keep every key they already owned — that is
+  // what keeps N-1 shard caches hot through a drain.
+  const HashRing after({"a", "b", "d", "e"}, 128);
+  util::Rng rng(99);
+  int remapped = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t key = rng();
+    const std::string& owner_before = before.shard_names()[before.pick(key)];
+    const std::string& owner_after = after.shard_names()[after.pick(key)];
+    if (owner_before == "c") {
+      EXPECT_NE(owner_after, "c");
+      ++remapped;
+    } else {
+      EXPECT_EQ(owner_after, owner_before) << "key " << key;
+    }
+  }
+  // Sanity: the dropped shard actually owned roughly its fair share.
+  EXPECT_GT(remapped, trials / 10);
+  EXPECT_LT(remapped, trials / 2);
+}
+
+TEST(RouterRing, SuccessorsStartAtOwnerAndCoverAllShardsOnce) {
+  const HashRing ring({"a", "b", "c", "d"}, 64);
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng();
+    const auto walk = ring.successors(key, 0);
+    ASSERT_EQ(walk.size(), 4u);
+    EXPECT_EQ(walk[0], ring.pick(key));
+    std::vector<bool> seen(4, false);
+    for (const std::size_t s : walk) {
+      EXPECT_FALSE(seen[s]);
+      seen[s] = true;
+    }
+    // A limited walk is a prefix of the full one.
+    const auto limited = ring.successors(key, 2);
+    ASSERT_EQ(limited.size(), 2u);
+    EXPECT_EQ(limited[0], walk[0]);
+    EXPECT_EQ(limited[1], walk[1]);
+  }
+}
+
+TEST(RouterRing, SingleShardOwnsEverything) {
+  const HashRing ring({"only"}, 128);
+  EXPECT_EQ(ring.pick(0), 0u);
+  EXPECT_EQ(ring.pick(~0ULL), 0u);
+  EXPECT_NEAR(ring.keyspace_share(0), 1.0, 1e-12);
+  EXPECT_EQ(ring.successors(123, 0), std::vector<std::size_t>{0});
+}
+
+TEST(RouterRing, EmptyRingIsEmpty) {
+  const HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.num_shards(), 0u);
+}
+
+}  // namespace
+}  // namespace krsp::router

@@ -1,4 +1,4 @@
-// Load generator / conformance client for krsp_serve.
+// Load generator / conformance client for krsp_serve and krsp_router.
 //
 //   $ krsp_loadgen --socket=/tmp/krsp.sock [--requests=64] [--connections=4]
 //                  [--rate=0] [--pool=8] [--n=12] [--k=2] [--seed=17]
@@ -10,12 +10,19 @@
 //                  [--fault-rate=0] [--fault-seed=1]
 //                  [--latency-out=FILE]
 //                  [--check] [--stats] [--shutdown] [--quiet]
+//   $ krsp_loadgen --connect=127.0.0.1:4700 [...]   # TCP (router/shard)
+//
+// --connect=host:port dials TCP instead of a Unix socket — the same wire
+// either way, so it works against a TCP krsp_serve shard or a
+// krsp_router front tier (exactly one of --socket / --connect).
 //
 // --latency-out writes one CSV row per request (header:
-// request,connection,pool,outcome,latency_ms,cache_hit,degraded) so tail
-// behavior can be analyzed offline instead of through the summary
-// percentiles; latency is measured from the scheduled arrival, exactly
-// as the printed p50/p95/p99 are.
+// request,connection,pool,outcome,latency_ms,cache_hit,degraded,shard)
+// so tail behavior can be analyzed offline instead of through the
+// summary percentiles; latency is measured from the scheduled arrival,
+// exactly as the printed p50/p95/p99 are. The shard column carries the
+// router-injected "served_by" response field (empty when talking to a
+// single krsp_serve directly — only routers inject it).
 //
 // Generates a pool of seeded random instances, serializes each once, and
 // issues solve requests round-robin over the pool across N connections.
@@ -109,6 +116,7 @@ struct RequestSample {
   double latency_ms = 0.0;
   bool cache_hit = false;
   bool degraded = false;
+  std::string shard;  // router-injected "served_by"; empty when direct
 };
 
 struct WorkerReport {
@@ -128,6 +136,7 @@ struct WorkerReport {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const std::string socket_path = cli.get_string("socket", "");
+  const std::string connect_spec = cli.get_string("connect", "");
   const int requests = static_cast<int>(cli.get_int("requests", 64));
   const int connections = static_cast<int>(cli.get_int("connections", 4));
   const double rate = cli.get_double("rate", 0.0);
@@ -157,9 +166,10 @@ int main(int argc, char** argv) {
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
 
-  if (socket_path.empty() || requests < 1 || connections < 1 ||
-      pool_size < 1) {
-    std::cerr << "usage: krsp_loadgen --socket=<path> [--requests=64] "
+  if (socket_path.empty() == connect_spec.empty() || requests < 1 ||
+      connections < 1 || pool_size < 1) {
+    std::cerr << "usage: krsp_loadgen --socket=<path>|--connect=<host:port> "
+                 "[--requests=64] "
                  "[--connections=4] [--rate=0] [--pool=8] [--n=12] [--k=2] "
                  "[--seed=17] [--topology=id1,id2,...] [--catalog=<dir>] "
                  "[--mode=exact|scaled|phase1] [--eps1] [--eps2] "
@@ -193,6 +203,11 @@ int main(int argc, char** argv) {
   if (fault_rate > 0.0 && retries == 0 && !quiet)
     std::cerr << "krsp_loadgen: note: --fault-rate without --retries will "
                  "fail requests on the first injected fault\n";
+  // --socket is always a Unix path; --connect parses host:port (a '/' in
+  // the spec would make it a path, which is what --socket is for).
+  const server::Endpoint endpoint =
+      connect_spec.empty() ? server::Endpoint::unix_socket(socket_path)
+                           : server::Endpoint::parse(connect_spec);
 
   // Build the pool. --topology: protocol-v2 request lines naming catalog
   // entries (a few dozen bytes each), references solved from the locally
@@ -305,7 +320,7 @@ int main(int argc, char** argv) {
       fault_options.fault_rate = fault_rate;
       server::RetryOptions ropts = retry_options;
       ropts.jitter_seed = fault_seed + 1000 + static_cast<std::uint64_t>(c);
-      server::ResilientClient client(socket_path, ropts, fault_options);
+      server::ResilientClient client(endpoint, ropts, fault_options);
       std::string error;
       if (!client.connect(&error)) {
         const std::lock_guard<std::mutex> lock(io_mu);
@@ -373,6 +388,7 @@ int main(int argc, char** argv) {
         if (response->get_bool("degraded", false)) ++rep.degraded;
         sample.cache_hit = response->get_bool("cache_hit", false);
         sample.degraded = response->get_bool("degraded", false);
+        sample.shard = response->get_string("served_by");
         note_sample("served");
         if (check && deadline <= 0.0 &&
             !response->get_bool("degraded", false)) {
@@ -435,11 +451,12 @@ int main(int argc, char** argv) {
                 << latency_out << "\n";
       return 1;
     }
-    os << "request,connection,pool,outcome,latency_ms,cache_hit,degraded\n";
+    os << "request,connection,pool,outcome,latency_ms,cache_hit,degraded,"
+          "shard\n";
     for (const auto& s : all)
       os << s.request << ',' << s.connection << ',' << s.pool_index << ','
          << s.outcome << ',' << s.latency_ms << ',' << (s.cache_hit ? 1 : 0)
-         << ',' << (s.degraded ? 1 : 0) << '\n';
+         << ',' << (s.degraded ? 1 : 0) << ',' << s.shard << '\n';
     if (!quiet)
       std::cout << "krsp_loadgen: wrote " << all.size()
                 << " latency sample(s) to " << latency_out << "\n";
@@ -473,7 +490,7 @@ int main(int argc, char** argv) {
 
   // Control ops ride a clean (fault-free) connection: chaos on the
   // shutdown frame would only test the harness, not the server.
-  server::ResilientClient control(socket_path);
+  server::ResilientClient control(endpoint);
   std::string error;
   if ((want_stats || want_shutdown) && !control.connect(&error)) {
     std::cerr << "krsp_loadgen: control connection: " << error << "\n";

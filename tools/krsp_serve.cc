@@ -1,4 +1,4 @@
-// Long-running solve service over a Unix-domain socket.
+// Long-running solve service over a Unix-domain socket or TCP.
 //
 //   $ krsp_serve --socket=/tmp/krsp.sock [--catalog=DIR] [--threads=0]
 //                [--max-pending=256] [--max-pending-batch=0]
@@ -7,6 +7,14 @@
 //                [--cache-shards=8] [--no-cache] [--no-deadline-admission]
 //                [--no-reuse] [--trace-out=FILE] [--trace-sample=1]
 //                [--quiet]
+//   $ krsp_serve --tcp=4701 [...]          # TCP listener instead
+//
+// --tcp=PORT listens on TCP instead of a Unix socket (the fleet-shard
+// transport behind krsp_router; same wire bytes either way). --tcp=0
+// binds an ephemeral port; the resolved port is always announced on
+// stdout as a machine-parseable line —
+//   {"event":"listening","transport":"tcp","port":NNNN}
+// — even with --quiet, so harnesses (fleet_smoke.sh) can discover it.
 //
 // --trace-out=FILE enables the obs tracer for the whole run and, after
 // the drain, writes every captured span (solve phases, queue waits,
@@ -41,6 +49,7 @@
 #include <csignal>
 #include <cstdint>
 #include <iostream>
+#include <optional>
 
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
   using namespace krsp;
   const util::Cli cli(argc, argv);
   const std::string socket_path = cli.get_string("socket", "");
+  const std::int64_t tcp_port = cli.get_int("tcp", -1);
   const std::string catalog_dir = cli.get_string("catalog", "");
   api::ServerOptions options;
   options.num_threads = static_cast<int>(cli.get_int("threads", 0));
@@ -95,14 +105,16 @@ int main(int argc, char** argv) {
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
 
-  if (socket_path.empty()) {
-    std::cerr << "usage: krsp_serve --socket=<path> [--catalog=<dir>] "
+  const bool use_tcp = tcp_port >= 0;
+  if (socket_path.empty() == !use_tcp || tcp_port > 65535) {
+    std::cerr << "usage: krsp_serve --socket=<path>|--tcp=<port> "
+                 "[--catalog=<dir>] "
                  "[--threads=0] [--max-pending=256] [--max-pending-batch=0] "
                  "[--degrade-wait=0] [--overload-eps-factor=2] "
                  "[--overload-eps-cap=1] [--cache-capacity=1024] "
                  "[--cache-shards=8] [--no-cache] [--no-deadline-admission] "
                  "[--no-reuse] [--trace-out=FILE] [--trace-sample=1] "
-                 "[--quiet]\n";
+                 "[--quiet]  (exactly one of --socket / --tcp)\n";
     return 2;
   }
 
@@ -125,11 +137,29 @@ int main(int argc, char** argv) {
   }
 
   server::SolveService service(options);
-  server::SocketServer socket_server(service, socket_path, &catalog);
+  // optional<> because SocketServer is neither copyable nor movable and
+  // the ctor form depends on the transport flag.
+  std::optional<server::SocketServer> server_storage;
+  if (use_tcp) {
+    server_storage.emplace(service, static_cast<std::uint16_t>(tcp_port),
+                           &catalog);
+  } else {
+    server_storage.emplace(service, socket_path, &catalog);
+  }
+  server::SocketServer& socket_server = *server_storage;
   std::string error;
   if (!socket_server.start(&error)) {
     std::cerr << "krsp_serve: " << error << "\n";
     return 1;
+  }
+  // Machine-parseable bind announcement: with --tcp=0 the kernel picked
+  // the port and this line is the only way a harness learns it.
+  if (use_tcp) {
+    server::wire::ObjectWriter w;
+    w.field("event", "listening");
+    w.field("transport", "tcp");
+    w.field("port", static_cast<std::int64_t>(socket_server.bound_port()));
+    std::cout << w.done() << "\n" << std::flush;
   }
 
   g_server = &socket_server;
@@ -141,7 +171,11 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   if (!quiet)
-    std::cout << "krsp_serve: listening on " << socket_path << " with "
+    std::cout << "krsp_serve: listening on "
+              << (use_tcp ? "tcp port " +
+                                std::to_string(socket_server.bound_port())
+                          : socket_path)
+              << " with "
               << service.num_threads() << " worker thread(s), cache "
               << (options.cache_capacity > 0
                       ? std::to_string(options.cache_capacity) + " entries"
@@ -167,6 +201,11 @@ int main(int argc, char** argv) {
     w.field("event", "final_stats");
     w.field("protocol_version",
             static_cast<std::int64_t>(server::kProtocolVersion));
+    // Per-shard wire-form adoption: how much of this process's solve
+    // traffic arrived as v1 inline vs v2 topology references. A fleet
+    // rollout greps these across shards to verify v2 uptake.
+    w.field("solves_v1", socket_server.protocol()->solves_v1());
+    w.field("solves_v2", socket_server.protocol()->solves_v2());
     w.field("catalog_topologies", static_cast<std::uint64_t>(catalog.size()));
     w.field("received", s.received);
     w.field("served", s.served);
